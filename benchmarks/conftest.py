@@ -1,0 +1,55 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has a benchmark that regenerates its data series.
+The benchmarks run the same experiment code as the full-scale CLI but at a
+reduced Monte-Carlo budget so the whole harness finishes in minutes; the
+``--runs-scale`` option restores the paper-scale budget when desired.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SyntheticExperimentConfig, TraceExperimentConfig
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benchmarks at the paper's full Monte-Carlo budget",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request: pytest.FixtureRequest) -> bool:
+    """Whether to run at the paper's full scale (1000 runs, 174 nodes...)."""
+    return bool(request.config.getoption("--paper-scale"))
+
+
+@pytest.fixture(scope="session")
+def synthetic_config(paper_scale: bool) -> SyntheticExperimentConfig:
+    """Synthetic-experiment config: paper scale or benchmark scale."""
+    if paper_scale:
+        return SyntheticExperimentConfig()
+    return SyntheticExperimentConfig(n_runs=60, horizon=100)
+
+
+@pytest.fixture(scope="session")
+def trace_config(paper_scale: bool) -> TraceExperimentConfig:
+    """Trace-experiment config: paper scale or benchmark scale."""
+    if paper_scale:
+        return TraceExperimentConfig()
+    return TraceExperimentConfig(n_nodes=100, n_towers=150, horizon=60)
+
+
+def print_series_table(result, max_rows: int = 12) -> None:
+    """Print the series of an ExperimentResult as compact rows.
+
+    This is the "same rows/series the paper reports" output of the
+    benchmark harness; pytest shows it with ``-s``.
+    """
+    print()
+    for line in result.summary_lines()[:max_rows]:
+        print(line)

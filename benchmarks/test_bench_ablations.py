@@ -1,0 +1,69 @@
+"""Benchmarks for the ablation / extension experiments."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    run_chaff_budget_sweep,
+    run_cost_privacy_tradeoff,
+    run_migration_policy_comparison,
+)
+
+from conftest import print_series_table
+
+
+def test_bench_chaff_budget_sweep(benchmark, synthetic_config):
+    """IM accuracy vs number of chaffs, simulated against Eq. (11)."""
+    config = synthetic_config.scaled(n_runs=min(synthetic_config.n_runs, 100))
+    result = benchmark.pedantic(
+        run_chaff_budget_sweep,
+        args=(config,),
+        kwargs={"budgets": (2, 4, 6, 10)},
+        rounds=1,
+        iterations=1,
+    )
+    print_series_table(result, max_rows=30)
+    for label in result.groups:
+        simulated = result.series(label, "simulated").values
+        analytic = result.series(label, "eq11").values
+        assert all(abs(s - a) < 0.12 for s, a in zip(simulated, analytic))
+        assert simulated[0] >= simulated[-1] - 0.05  # more chaffs never hurt
+    benchmark.extra_info["limits"] = {
+        key: round(value, 3) for key, value in result.scalars.items()
+    }
+
+
+def test_bench_cost_privacy_tradeoff(benchmark, synthetic_config):
+    """Tracking accuracy vs total MEC cost as the chaff budget grows."""
+    result = benchmark.pedantic(
+        run_cost_privacy_tradeoff,
+        args=(synthetic_config,),
+        kwargs={"chaff_counts": (0, 1, 2, 4), "n_runs": 10},
+        rounds=1,
+        iterations=1,
+    )
+    print_series_table(result)
+    label = synthetic_config.mobility_models[0]
+    costs = result.series(label, "total-cost").values
+    accuracy = result.series(label, "tracking-accuracy").values
+    assert costs == tuple(sorted(costs))  # cost grows with the chaff budget
+    assert accuracy[-1] <= accuracy[0]  # privacy improves (or holds)
+    benchmark.extra_info["privacy_gain_per_cost"] = round(
+        result.scalars["privacy_gain_per_cost"], 5
+    )
+
+
+def test_bench_migration_policies(benchmark, synthetic_config):
+    """Cost / co-location comparison of migration policies."""
+    result = benchmark.pedantic(
+        run_migration_policy_comparison,
+        args=(synthetic_config,),
+        kwargs={"n_runs": 10},
+        rounds=1,
+        iterations=1,
+    )
+    print_series_table(result)
+    assert result.scalars["always-follow/colocation"] == 1.0
+    assert result.scalars["never-migrate/colocation"] < 1.0
+    benchmark.extra_info["policies"] = {
+        key: round(value, 3) for key, value in result.scalars.items()
+    }

@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the core algorithms.
+
+These measure the algorithmic building blocks the paper analyses:
+the ML-trajectory Viterbi solve (O(T L^2)), the OO dynamic program
+(O(i* T L^2)), the myopic online controller and the ML detector.  They are
+regular pytest-benchmark timings (multiple rounds) rather than one-shot
+experiment regenerations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.eavesdropper.detector import MaximumLikelihoodDetector
+from repro.core.strategies import get_strategy, solve_optimal_offline
+from repro.core.trellis import most_likely_trajectory
+from repro.mobility.models import paper_synthetic_models, random_mobility_model
+
+
+@pytest.fixture(scope="module")
+def chain_small():
+    return paper_synthetic_models(10)["non-skewed"]
+
+
+@pytest.fixture(scope="module")
+def chain_large():
+    return random_mobility_model(100, rng=np.random.default_rng(0))
+
+
+def test_bench_viterbi_small(benchmark, chain_small):
+    """Most likely trajectory, L = 10, T = 100."""
+    trajectory = benchmark(most_likely_trajectory, chain_small, 100)
+    assert trajectory.shape == (100,)
+
+
+def test_bench_viterbi_large(benchmark, chain_large):
+    """Most likely trajectory, L = 100, T = 100."""
+    trajectory = benchmark(most_likely_trajectory, chain_large, 100)
+    assert trajectory.shape == (100,)
+
+
+def test_bench_optimal_offline_small(benchmark, chain_small):
+    """OO dynamic program, L = 10, T = 100."""
+    rng = np.random.default_rng(1)
+    user = chain_small.sample_trajectory(100, rng)
+    result = benchmark(solve_optimal_offline, chain_small, user)
+    assert result.chaff_cost <= result.user_cost + 1e-6
+
+
+def test_bench_optimal_offline_large(benchmark, chain_large):
+    """OO dynamic program, L = 100, T = 100 (trace-driven scale)."""
+    rng = np.random.default_rng(2)
+    user = chain_large.sample_trajectory(100, rng)
+    result = benchmark(solve_optimal_offline, chain_large, user)
+    assert result.chaff_cost <= result.user_cost + 1e-6
+
+
+def test_bench_myopic_online(benchmark, chain_small):
+    """Myopic online controller over T = 100 slots."""
+    rng = np.random.default_rng(3)
+    user = chain_small.sample_trajectory(100, rng)
+    strategy = get_strategy("MO")
+
+    def run():
+        return strategy.generate(chain_small, user, 1, np.random.default_rng(0))
+
+    chaffs = benchmark(run)
+    assert chaffs.shape == (1, 100)
+
+
+def test_bench_ml_detector_many_trajectories(benchmark, chain_large):
+    """ML detection over 200 trajectories of length 100 (fleet scale)."""
+    rng = np.random.default_rng(4)
+    trajectories = chain_large.sample_trajectories(200, 100, rng)
+    detector = MaximumLikelihoodDetector()
+
+    def run():
+        return detector.detect(chain_large, trajectories, np.random.default_rng(0))
+
+    outcome = benchmark(run)
+    assert 0 <= outcome.chosen_index < 200
+
+
+def test_bench_trajectory_sampling(benchmark, chain_small):
+    """Sampling a 1000-slot trajectory from the mobility model."""
+    rng = np.random.default_rng(5)
+    trajectory = benchmark(chain_small.sample_trajectory, 1000, rng)
+    assert trajectory.shape == (1000,)

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 4 and the temporal-skewness (KL) table."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig4 import run_fig4
+
+from conftest import print_series_table
+
+
+def test_bench_fig4(benchmark, synthetic_config):
+    """Steady-state distributions + KL skewness of the four mobility models."""
+    result = benchmark.pedantic(
+        run_fig4, args=(synthetic_config,), rounds=3, iterations=1
+    )
+    print_series_table(result)
+    # Paper: models (c) and (d) have KL distances ~8.2 / ~8.5, an order of
+    # magnitude above models (a) and (b) (~0.3-0.45).
+    assert 6.0 < result.scalars["kl/temporally-skewed"] < 10.0
+    assert 6.0 < result.scalars["kl/spatially&temporally-skewed"] < 10.0
+    assert result.scalars["kl/non-skewed"] < 1.0
+    assert result.scalars["kl/spatially-skewed"] < 1.0
+    for label in result.groups:
+        assert np.isclose(sum(result.series(label, "steady-state").values), 1.0)
+    benchmark.extra_info["kl_distances"] = {
+        label: round(result.scalars[f"kl/{label}"], 2) for label in result.groups
+    }

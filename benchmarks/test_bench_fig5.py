@@ -1,0 +1,46 @@
+"""Benchmark regenerating Fig. 5: tracking accuracy of the basic eavesdropper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig5 import run_fig5
+
+from conftest import print_series_table
+
+
+def test_bench_fig5(benchmark, synthetic_config):
+    """Per-slot tracking accuracy for IM/ML/OO/MO/CML across the four models."""
+    result = benchmark.pedantic(
+        run_fig5, args=(synthetic_config,), rounds=1, iterations=1
+    )
+    print_series_table(result, max_rows=40)
+
+    # Paper finding (i): OO and MO drive the accuracy to ~0 over time while
+    # IM and ML stay non-zero (shown here on the non-skewed model).
+    group = "non-skewed"
+    oo_late = np.mean(result.series(group, "OO (N = 2)").values[-10:])
+    mo_late = np.mean(result.series(group, "MO (N = 2)").values[-10:])
+    im_late = np.mean(result.series(group, "IM (N = 2)").values[-10:])
+    ml_mean = result.series(group, "ML (N = 2)").mean_value()
+    assert oo_late < 0.05
+    assert mo_late < 0.05
+    assert im_late > 0.3
+    assert ml_mean > 0.02
+
+    # Paper finding (ii): more skewed mobility -> higher tracking accuracy.
+    im_plain = result.series("non-skewed", "IM (N = 2)").mean_value()
+    im_skewed = result.series("spatially&temporally-skewed", "IM (N = 2)").mean_value()
+    assert im_skewed > im_plain
+
+    # Paper finding (iii): IM benefits from more chaffs, deterministic
+    # strategies do not (their accuracy is unchanged by construction).
+    for group in result.groups:
+        assert (
+            result.series(group, "IM (N = 10)").mean_value()
+            < result.series(group, "IM (N = 2)").mean_value()
+        )
+
+    benchmark.extra_info["tracking_accuracy"] = {
+        key: round(value, 3) for key, value in sorted(result.scalars.items())
+    }

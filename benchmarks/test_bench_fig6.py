@@ -1,0 +1,34 @@
+"""Benchmark regenerating Fig. 6: CDF of the log-likelihood difference c_t."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig6 import run_fig6
+
+from conftest import print_series_table
+
+
+def test_bench_fig6(benchmark, synthetic_config):
+    """Empirical CDF of c_t under CML and MO for the four mobility models."""
+    result = benchmark.pedantic(
+        run_fig6, args=(synthetic_config,), rounds=1, iterations=1
+    )
+    print_series_table(result, max_rows=30)
+
+    # The decay condition E[c_t] < 0 holds for all four models under CML
+    # (Fig. 6 shows the mass of c_t is essentially below zero), which is
+    # what makes the OO/CML accuracy decay in Fig. 5.
+    for label in result.groups:
+        assert result.scalars[f"{label}/CML/mean_ct"] < 0.05, label
+
+    # CDFs are valid distribution functions.
+    for label, series_list in result.groups.items():
+        for series in series_list:
+            values = np.asarray(series.values)
+            assert np.all(np.diff(values) >= -1e-12)
+            assert 0.0 <= values[0] and values[-1] <= 1.0 + 1e-12
+
+    benchmark.extra_info["mean_ct"] = {
+        key: round(value, 3) for key, value in sorted(result.scalars.items())
+    }

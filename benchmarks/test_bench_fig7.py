@@ -1,0 +1,34 @@
+"""Benchmark regenerating Fig. 7: the advanced (strategy-aware) eavesdropper."""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import run_fig7
+
+from conftest import print_series_table
+
+
+def test_bench_fig7(benchmark, synthetic_config):
+    """IM vs the randomised robust strategies (RML/ROO/RMO) with N = 10."""
+    config = synthetic_config.scaled(
+        n_runs=min(synthetic_config.n_runs, 200), horizon=synthetic_config.horizon
+    )
+    result = benchmark.pedantic(
+        run_fig7, args=(config,), kwargs={"n_services": 10}, rounds=1, iterations=1
+    )
+    print_series_table(result, max_rows=30)
+
+    # Paper: the robust strategies prevent the chaffs from being recognised
+    # and mimic their deterministic counterparts' performance; in particular
+    # ROO/RML protect a non-skewed user at least as well as IM does.
+    group = "non-skewed"
+    im = result.scalars[f"{group}/IM/tracking"]
+    assert result.scalars[f"{group}/ROO/tracking"] <= im + 0.05
+    assert result.scalars[f"{group}/RML/tracking"] <= im + 0.15
+
+    # All reported values are probabilities.
+    for value in result.scalars.values():
+        assert 0.0 <= value <= 1.0
+
+    benchmark.extra_info["tracking_accuracy"] = {
+        key: round(value, 3) for key, value in sorted(result.scalars.items())
+    }

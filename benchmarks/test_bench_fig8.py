@@ -1,0 +1,33 @@
+"""Benchmark regenerating Fig. 8: taxi-trace cell layout and steady state."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig8 import run_fig8
+
+from conftest import print_series_table
+
+
+def test_bench_fig8(benchmark, trace_config):
+    """Voronoi cell layout + empirical steady-state distribution of the fleet."""
+    result = benchmark.pedantic(
+        run_fig8, args=(trace_config,), rounds=1, iterations=1
+    )
+    print_series_table(result)
+
+    # The empirical mobility model must be strongly spatially skewed
+    # (Fig. 8(b)): a handful of cells carry most of the probability mass.
+    empirical = np.asarray(result.series("steady-state", "empirical-visits").values)
+    n_cells = int(result.scalars["n_cells"])
+    assert empirical.max() > 3.0 / n_cells
+    top_10 = np.sort(empirical)[::-1][: max(1, n_cells // 10)].sum()
+    assert top_10 > 0.3  # top 10% of cells hold >30% of the mass
+
+    # The fitted model agrees with the raw visit histogram.
+    fitted = np.asarray(result.series("steady-state", "fitted-model").values)
+    assert np.corrcoef(empirical, fitted)[0, 1] > 0.7
+
+    benchmark.extra_info["n_cells"] = n_cells
+    benchmark.extra_info["n_nodes"] = int(result.scalars["n_nodes"])
+    benchmark.extra_info["max_cell_probability"] = round(float(empirical.max()), 4)

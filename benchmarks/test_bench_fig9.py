@@ -1,0 +1,42 @@
+"""Benchmark regenerating Fig. 9: basic eavesdropper on the taxi traces."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig9 import run_fig9
+
+from conftest import print_series_table
+
+
+def test_bench_fig9(benchmark, trace_config):
+    """Per-user accuracy without chaffs and top-K users with a single chaff."""
+    result = benchmark.pedantic(run_fig9, args=(trace_config,), rounds=1, iterations=1)
+    print_series_table(result, max_rows=40)
+
+    # Panel (a): some users are tracked far above the 1/N baseline.
+    baseline = result.scalars["baseline_1_over_N"]
+    assert result.scalars["max_unprotected_accuracy"] > 10 * baseline
+    assert result.scalars["n_users_above_10x_baseline"] >= 1
+
+    # Panel (b): IM cannot help the top users, while ML / OO reduce their
+    # tracking accuracy (never increase it).
+    top_k = trace_config.top_k_users
+    ml_or_oo_helped = 0
+    for rank in range(1, top_k + 1):
+        no_chaff = result.scalars[f"user{rank}/no chaff"]
+        assert result.scalars[f"user{rank}/IM"] >= no_chaff - 0.1
+        assert result.scalars[f"user{rank}/ML"] <= no_chaff + 1e-9
+        assert result.scalars[f"user{rank}/OO"] <= no_chaff + 1e-9
+        if (
+            result.scalars[f"user{rank}/ML"] < no_chaff - 0.05
+            or result.scalars[f"user{rank}/OO"] < no_chaff - 0.05
+        ):
+            ml_or_oo_helped += 1
+    assert ml_or_oo_helped >= 1
+
+    benchmark.extra_info["per_user_bars"] = {
+        key: round(value, 3)
+        for key, value in sorted(result.scalars.items())
+        if key.startswith("user")
+    }

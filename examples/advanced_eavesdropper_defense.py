@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Defending against an eavesdropper who knows the chaff strategy.
+
+Section VI of the paper shows that the deterministic strategies (ML, OO,
+MO) collapse once the eavesdropper knows which strategy is in use: he can
+recompute the chaff trajectory and discard it.  The randomised robust
+variants (RML, ROO, RMO) fix this.  This example measures both effects:
+
+* detection/tracking accuracy of the *basic* ML eavesdropper,
+* detection/tracking accuracy of the *strategy-aware* eavesdropper,
+
+for every strategy, on the same mobility model.
+
+Run with::
+
+    python examples/advanced_eavesdropper_defense.py
+"""
+
+from __future__ import annotations
+
+from repro import MaximumLikelihoodDetector, PrivacyGame, StrategyAwareDetector
+from repro import get_strategy, paper_synthetic_models
+from repro.sim.monte_carlo import MonteCarloRunner
+
+#: employed strategy -> the deterministic map the advanced eavesdropper tests.
+ASSUMED = {
+    "IM": "IM",
+    "ML": "ML",
+    "OO": "OO",
+    "MO": "MO",
+    "RML": "ML",
+    "ROO": "OO",
+    "RMO": "MO",
+}
+
+
+def main() -> None:
+    chain = paper_synthetic_models(10, seed=2017)["non-skewed"]
+    horizon, n_runs, n_services = 100, 150, 4
+
+    print(f"{'strategy':>9} | {'basic eavesdropper':>24} | {'advanced eavesdropper':>24}")
+    print(f"{'':>9} | {'tracking':>11} {'detection':>11} | {'tracking':>11} {'detection':>11}")
+    print("-" * 78)
+    for employed, assumed in ASSUMED.items():
+        strategy = get_strategy(employed)
+        basic_game = PrivacyGame(
+            chain, strategy, MaximumLikelihoodDetector(), n_services=n_services
+        )
+        aware_game = PrivacyGame(
+            chain,
+            strategy,
+            StrategyAwareDetector(get_strategy(assumed)),
+            n_services=n_services,
+        )
+        basic = MonteCarloRunner(n_runs=n_runs, seed=1).run(basic_game, horizon=horizon)
+        aware = MonteCarloRunner(n_runs=n_runs, seed=1).run(aware_game, horizon=horizon)
+        print(
+            f"{employed:>9} | {basic.tracking_accuracy:11.3f} "
+            f"{basic.detection_accuracy:11.3f} | {aware.tracking_accuracy:11.3f} "
+            f"{aware.detection_accuracy:11.3f}"
+        )
+
+    print()
+    print(
+        "The deterministic strategies (ML, OO, MO) are excellent against the "
+        "basic eavesdropper but are fully unmasked by the strategy-aware one; "
+        "the randomised variants (RML, ROO, RMO) keep their protection, and "
+        "IM is unaffected because it was already statistically indistinguishable."
+    )
+
+
+if __name__ == "__main__":
+    main()

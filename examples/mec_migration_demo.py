@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""MEC simulator demo: services, migrations, costs and the observation plane.
+
+Shows the substrate the paper's threat model lives in.  A user moves over a
+ring of MEC cells; his delay-sensitive service follows him (always-follow
+migration); a chaff orchestrator steers one chaff service per the OO
+strategy; a cyber eavesdropper observes every service's cell occupancy and
+runs ML detection.  The run also accounts for migration, communication and
+chaff costs, and compares migration policies on the cost/QoS axis.
+
+Run with::
+
+    python examples/mec_migration_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MaximumLikelihoodDetector, get_strategy, paper_synthetic_models
+from repro.mec import (
+    AlwaysFollowPolicy,
+    CostModel,
+    DistanceThresholdPolicy,
+    MDPMigrationPolicy,
+    MECSimulation,
+    MECSimulationConfig,
+    MECTopology,
+    NeverMigratePolicy,
+)
+
+
+def main() -> None:
+    n_cells = 10
+    chain = paper_synthetic_models(n_cells, seed=2017)["temporally-skewed"]
+    topology = MECTopology.ring(n_cells)
+    rng = np.random.default_rng(7)
+
+    # --- One protected run: always-follow service + one OO chaff ----------
+    simulation = MECSimulation(
+        topology,
+        chain,
+        strategy=get_strategy("OO"),
+        policy=AlwaysFollowPolicy(),
+        config=MECSimulationConfig(horizon=60, n_chaffs=1),
+    )
+    report = simulation.run(rng)
+    outcome = report.evaluate(chain, MaximumLikelihoodDetector(), rng)
+
+    print("Protected run (always-follow service, 1 OO chaff, 60 slots)")
+    print(f"  migrations performed:      {report.ledger.migrations}")
+    print(f"  migration cost:            {report.ledger.migration_total:.1f}")
+    print(f"  communication cost:        {report.ledger.communication_total:.1f}")
+    print(f"  chaff running cost:        {report.ledger.chaff_total:.1f}")
+    print(f"  total cost:                {report.total_cost:.1f}")
+    print(f"  eavesdropper tracking:     {outcome['tracking_accuracy']:.2f}")
+    print(f"  eavesdropper detection:    {outcome['detection_accuracy']:.0f}")
+    print(f"  migration events observed: {len(report.events)}")
+    print()
+
+    # --- Migration policy comparison (no chaffs) ---------------------------
+    cost_model = CostModel(migration_cost_fixed=2.0, migration_cost_per_hop=2.0)
+    policies = {
+        "always-follow": AlwaysFollowPolicy(),
+        "never-migrate": NeverMigratePolicy(),
+        "threshold-2": DistanceThresholdPolicy(threshold=2),
+        "mdp-optimal": MDPMigrationPolicy(topology, chain, cost_model),
+    }
+    print("Migration policy comparison (20 runs each, no chaffs)")
+    print(f"{'policy':>15} {'total cost':>12} {'co-location':>12}")
+    for name, policy in policies.items():
+        simulation = MECSimulation(
+            topology,
+            chain,
+            policy=policy,
+            cost_model=cost_model,
+            config=MECSimulationConfig(horizon=60, n_chaffs=0),
+        )
+        costs, colocations = [], []
+        for run_index in range(20):
+            run_rng = np.random.default_rng(100 + run_index)
+            run_report = simulation.run(run_rng)
+            costs.append(run_report.total_cost)
+            service = np.asarray(run_report.real_service.location_history)
+            colocations.append(float(np.mean(service == run_report.user_trajectory)))
+        print(f"{name:>15} {np.mean(costs):12.1f} {np.mean(colocations):12.2f}")
+
+    print()
+    print(
+        "Always-follow keeps the service co-located (required for delay-"
+        "sensitive services, and the worst case for privacy); the MDP policy "
+        "trades a little co-location for lower total cost — the trade-off the "
+        "paper's related work optimises."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a mobile user with a single chaff service.
+
+This example walks through the paper's core loop end to end:
+
+1. build a Markov mobility model for the user;
+2. pick a chaff control strategy (here: the optimal offline strategy, OO);
+3. let the eavesdropper run maximum-likelihood detection on the observed
+   service trajectories;
+4. measure the eavesdropper's tracking accuracy with and without the chaff.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    MaximumLikelihoodDetector,
+    MonteCarloRunner,
+    PrivacyGame,
+    get_strategy,
+    paper_synthetic_models,
+)
+
+
+def main() -> None:
+    # The user's mobility: the paper's "non-skewed" synthetic model over
+    # L = 10 MEC cells (a random ergodic Markov chain).
+    chain = paper_synthetic_models(n_cells=10, seed=2017)["non-skewed"]
+    horizon = 100
+    n_runs = 200
+    detector = MaximumLikelihoodDetector()
+
+    print("User mobility model")
+    print(f"  cells:            {chain.n_states}")
+    print(f"  entropy rate:     {chain.entropy_rate():.3f} nats/slot")
+    print(f"  sum pi^2:         {chain.stationary_collision_probability():.3f}")
+    print()
+
+    # Baseline: no chaff.  The eavesdropper sees a single trajectory and is
+    # always right — this is the worst case the paper starts from.
+    baseline_game = PrivacyGame(chain, None, detector, n_services=1)
+    baseline = MonteCarloRunner(n_runs=20, seed=0).run(baseline_game, horizon=horizon)
+    print(f"Tracking accuracy without chaffs: {baseline.tracking_accuracy:.3f}")
+
+    # One chaff per strategy.
+    for name in ("IM", "ML", "CML", "MO", "OO"):
+        game = PrivacyGame(chain, get_strategy(name), detector, n_services=2)
+        stats = MonteCarloRunner(n_runs=n_runs, seed=1).run(game, horizon=horizon)
+        late = stats.per_slot_accuracy[-10:].mean()
+        print(
+            f"Strategy {name:>3}: time-average accuracy = "
+            f"{stats.tracking_accuracy:.3f},  accuracy in final slots = {late:.3f}"
+        )
+
+    print()
+    print(
+        "OO and MO drive the eavesdropper's accuracy toward zero over time, "
+        "while IM and ML leave it bounded away from zero — the headline "
+        "result of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

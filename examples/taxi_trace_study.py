@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Trace-driven study: who is trackable in a taxi fleet, and does a chaff help?
+
+Reproduces the paper's Section VII-B pipeline on the synthetic taxi fleet:
+
+1. generate raw GPS traces with irregular updates and silent gaps;
+2. filter inactive nodes, resample to one-minute slots, quantise positions
+   into Voronoi cells around cell towers;
+3. fit the population mobility model the eavesdropper uses;
+4. rank users by how accurately the ML eavesdropper tracks them;
+5. protect the most trackable users with a single chaff under each
+   strategy and report the change in tracking accuracy (Fig. 9).
+
+Run with::
+
+    python examples/taxi_trace_study.py --nodes 120 --towers 200
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import MaximumLikelihoodDetector, TraceExperimentConfig, get_strategy
+from repro.experiments.trace_common import (
+    build_taxi_dataset,
+    per_user_tracking_accuracy,
+    protected_user_accuracy,
+    top_k_tracked_users,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=174, help="taxi fleet size")
+    parser.add_argument("--towers", type=int, default=300, help="tower count target")
+    parser.add_argument("--horizon", type=int, default=100, help="one-minute slots")
+    parser.add_argument("--top-k", type=int, default=5, help="users to protect")
+    parser.add_argument("--seed", type=int, default=2017)
+    args = parser.parse_args()
+
+    config = TraceExperimentConfig(
+        n_nodes=args.nodes,
+        n_towers=args.towers,
+        horizon=args.horizon,
+        top_k_users=args.top_k,
+        seed=args.seed,
+    )
+    print("Building the taxi dataset (traces -> cells -> mobility model)...")
+    dataset = build_taxi_dataset(config)
+    print(f"  nodes kept after filtering: {dataset.n_nodes}")
+    print(f"  Voronoi cells:              {dataset.n_cells}")
+    print(f"  slots:                      {dataset.horizon}")
+    print(
+        "  most popular cell holds "
+        f"{dataset.empirical_stationary().max():.1%} of all visits"
+    )
+    print()
+
+    accuracies = per_user_tracking_accuracy(dataset, seed=config.seed)
+    baseline = 1.0 / dataset.n_nodes
+    above = int(np.sum(accuracies > 10 * baseline))
+    print(f"Per-user tracking accuracy without chaffs (baseline 1/N = {baseline:.3%}):")
+    print(f"  max accuracy:               {accuracies.max():.1%}")
+    print(f"  users above 10x baseline:   {above} of {dataset.n_nodes}")
+    print()
+
+    detector = MaximumLikelihoodDetector()
+    top_users = top_k_tracked_users(dataset, args.top_k, seed=config.seed)
+    strategies = ["IM", "MO", "ML", "OO"]
+    header = "user       no-chaff  " + "  ".join(f"{name:>6}" for name in strategies)
+    print("Protecting the most trackable users with a single chaff:")
+    print(header)
+    for rank, user_row in enumerate(top_users, start=1):
+        no_chaff = protected_user_accuracy(
+            dataset, user_row, None, detector, seed=config.seed + rank
+        )
+        row = [f"user{rank:<6} {no_chaff:8.1%}"]
+        for name in strategies:
+            accuracy = protected_user_accuracy(
+                dataset,
+                user_row,
+                get_strategy(name),
+                detector,
+                n_chaffs=1,
+                seed=config.seed + rank,
+            )
+            row.append(f"{accuracy:6.1%}")
+        print("  ".join(row))
+
+    print()
+    print(
+        "As in Fig. 9(b), an impersonating chaff (IM) barely helps the most "
+        "predictable users, while the likelihood-aware strategies (ML, OO) "
+        "pull the eavesdropper away from them."
+    )
+
+
+if __name__ == "__main__":
+    main()

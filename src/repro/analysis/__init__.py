@@ -1,0 +1,75 @@
+"""Analysis: information measures, concentration bounds and Section V results."""
+
+from .information import (
+    conditional_step_entropy,
+    entropy,
+    entropy_gap_condition,
+    kl_divergence,
+    spatial_skewness,
+    temporal_skewness,
+)
+from .concentration import (
+    empirical_tail_probability,
+    hoeffding_bound,
+    lemma_v3_bound,
+)
+from .loglik import (
+    CMLInducedChain,
+    build_cml_induced_chain,
+    ct_series,
+    estimate_expected_ct,
+    simulate_ct_samples,
+)
+from .bounds import (
+    LikelihoodGapConstants,
+    cml_tracking_bound,
+    corollary_v6_bound,
+    im_tracking_accuracy,
+    im_tracking_accuracy_limit,
+    lemma_v1_holds,
+    likelihood_gap_constants,
+    ml_tracking_accuracy,
+    mo_tracking_bound,
+    theorem_v4_bound,
+    theorem_v5_bound,
+)
+from .metrics import (
+    TrackingStatistics,
+    aggregate_episodes,
+    detection_rate,
+    per_slot_accuracy,
+    time_average_accuracy,
+)
+
+__all__ = [
+    "conditional_step_entropy",
+    "entropy",
+    "entropy_gap_condition",
+    "kl_divergence",
+    "spatial_skewness",
+    "temporal_skewness",
+    "empirical_tail_probability",
+    "hoeffding_bound",
+    "lemma_v3_bound",
+    "CMLInducedChain",
+    "build_cml_induced_chain",
+    "ct_series",
+    "estimate_expected_ct",
+    "simulate_ct_samples",
+    "LikelihoodGapConstants",
+    "cml_tracking_bound",
+    "corollary_v6_bound",
+    "im_tracking_accuracy",
+    "im_tracking_accuracy_limit",
+    "lemma_v1_holds",
+    "likelihood_gap_constants",
+    "ml_tracking_accuracy",
+    "mo_tracking_bound",
+    "theorem_v4_bound",
+    "theorem_v5_bound",
+    "TrackingStatistics",
+    "aggregate_episodes",
+    "detection_rate",
+    "per_slot_accuracy",
+    "time_average_accuracy",
+]

@@ -1,0 +1,266 @@
+"""Closed forms and bounds from the performance analysis (Section V).
+
+Implemented results:
+
+* Eq. (11)  — exact tracking accuracy of the IM strategy.
+* Eq. (12)  — tracking accuracy of the ML strategy given its chaff
+  trajectory.
+* Lemma V.1 — ``sum_x pi(x)^2 <= max_x pi(x)``.
+* Theorem V.4 — exponential-decay bound on the CML (and hence OO)
+  tracking accuracy, built from the induced pair chain of Eq. (17).
+* Theorem V.5 / Corollary V.6 — the analogous bounds for the MO strategy,
+  expressed as formulas over estimated parameters (the MO induced chain
+  has a continuous component, so its parameters are estimated by
+  simulation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mobility.markov import MarkovChain
+from ..core.trellis import most_likely_trajectory
+from .loglik import build_cml_induced_chain, estimate_expected_ct
+
+__all__ = [
+    "im_tracking_accuracy",
+    "im_tracking_accuracy_limit",
+    "ml_tracking_accuracy",
+    "lemma_v1_holds",
+    "LikelihoodGapConstants",
+    "likelihood_gap_constants",
+    "theorem_v4_bound",
+    "cml_tracking_bound",
+    "theorem_v5_bound",
+    "mo_tracking_bound",
+    "corollary_v6_bound",
+]
+
+
+def im_tracking_accuracy(chain: MarkovChain, n_services: int) -> float:
+    """Eq. (11): exact tracking accuracy under the IM strategy.
+
+    ``P_IM = sum_x pi(x)^2 + (1 - sum_x pi(x)^2) / N`` where ``N`` is the
+    total number of trajectories (user + chaffs).
+    """
+    if n_services < 2:
+        raise ValueError("IM requires at least one chaff (n_services >= 2)")
+    collision = chain.stationary_collision_probability()
+    return collision + (1.0 - collision) / n_services
+
+
+def im_tracking_accuracy_limit(chain: MarkovChain) -> float:
+    """Limit of Eq. (11) as the number of chaffs grows: ``sum_x pi(x)^2``."""
+    return chain.stationary_collision_probability()
+
+
+def ml_tracking_accuracy(chain: MarkovChain, horizon: int) -> float:
+    """Eq. (12): tracking accuracy under the ML strategy.
+
+    The ML chaff trajectory is deterministic, so the accuracy is the
+    average stationary probability of the cells it occupies.
+    """
+    chaff = most_likely_trajectory(chain, horizon)
+    return float(chain.stationary[chaff].mean())
+
+
+def lemma_v1_holds(distribution: np.ndarray, *, atol: float = 1e-12) -> bool:
+    """Check Lemma V.1: ``sum_x pi(x)^2 <= max_x pi(x)``."""
+    pi = np.asarray(distribution, dtype=float)
+    return bool(np.sum(pi**2) <= np.max(pi) + atol)
+
+
+@dataclass(frozen=True)
+class LikelihoodGapConstants:
+    """The constants ``c0``, ``c_min``, ``c_max`` of Section V-C2.
+
+    ``c0 = log(pi_max / pi_2)`` bounds the first-slot gap, ``c_min`` and
+    ``c_max`` bound the per-slot gap for ``t > 1``:
+    ``c_min = log(p_min / p_max)``, ``c_max = log(p_max / p_2)`` where
+    ``p_min``/``p_max`` are the smallest/largest positive transition
+    probabilities and ``p_2`` is the smallest second-largest row entry.
+    """
+
+    c0: float
+    c_min: float
+    c_max: float
+
+
+def likelihood_gap_constants(chain: MarkovChain) -> LikelihoodGapConstants:
+    """Compute ``c0``, ``c_min`` and ``c_max`` for a mobility model."""
+    pi = chain.stationary
+    if chain.n_states < 2:
+        raise ValueError("need at least two cells")
+    sorted_pi = np.sort(pi)[::-1]
+    pi_max, pi_2 = float(sorted_pi[0]), float(max(sorted_pi[1], 1e-300))
+    P = chain.transition_matrix
+    positive = P[P > 0]
+    p_max = float(positive.max())
+    p_min = float(positive.min())
+    second_largest_rows = np.sort(P, axis=1)[:, -2]
+    p_2 = float(max(second_largest_rows.min(), 1e-300))
+    return LikelihoodGapConstants(
+        c0=math.log(pi_max / pi_2),
+        c_min=math.log(p_min / p_max),
+        c_max=math.log(p_max / p_2),
+    )
+
+
+def theorem_v4_bound(
+    *,
+    horizon: int,
+    mu: float,
+    epsilon: float,
+    delta: float,
+    w: int,
+    c0: float,
+    c_min: float,
+    c_max: float,
+) -> float:
+    """Evaluate the Theorem V.4 bound formula.
+
+    Returns the right-hand side of Eq. (21); values >= 1 mean the bound is
+    vacuous for the given horizon.  Raises ``ValueError`` when the
+    theorem's applicability condition ``mu - eps*delta - c0/(T - w) >= 0``
+    fails.
+    """
+    if horizon <= w:
+        raise ValueError("horizon must exceed the sub-chain spacing w")
+    slack = mu - epsilon * delta - c0 / (horizon - w)
+    if slack < 0:
+        raise ValueError("Theorem V.4 condition not satisfied for these parameters")
+    denominator = (c_max - c_min + 2.0 * epsilon * delta) ** 2
+    if denominator <= 0:
+        raise ValueError("degenerate denominator in Theorem V.4 bound")
+    exponent = -2.0 * (horizon / w - 1.0) * slack**2 / denominator
+    return float(w * math.exp(exponent))
+
+
+def cml_tracking_bound(
+    chain: MarkovChain, horizon: int, *, epsilon: float = 0.05
+) -> float:
+    """Theorem V.4 bound on the CML (and OO) tracking accuracy.
+
+    Builds the induced pair chain of Eq. (17), extracts ``mu``, ``delta``
+    and the mixing-time spacing ``w``, and evaluates Eq. (21).  Returns
+    ``1.0`` (the trivial bound) when the decay condition ``E[c_t] < 0``
+    does not hold or when the horizon is too short for the theorem to
+    apply — mirroring how the paper only claims decay under its condition.
+    """
+    if horizon < 2:
+        raise ValueError("horizon must be at least 2")
+    induced = build_cml_induced_chain(chain)
+    mu = -induced.expected_ct
+    if mu <= 0:
+        return 1.0
+    constants = likelihood_gap_constants(chain)
+    w = induced.mixing_time(epsilon) + 1
+    delta = induced.delta
+    try:
+        bound = theorem_v4_bound(
+            horizon=horizon,
+            mu=mu,
+            epsilon=epsilon,
+            delta=delta,
+            w=w,
+            c0=constants.c0,
+            c_min=constants.c_min,
+            c_max=constants.c_max,
+        )
+    except ValueError:
+        return 1.0
+    return min(1.0, bound)
+
+
+def theorem_v5_bound(
+    *,
+    horizon: int,
+    mu_prime: float,
+    epsilon: float,
+    delta_prime: float,
+    w_prime: int,
+    c0: float,
+    c_min: float,
+    c_max: float,
+) -> float:
+    """Evaluate the Theorem V.5 bound on the per-slot MO tracking accuracy."""
+    if horizon <= w_prime + 1:
+        raise ValueError("horizon must exceed w' + 1")
+    slack = mu_prime - epsilon * delta_prime - (c0 + c_max) / (horizon - w_prime - 1)
+    if slack < 0:
+        raise ValueError("Theorem V.5 condition not satisfied for these parameters")
+    denominator = (c_max - c_min + 2.0 * epsilon * delta_prime) ** 2
+    if denominator <= 0:
+        raise ValueError("degenerate denominator in Theorem V.5 bound")
+    exponent = -2.0 * ((horizon - w_prime - 1.0) / w_prime) * slack**2 / denominator
+    return float(w_prime * math.exp(exponent))
+
+
+def mo_tracking_bound(
+    chain: MarkovChain,
+    horizon: int,
+    *,
+    epsilon: float = 0.05,
+    w_prime: int | None = None,
+    n_estimation_runs: int = 50,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Theorem V.5 bound with simulation-estimated MO parameters.
+
+    ``mu'`` and ``delta'`` depend on the MO-induced chain, whose state
+    includes the continuous log-likelihood gap; we estimate ``mu'`` by
+    Monte-Carlo and take ``delta' = 2 |mu'|`` (the Lemma V.2 definition
+    with the estimate substituted for ``max |g'|``).  Returns 1.0 when the
+    decay condition fails.
+    """
+    if horizon < 4:
+        raise ValueError("horizon must be at least 4")
+    rng = rng or np.random.default_rng(0)
+    expected_ct = estimate_expected_ct(
+        chain, "MO", horizon=max(horizon, 100), n_runs=n_estimation_runs, rng=rng
+    )
+    mu_prime = -expected_ct
+    if mu_prime <= 0:
+        return 1.0
+    constants = likelihood_gap_constants(chain)
+    if w_prime is None:
+        w_prime = chain.mixing_time(epsilon, max_steps=500) + 1
+    delta_prime = 2.0 * abs(mu_prime)
+    try:
+        bound = theorem_v5_bound(
+            horizon=horizon,
+            mu_prime=mu_prime,
+            epsilon=epsilon,
+            delta_prime=delta_prime,
+            w_prime=w_prime,
+            c0=constants.c0,
+            c_min=constants.c_min,
+            c_max=constants.c_max,
+        )
+    except ValueError:
+        return 1.0
+    return min(1.0, bound)
+
+
+def corollary_v6_bound(
+    *,
+    horizon: int,
+    t0: int,
+    alpha: float,
+    w_prime: int,
+) -> float:
+    """Corollary V.6: bound on the time-average MO tracking accuracy.
+
+    ``P_MO <= (1/T) * (T0 - 1 + w' * exp(alpha (w' + 1 - T0)) / (1 - exp(-alpha)))``.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if not 1 <= t0 <= horizon:
+        raise ValueError("t0 must lie in [1, horizon]")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    tail = w_prime * math.exp(alpha * (w_prime + 1 - t0)) / (1.0 - math.exp(-alpha))
+    return float(min(1.0, (t0 - 1 + tail) / horizon))

@@ -1,0 +1,80 @@
+"""Concentration inequalities used in the performance analysis (Section V).
+
+Lemma V.3 of the paper generalises the Chernoff-Hoeffding bound to random
+variables whose conditional means are only known up to an ``epsilon``
+slack: for ``X_1, ..., X_n`` with range ``[a, b]`` and
+``E[X_t | X_1..X_{t-1}] in [mu - eps, mu]``,
+
+    Pr{ S_n >= n (mu + Delta) } <= exp( -2 n Delta^2 / (b - a + eps)^2 ).
+
+These bounds power Theorems V.4 / V.5 via the sub-chain decomposition of
+Lemma V.2.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "hoeffding_bound",
+    "lemma_v3_bound",
+    "empirical_tail_probability",
+]
+
+
+def hoeffding_bound(n: int, delta: float, a: float, b: float) -> float:
+    """Classic Hoeffding tail bound ``exp(-2 n delta^2 / (b - a)^2)``.
+
+    Bounds ``Pr{ S_n / n >= mu + delta }`` for independent variables in
+    ``[a, b]`` with mean ``mu``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    if b <= a:
+        raise ValueError("range must satisfy b > a")
+    return float(math.exp(-2.0 * n * delta**2 / (b - a) ** 2))
+
+
+def lemma_v3_bound(n: int, delta: float, a: float, b: float, epsilon: float) -> float:
+    """The generalised bound of Lemma V.3.
+
+    Parameters
+    ----------
+    n:
+        Number of summands.
+    delta:
+        Deviation above the conditional-mean upper bound ``mu``.
+    a, b:
+        Range of each variable.
+    epsilon:
+        Slack in the conditional mean (``E[X_t | past] in [mu - eps, mu]``).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if b <= a:
+        raise ValueError("range must satisfy b > a")
+    return float(math.exp(-2.0 * n * delta**2 / (b - a + epsilon) ** 2))
+
+
+def empirical_tail_probability(
+    samples: np.ndarray, threshold: float
+) -> float:
+    """Empirical ``Pr{ mean(sample) >= threshold }`` across sample rows.
+
+    ``samples`` is an ``(n_runs, n)`` array; each row is one realisation of
+    the summands.  Used in tests to check that the analytic bounds really
+    dominate the simulated tail probabilities.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValueError("samples must be a non-empty (n_runs, n) array")
+    means = arr.mean(axis=1)
+    return float(np.mean(means >= threshold))

@@ -1,0 +1,229 @@
+"""Per-slot log-likelihood differences ``c_t`` and the induced chains.
+
+Eqs. (14)-(15) define ``c_t`` as the difference between the user's and the
+chaff's per-slot log-likelihood contributions:
+
+    c_1 = log pi(x_{1,1}) - log pi(x_{2,1})
+    c_t = log P(x_{1,t} | x_{1,t-1}) - log P(x_{2,t} | x_{2,t-1}),   t > 1.
+
+The sign of ``E[c_t]`` decides whether the CML/OO and MO strategies drive
+the tracking accuracy to zero (Theorems V.4 / V.5); Fig. 6 plots the
+empirical CDF of ``c_t``.  For the CML strategy the pair
+``y_t = (x_{1,t}, x_{2,t})`` is itself a Markov chain (Eq. 17), so
+``E[c_t]`` and the related constants can be computed exactly; this module
+builds that induced chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mobility.markov import MarkovChain
+from ..core.strategies.constrained_ml import ConstrainedMLController
+from ..core.strategies.myopic_online import MyopicOnlineController
+
+__all__ = [
+    "ct_series",
+    "simulate_ct_samples",
+    "CMLInducedChain",
+    "build_cml_induced_chain",
+    "estimate_expected_ct",
+]
+
+_FLOOR = 1e-300
+
+
+def _log(values: np.ndarray | float) -> np.ndarray | float:
+    return np.log(np.maximum(values, _FLOOR))
+
+
+def ct_series(
+    chain: MarkovChain, user_trajectory: np.ndarray, chaff_trajectory: np.ndarray
+) -> np.ndarray:
+    """The ``c_t`` series (length ``T``) for a realised user/chaff pair."""
+    user = np.asarray(user_trajectory, dtype=np.int64)
+    chaff = np.asarray(chaff_trajectory, dtype=np.int64)
+    if user.shape != chaff.shape or user.ndim != 1 or user.size == 0:
+        raise ValueError("user and chaff trajectories must be equal-length 1-D arrays")
+    user_steps = chain.stepwise_log_likelihood(user)
+    chaff_steps = chain.stepwise_log_likelihood(chaff)
+    return user_steps - chaff_steps
+
+
+def simulate_ct_samples(
+    chain: MarkovChain,
+    strategy_name: str,
+    horizon: int,
+    n_runs: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample ``c_t`` values (t > 1) under the CML or MO strategy.
+
+    Returns a flat array of per-slot ``c_t`` samples pooled over
+    ``n_runs`` independent episodes, which is what Fig. 6 plots as a CDF.
+    """
+    if horizon < 2:
+        raise ValueError("horizon must be at least 2")
+    if n_runs < 1:
+        raise ValueError("n_runs must be positive")
+    name = strategy_name.upper()
+    samples = []
+    for _ in range(n_runs):
+        user = chain.sample_trajectory(horizon, rng)
+        if name == "CML":
+            chaff = ConstrainedMLController(chain).run(user)
+        elif name == "MO":
+            chaff = MyopicOnlineController(chain).run(user)
+        else:
+            raise ValueError("strategy_name must be 'CML' or 'MO'")
+        samples.append(ct_series(chain, user, chaff)[1:])
+    return np.concatenate(samples)
+
+
+@dataclass(frozen=True)
+class CMLInducedChain:
+    """The Markov chain ``y_t = (x_{1,t}, x_{2,t})`` under the CML strategy.
+
+    Attributes
+    ----------
+    transition_matrix:
+        ``(L^2, L^2)`` transition matrix of the pair chain (Eq. 17).
+    stationary:
+        Stationary (long-run) distribution of the pair chain, obtained by
+        power iteration (the chain's chaff component is deterministic, so
+        the limit of the averaged distribution is used).
+    expected_ct:
+        ``E[c_t]`` under the stationary distribution.
+    g_values:
+        ``g(y) = E[c_t | y_{t-1} = y]`` for every pair state (Eq. 18).
+    n_cells:
+        Number of cells ``L`` of the underlying mobility model.
+    """
+
+    transition_matrix: np.ndarray
+    stationary: np.ndarray
+    expected_ct: float
+    g_values: np.ndarray
+    n_cells: int
+
+    def pair_index(self, user_cell: int, chaff_cell: int) -> int:
+        """Flat index of the pair state ``(user_cell, chaff_cell)``."""
+        if not (0 <= user_cell < self.n_cells and 0 <= chaff_cell < self.n_cells):
+            raise ValueError("cell index out of range")
+        return user_cell * self.n_cells + chaff_cell
+
+    @property
+    def delta(self) -> float:
+        """The constant ``delta`` of Lemma V.2:
+        ``min(sum_y |g(y)|, 2 max_y |g(y)|)``."""
+        abs_g = np.abs(self.g_values)
+        return float(min(abs_g.sum(), 2.0 * abs_g.max()))
+
+    def mixing_time(self, epsilon: float = 0.25, *, max_steps: int = 2000) -> int:
+        """Cesàro ``epsilon``-mixing time of the pair chain.
+
+        The pair chain can be periodic (its chaff component is a
+        deterministic function of the past), so we measure convergence of
+        the running average of ``P^t(y0, .)`` to the stationary vector,
+        which is what the sub-chain decomposition of Lemma V.2 needs in
+        practice.  Returns ``max_steps`` if the target is not reached.
+        """
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        P = self.transition_matrix
+        n = P.shape[0]
+        power = np.eye(n)
+        average = np.zeros((n, n))
+        for t in range(1, max_steps + 1):
+            power = power @ P
+            average += (power - average) / t
+            distance = 0.5 * np.abs(average - self.stationary[None, :]).sum(axis=1).max()
+            if distance <= epsilon:
+                return t
+        return max_steps
+
+
+def build_cml_induced_chain(chain: MarkovChain) -> CMLInducedChain:
+    """Construct the induced pair chain of Eq. (17) for the CML strategy."""
+    L = chain.n_states
+    if L < 2:
+        raise ValueError("need at least two cells for the CML strategy")
+    P = chain.transition_matrix
+    log_P = chain.log_transition_matrix
+    size = L * L
+    pair_matrix = np.zeros((size, size), dtype=float)
+    # Pre-compute the CML response f(x1_t, x2_{t-1}): most likely successor
+    # of the chaff's previous cell excluding the user's current cell.
+    response = np.empty((L, L), dtype=np.int64)  # [x1_t, x2_prev]
+    for chaff_prev in range(L):
+        row = P[chaff_prev]
+        order = np.argsort(-row)
+        best, second = int(order[0]), int(order[1])
+        for user_now in range(L):
+            response[user_now, chaff_prev] = second if best == user_now else best
+    for user_prev in range(L):
+        for chaff_prev in range(L):
+            source = user_prev * L + chaff_prev
+            for user_now in range(L):
+                probability = P[user_prev, user_now]
+                if probability <= 0:
+                    continue
+                chaff_now = int(response[user_now, chaff_prev])
+                target = user_now * L + chaff_now
+                pair_matrix[source, target] += probability
+
+    # Long-run distribution by power iteration of the averaged distribution
+    # (the chain may be periodic / multi-chain; the Cesàro limit exists).
+    initial = np.repeat(chain.stationary, L) / L
+    current = initial.copy()
+    average = np.zeros(size)
+    for t in range(1, 2000 + 1):
+        current = current @ pair_matrix
+        average += (current - average) / t
+        if t > 10 and np.abs(average @ pair_matrix - average).max() < 1e-10:
+            break
+    stationary = average / average.sum()
+
+    # g(y) = E[c_t | y_{t-1} = y]
+    g_values = np.zeros(size, dtype=float)
+    for user_prev in range(L):
+        for chaff_prev in range(L):
+            source = user_prev * L + chaff_prev
+            value = 0.0
+            for user_now in range(L):
+                probability = P[user_prev, user_now]
+                if probability <= 0:
+                    continue
+                chaff_now = int(response[user_now, chaff_prev])
+                ct = float(log_P[user_prev, user_now] - log_P[chaff_prev, chaff_now])
+                value += probability * ct
+            g_values[source] = value
+    expected_ct = float(stationary @ g_values)
+    return CMLInducedChain(
+        transition_matrix=pair_matrix,
+        stationary=stationary,
+        expected_ct=expected_ct,
+        g_values=g_values,
+        n_cells=L,
+    )
+
+
+def estimate_expected_ct(
+    chain: MarkovChain,
+    strategy_name: str,
+    *,
+    horizon: int = 200,
+    n_runs: int = 50,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Monte-Carlo estimate of ``E[c_t]`` (t > 1) under CML or MO.
+
+    Used for the MO strategy, whose induced chain has a continuous state
+    component (``gamma_t``) and therefore no tractable exact stationary
+    distribution.
+    """
+    rng = rng or np.random.default_rng(0)
+    samples = simulate_ct_samples(chain, strategy_name, horizon, n_runs, rng)
+    return float(samples.mean())

@@ -1,0 +1,94 @@
+"""Tracking / detection accuracy metrics and Monte-Carlo aggregation.
+
+The paper measures a chaff strategy by the eavesdropper's *tracking
+accuracy*: the time-average probability that the cell of the detected
+trajectory coincides with the user's cell (Section II-D).  Figures 5, 7,
+9 and 10 plot this quantity — either its evolution over time (averaged
+over Monte-Carlo runs at each slot) or its time average per user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.game import EpisodeResult
+
+__all__ = [
+    "TrackingStatistics",
+    "aggregate_episodes",
+    "per_slot_accuracy",
+    "time_average_accuracy",
+    "detection_rate",
+]
+
+
+@dataclass(frozen=True)
+class TrackingStatistics:
+    """Aggregated eavesdropper performance over Monte-Carlo episodes.
+
+    Attributes
+    ----------
+    per_slot_accuracy:
+        Length-``T`` array: fraction of runs in which the eavesdropper
+        tracked the user correctly at each slot (the curves of Fig. 5/7).
+    tracking_accuracy:
+        Overall time-average tracking accuracy.
+    detection_accuracy:
+        Fraction of runs in which the detector picked the user's own
+        trajectory (different from tracking accuracy, as the paper notes).
+    n_episodes:
+        Number of Monte-Carlo runs aggregated.
+    """
+
+    per_slot_accuracy: np.ndarray
+    tracking_accuracy: float
+    detection_accuracy: float
+    n_episodes: int
+
+    @property
+    def horizon(self) -> int:
+        """Number of slots ``T``."""
+        return int(self.per_slot_accuracy.size)
+
+    def cumulative_accuracy(self) -> np.ndarray:
+        """Running time-average accuracy up to each slot ``t``."""
+        return np.cumsum(self.per_slot_accuracy) / np.arange(1, self.horizon + 1)
+
+
+def per_slot_accuracy(episodes: Sequence[EpisodeResult]) -> np.ndarray:
+    """Per-slot tracking accuracy averaged over episodes."""
+    if not episodes:
+        raise ValueError("need at least one episode")
+    horizon = episodes[0].horizon
+    stacked = np.stack(
+        [episode.tracked_per_slot.astype(float) for episode in episodes], axis=0
+    )
+    if stacked.shape[1] != horizon:
+        raise ValueError("episodes have inconsistent horizons")
+    return stacked.mean(axis=0)
+
+
+def time_average_accuracy(episodes: Sequence[EpisodeResult]) -> float:
+    """Overall time-average tracking accuracy over episodes."""
+    return float(per_slot_accuracy(episodes).mean())
+
+
+def detection_rate(episodes: Sequence[EpisodeResult]) -> float:
+    """Fraction of episodes in which the user's own trajectory was detected."""
+    if not episodes:
+        raise ValueError("need at least one episode")
+    return float(np.mean([episode.detected_user for episode in episodes]))
+
+
+def aggregate_episodes(episodes: Sequence[EpisodeResult]) -> TrackingStatistics:
+    """Aggregate a batch of episodes into :class:`TrackingStatistics`."""
+    per_slot = per_slot_accuracy(episodes)
+    return TrackingStatistics(
+        per_slot_accuracy=per_slot,
+        tracking_accuracy=float(per_slot.mean()),
+        detection_accuracy=detection_rate(episodes),
+        n_episodes=len(episodes),
+    )

@@ -1,0 +1,96 @@
+"""Command-line interface for the reproduction.
+
+Usage examples::
+
+    repro-mec list
+    repro-mec run fig4
+    repro-mec run fig5 --runs 200 --horizon 100 --output results/fig5.json
+    repro-mec run fig9 --nodes 60 --towers 80
+
+``run`` prints a human-readable summary of the experiment result and can
+optionally persist the full result as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments.registry import available_experiments, run_experiment
+from .sim.config import SyntheticExperimentConfig, TraceExperimentConfig
+
+__all__ = ["build_parser", "main"]
+
+_SYNTHETIC_EXPERIMENTS = {
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablation-chaff-budget",
+    "ablation-cost-privacy",
+    "ablation-migration-policies",
+}
+_TRACE_EXPERIMENTS = {"fig8", "fig9", "fig10"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro-mec`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mec",
+        description="Reproduce the experiments of 'Location Privacy in Mobile Edge Clouds'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=available_experiments())
+    run_parser.add_argument("--runs", type=int, default=None, help="Monte-Carlo runs")
+    run_parser.add_argument("--horizon", type=int, default=None, help="slots per run")
+    run_parser.add_argument("--cells", type=int, default=None, help="number of cells L")
+    run_parser.add_argument("--nodes", type=int, default=None, help="taxi fleet size")
+    run_parser.add_argument("--towers", type=int, default=None, help="tower count")
+    run_parser.add_argument("--seed", type=int, default=2017, help="master seed")
+    run_parser.add_argument(
+        "--output", type=str, default=None, help="write the result JSON to this path"
+    )
+    return parser
+
+
+def _build_config(args: argparse.Namespace):
+    """Construct the appropriate config object for the chosen experiment."""
+    if args.experiment in _TRACE_EXPERIMENTS:
+        config = TraceExperimentConfig(seed=args.seed)
+        return config.scaled(
+            n_nodes=args.nodes, n_towers=args.towers, horizon=args.horizon
+        )
+    config = SyntheticExperimentConfig(
+        seed=args.seed,
+        n_cells=args.cells if args.cells is not None else 10,
+        n_runs=args.runs if args.runs is not None else 1000,
+        horizon=args.horizon if args.horizon is not None else 100,
+    )
+    return config
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+    config = _build_config(args)
+    result = run_experiment(args.experiment, config)
+    for line in result.summary_lines():
+        print(line)
+    if args.output:
+        path = result.save(args.output)
+        print(f"result written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

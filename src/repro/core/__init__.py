@@ -1,0 +1,58 @@
+"""Core contribution: chaff strategies, eavesdroppers and the privacy game."""
+
+from .game import EpisodeResult, PrivacyGame
+from .trellis import (
+    InfeasibleTrellisError,
+    build_trellis_graph,
+    most_likely_trajectory,
+    most_likely_trajectory_dijkstra,
+    trajectory_cost,
+)
+from .strategies import (
+    ChaffStrategy,
+    ConstrainedMLStrategy,
+    ImpersonatingStrategy,
+    MaximumLikelihoodStrategy,
+    MyopicOnlineStrategy,
+    OptimalOfflineStrategy,
+    RobustMLStrategy,
+    RobustMyopicOnlineStrategy,
+    RobustOptimalOfflineStrategy,
+    available_strategies,
+    get_strategy,
+    solve_optimal_offline,
+)
+from .eavesdropper import (
+    MaximumLikelihoodDetector,
+    RandomGuessDetector,
+    StrategyAwareDetector,
+    TrajectoryDetector,
+    trajectory_log_likelihoods,
+)
+
+__all__ = [
+    "EpisodeResult",
+    "PrivacyGame",
+    "InfeasibleTrellisError",
+    "build_trellis_graph",
+    "most_likely_trajectory",
+    "most_likely_trajectory_dijkstra",
+    "trajectory_cost",
+    "ChaffStrategy",
+    "ConstrainedMLStrategy",
+    "ImpersonatingStrategy",
+    "MaximumLikelihoodStrategy",
+    "MyopicOnlineStrategy",
+    "OptimalOfflineStrategy",
+    "RobustMLStrategy",
+    "RobustMyopicOnlineStrategy",
+    "RobustOptimalOfflineStrategy",
+    "available_strategies",
+    "get_strategy",
+    "solve_optimal_offline",
+    "MaximumLikelihoodDetector",
+    "RandomGuessDetector",
+    "StrategyAwareDetector",
+    "TrajectoryDetector",
+    "trajectory_log_likelihoods",
+]

@@ -1,0 +1,23 @@
+"""Eavesdropper models: baseline ML detector and strategy-aware detector."""
+
+from .detector import (
+    DetectionOutcome,
+    MaximumLikelihoodDetector,
+    RandomGuessDetector,
+    TrajectoryDetector,
+    trajectory_log_likelihoods,
+)
+from .advanced import StrategyAwareDetector
+from .online import BayesianPosteriorTracker, OnlineTrackingResult, PrefixMLTracker
+
+__all__ = [
+    "DetectionOutcome",
+    "MaximumLikelihoodDetector",
+    "RandomGuessDetector",
+    "TrajectoryDetector",
+    "trajectory_log_likelihoods",
+    "StrategyAwareDetector",
+    "BayesianPosteriorTracker",
+    "OnlineTrackingResult",
+    "PrefixMLTracker",
+]

@@ -1,0 +1,112 @@
+"""Advanced, strategy-aware eavesdropper (Section VI-A).
+
+An advanced eavesdropper knows not only the user's mobility model but also
+the chaff control strategy.  For deterministic single-chaff strategies the
+chaff trajectory is a fixed function ``Gamma(x_1)`` of the user's
+trajectory, so the eavesdropper can unmask chaffs: for every pair of
+observed trajectories ``(x, x')`` with ``x' = Gamma(x)``, trajectory
+``x'`` is flagged as a chaff and removed from consideration.  ML detection
+is then run on the survivors; if every trajectory is flagged the detector
+falls back to a uniform guess (the paper's "if both trajectories are
+ignored, a random guess is made").
+
+Against randomised strategies (IM, RML, ROO, RMO) the map ``Gamma`` is not
+reproducible, so no trajectory matches and the detector degrades to plain
+ML detection — which is exactly why the robust variants work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mobility.markov import MarkovChain
+from ..strategies.base import ChaffStrategy
+from .detector import (
+    DetectionOutcome,
+    MaximumLikelihoodDetector,
+    TrajectoryDetector,
+    trajectory_log_likelihoods,
+)
+
+__all__ = ["StrategyAwareDetector"]
+
+
+class StrategyAwareDetector(TrajectoryDetector):
+    """ML detection preceded by strategy-based chaff filtering.
+
+    Parameters
+    ----------
+    assumed_strategy:
+        The chaff control strategy the eavesdropper believes the user
+        employs.  Filtering uses the strategy's deterministic map; if the
+        strategy is randomised (``deterministic_map`` returns ``None``)
+        no filtering is possible and the detector reduces to plain ML.
+    tolerance:
+        Log-likelihood tolerance for tie breaking in the ML stage.
+    """
+
+    name = "strategy-aware"
+
+    def __init__(
+        self, assumed_strategy: ChaffStrategy, *, tolerance: float = 1e-9
+    ) -> None:
+        self.assumed_strategy = assumed_strategy
+        self._ml = MaximumLikelihoodDetector(tolerance=tolerance)
+        # Cache of trajectory bytes -> Gamma(trajectory).  The deterministic
+        # map is expensive for the OO strategy on large cell sets and the
+        # trace-driven experiments re-present the same fleet trajectories
+        # many times, so memoisation matters there.
+        self._map_cache: dict[bytes, np.ndarray | None] = {}
+
+    def detect(
+        self,
+        chain: MarkovChain,
+        trajectories: np.ndarray,
+        rng: np.random.Generator,
+    ) -> DetectionOutcome:
+        observed = np.asarray(trajectories, dtype=np.int64)
+        if observed.ndim != 2 or observed.size == 0:
+            raise ValueError("trajectories must be a non-empty (N, T) array")
+        flagged = self._flag_chaffs(chain, observed)
+        survivors = np.flatnonzero(~flagged)
+        if survivors.size == 0:
+            # Everything was attributed to a chaff: fall back to a guess.
+            chosen = int(rng.integers(0, observed.shape[0]))
+            return DetectionOutcome(
+                chosen_index=chosen,
+                scores=np.full(observed.shape[0], np.nan),
+                candidate_indices=np.arange(observed.shape[0]),
+            )
+        scores = np.full(observed.shape[0], -np.inf)
+        survivor_scores = trajectory_log_likelihoods(chain, observed[survivors])
+        scores[survivors] = survivor_scores
+        best = float(survivor_scores.max())
+        candidates = survivors[survivor_scores >= best - self._ml.tolerance]
+        chosen = int(rng.choice(candidates))
+        return DetectionOutcome(
+            chosen_index=chosen, scores=scores, candidate_indices=candidates
+        )
+
+    # ------------------------------------------------------------------
+    def _flag_chaffs(self, chain: MarkovChain, observed: np.ndarray) -> np.ndarray:
+        """Mark trajectories recognised as the strategy's chaff of another."""
+        n = observed.shape[0]
+        flagged = np.zeros(n, dtype=bool)
+        maps: list[np.ndarray | None] = []
+        for index in range(n):
+            key = observed[index].tobytes()
+            if key not in self._map_cache:
+                self._map_cache[key] = self.assumed_strategy.deterministic_map(
+                    chain, observed[index]
+                )
+            maps.append(self._map_cache[key])
+        for source in range(n):
+            gamma = maps[source]
+            if gamma is None:
+                continue
+            for target in range(n):
+                if target == source:
+                    continue
+                if np.array_equal(observed[target], gamma):
+                    flagged[target] = True
+        return flagged

@@ -1,0 +1,167 @@
+"""The location-privacy game: user + chaffs vs. eavesdropper.
+
+A single *episode* of the game consists of
+
+1. the user's trajectory over ``T`` slots (sampled from the mobility model
+   or supplied externally, e.g. a taxi trace);
+2. the chaff trajectories produced by a chaff control strategy;
+3. optionally, background trajectories of other users co-existing in the
+   system (the multi-user / trace-driven setting of Section VII-B);
+4. the eavesdropper's detection decision;
+5. the per-slot tracking outcome: whether the cell of the detected
+   trajectory coincides with the user's true cell.
+
+The paper's two performance measures fall out directly:
+
+* *detection accuracy* — probability the detector picks the user's own
+  trajectory;
+* *tracking accuracy* — time-average probability that the detected
+  trajectory's cell equals the user's cell (Section II-D), which is the
+  quantity all figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mobility.markov import MarkovChain
+from .eavesdropper.detector import DetectionOutcome, TrajectoryDetector
+from .strategies.base import ChaffStrategy
+
+__all__ = ["EpisodeResult", "PrivacyGame"]
+
+
+@dataclass(frozen=True)
+class EpisodeResult:
+    """Outcome of a single privacy-game episode.
+
+    Attributes
+    ----------
+    user_trajectory:
+        The user's cell trajectory, length ``T``.
+    chaff_trajectories:
+        ``(n_chaffs, T)`` chaff trajectories (may be empty).
+    observed_trajectories:
+        The full ``(N, T)`` array handed to the detector — user first, then
+        chaffs, then any background users.
+    detection:
+        The detector's decision and scores.
+    tracked_per_slot:
+        Boolean array of length ``T``: slot-by-slot tracking success of the
+        eavesdropper.
+    detected_user:
+        Whether the detector selected the user's own trajectory.
+    """
+
+    user_trajectory: np.ndarray
+    chaff_trajectories: np.ndarray
+    observed_trajectories: np.ndarray
+    detection: DetectionOutcome
+    tracked_per_slot: np.ndarray
+    detected_user: bool
+
+    @property
+    def horizon(self) -> int:
+        """Number of time slots ``T``."""
+        return int(self.user_trajectory.size)
+
+    @property
+    def tracking_accuracy(self) -> float:
+        """Time-average tracking accuracy over this episode."""
+        return float(self.tracked_per_slot.mean())
+
+
+class PrivacyGame:
+    """Binds a mobility model, a chaff strategy and a detector.
+
+    Parameters
+    ----------
+    chain:
+        The user's mobility model; also the model the detector uses.
+    strategy:
+        Chaff control strategy, or ``None`` for the no-chaff baseline.
+    detector:
+        The eavesdropper's detector.
+    n_services:
+        Total number of service trajectories ``N`` generated for the user
+        (1 user + ``N - 1`` chaffs).  Ignored when ``strategy`` is ``None``.
+    """
+
+    def __init__(
+        self,
+        chain: MarkovChain,
+        strategy: ChaffStrategy | None,
+        detector: TrajectoryDetector,
+        *,
+        n_services: int = 2,
+    ) -> None:
+        if n_services < 1:
+            raise ValueError("n_services must be at least 1")
+        if strategy is not None and n_services < 2:
+            raise ValueError("a chaff strategy requires n_services >= 2")
+        self.chain = chain
+        self.strategy = strategy
+        self.detector = detector
+        self.n_services = n_services
+
+    # ------------------------------------------------------------------
+    @property
+    def n_chaffs(self) -> int:
+        """Number of chaff services (``N - 1``, or 0 without a strategy)."""
+        if self.strategy is None:
+            return 0
+        return self.n_services - 1
+
+    def run_episode(
+        self,
+        rng: np.random.Generator,
+        *,
+        horizon: int | None = None,
+        user_trajectory: np.ndarray | None = None,
+        background_trajectories: np.ndarray | None = None,
+    ) -> EpisodeResult:
+        """Play one episode of the game.
+
+        Exactly one of ``horizon`` and ``user_trajectory`` must be given:
+        either the user's trajectory is sampled from the mobility model for
+        ``horizon`` slots, or an externally supplied trajectory (e.g. a
+        taxi trace) is used.
+        """
+        if (horizon is None) == (user_trajectory is None):
+            raise ValueError("provide exactly one of horizon or user_trajectory")
+        if user_trajectory is None:
+            user = self.chain.sample_trajectory(int(horizon), rng)
+        else:
+            user = np.asarray(user_trajectory, dtype=np.int64)
+            if user.ndim != 1 or user.size == 0:
+                raise ValueError("user_trajectory must be a non-empty 1-D array")
+
+        if self.strategy is not None and self.n_chaffs > 0:
+            chaffs = self.strategy.generate(self.chain, user, self.n_chaffs, rng)
+        else:
+            chaffs = np.empty((0, user.size), dtype=np.int64)
+
+        pieces = [user[None, :], chaffs]
+        if background_trajectories is not None:
+            background = np.asarray(background_trajectories, dtype=np.int64)
+            if background.size:
+                if background.ndim != 2 or background.shape[1] != user.size:
+                    raise ValueError(
+                        "background trajectories must be (M, T) with matching horizon"
+                    )
+                pieces.append(background)
+        observed = np.concatenate(pieces, axis=0)
+
+        detection = self.detector.detect(self.chain, observed, rng)
+        chosen = observed[detection.chosen_index]
+        tracked = chosen == user
+        return EpisodeResult(
+            user_trajectory=user,
+            chaff_trajectories=chaffs,
+            observed_trajectories=observed,
+            detection=detection,
+            tracked_per_slot=tracked,
+            detected_user=(detection.chosen_index == 0),
+        )

@@ -1,0 +1,81 @@
+"""Constrained maximum likelihood (CML) auxiliary strategy (Section V-C1).
+
+CML greedily maximises the chaff's likelihood subject to never co-locating
+with the user: at each slot the chaff moves to its most likely next cell
+*excluding* the user's current cell.  The paper introduces it as an
+analytically tractable upper bound on the OO strategy's tracking accuracy
+(Theorem V.4); it is also a legitimate online strategy in its own right
+and is simulated in Figs. 5-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...mobility.markov import MarkovChain
+from .base import ChaffStrategy, register_strategy
+
+__all__ = ["ConstrainedMLStrategy", "ConstrainedMLController"]
+
+
+@dataclass
+class ConstrainedMLController:
+    """Stateful per-episode controller for the CML strategy."""
+
+    chain: MarkovChain
+    previous_chaff: int | None = field(default=None, init=False)
+    slot: int = field(default=0, init=False)
+
+    def step(self, user_location: int, forbidden: frozenset[int] = frozenset()) -> int:
+        """Return the chaff location for the current slot.
+
+        The chaff never occupies the user's current cell; additional
+        ``forbidden`` cells may be supplied by robust variants.
+        """
+        chain = self.chain
+        if not 0 <= user_location < chain.n_states:
+            raise ValueError("user location out of range")
+        excluded = set(int(cell) for cell in forbidden)
+        excluded.add(int(user_location))
+        if len(excluded) >= chain.n_states:
+            raise ValueError("all cells excluded; no feasible chaff location")
+        if self.slot == 0:
+            chaff = chain.restricted_argmax_stationary(excluded)
+        else:
+            assert self.previous_chaff is not None
+            chaff = chain.restricted_argmax_row(self.previous_chaff, excluded)
+        self.previous_chaff = chaff
+        self.slot += 1
+        return chaff
+
+    def run(self, user_trajectory: np.ndarray) -> np.ndarray:
+        """Run the controller over a full user trajectory."""
+        user = np.asarray(user_trajectory, dtype=np.int64)
+        chaff = np.empty(user.size, dtype=np.int64)
+        for t, location in enumerate(user):
+            chaff[t] = self.step(int(location))
+        return chaff
+
+
+@register_strategy
+class ConstrainedMLStrategy(ChaffStrategy):
+    """CML strategy: one constrained-greedy chaff (extra budget replicates it)."""
+
+    name = "CML"
+    is_online = True
+    is_deterministic = True
+
+    def generate(
+        self,
+        chain: MarkovChain,
+        user_trajectory: np.ndarray,
+        n_chaffs: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        user = self._validate_inputs(chain, user_trajectory, n_chaffs)
+        # CML is deterministic given the user's trajectory; extra budget
+        # replicates the single constrained-greedy chaff.
+        chaff = ConstrainedMLController(chain).run(user)
+        return np.tile(chaff, (n_chaffs, 1))

@@ -1,0 +1,38 @@
+"""Impersonating (IM) chaff strategy (Section IV-A).
+
+Each chaff follows an independent trajectory sampled from the *same*
+Markov chain as the user, so all ``N`` observed trajectories are
+statistically identical and any detector — including the ML detector —
+can only make a random guess.  IM is the only strategy in the paper that
+is fully robust to an eavesdropper who knows the strategy, but its
+tracking accuracy is bounded away from zero (Eq. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mobility.markov import MarkovChain
+from .base import ChaffStrategy, register_strategy
+
+__all__ = ["ImpersonatingStrategy"]
+
+
+@register_strategy
+class ImpersonatingStrategy(ChaffStrategy):
+    """Chaffs mimic the user by sampling his mobility model independently."""
+
+    name = "IM"
+    is_online = True
+    is_deterministic = False
+
+    def generate(
+        self,
+        chain: MarkovChain,
+        user_trajectory: np.ndarray,
+        n_chaffs: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        user = self._validate_inputs(chain, user_trajectory, n_chaffs)
+        horizon = user.size
+        return chain.sample_trajectories(n_chaffs, horizon, rng)

@@ -1,0 +1,138 @@
+"""Myopic online (MO) chaff strategy — Algorithm 2 of the paper.
+
+MO is the computable surrogate of the optimal online strategy (the
+finite-horizon MDP of Section IV-D): at every slot it minimises the
+*immediate* tracking probability while keeping the chaff's cumulative
+log-likelihood at least as high as the user's whenever possible.
+
+Per slot ``t``, given the user's current location ``x_{1,t}``:
+
+1. if the chaff's ML next location does not coincide with the user, move
+   there;
+2. otherwise, if the second-ML location still keeps the chaff's cumulative
+   likelihood at least the user's, move there (avoiding co-location);
+3. otherwise the user is tracked this slot no matter what, so move to the
+   ML location to maximise future likelihood headroom.
+
+The strategy is *online*: the decision at slot ``t`` depends only on the
+user trajectory up to slot ``t``.  The state carried across slots is
+``gamma_t`` — the log-likelihood gap between user and chaff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...mobility.markov import MarkovChain
+from .base import ChaffStrategy, register_strategy
+
+__all__ = ["MyopicOnlineStrategy", "MyopicOnlineController"]
+
+
+@dataclass
+class MyopicOnlineController:
+    """Stateful per-episode controller implementing Algorithm 2.
+
+    The controller is fed the user's location one slot at a time via
+    :meth:`step` and returns the chaff's location for that slot.  A set of
+    additionally forbidden cells may be supplied per slot, which is how the
+    robust RMO variant injects its random exclusions.
+    """
+
+    chain: MarkovChain
+    gamma: float = field(default=0.0, init=False)
+    previous_chaff: int | None = field(default=None, init=False)
+    previous_user: int | None = field(default=None, init=False)
+    slot: int = field(default=0, init=False)
+
+    def step(self, user_location: int, forbidden: frozenset[int] = frozenset()) -> int:
+        """Advance one slot and return the chaff's location.
+
+        Parameters
+        ----------
+        user_location:
+            The user's (observed) cell at the current slot.
+        forbidden:
+            Extra cells the chaff must avoid this slot (RMO exclusions).
+            The user's cell is handled separately per Algorithm 2; cells in
+            ``forbidden`` are excluded from both the ML and second-ML
+            candidate computations.
+        """
+        chain = self.chain
+        if not 0 <= user_location < chain.n_states:
+            raise ValueError("user location out of range")
+        excluded = set(int(cell) for cell in forbidden)
+        if len(excluded) >= chain.n_states - 1:
+            raise ValueError("too many forbidden cells; no room for the chaff")
+
+        if self.slot == 0:
+            ml_cell = chain.restricted_argmax_stationary(excluded)
+            if ml_cell != user_location:
+                chaff = ml_cell
+            else:
+                second = chain.restricted_argmax_stationary(
+                    excluded | {user_location}
+                )
+                if chain.stationary[second] >= chain.stationary[user_location]:
+                    chaff = second
+                else:
+                    chaff = ml_cell
+            self.gamma = float(
+                chain.log_stationary[user_location] - chain.log_stationary[chaff]
+            )
+        else:
+            assert self.previous_chaff is not None and self.previous_user is not None
+            ml_cell = chain.restricted_argmax_row(self.previous_chaff, excluded)
+            log_P = chain.log_transition_matrix
+            user_step = float(log_P[self.previous_user, user_location])
+            if ml_cell != user_location:
+                chaff = ml_cell
+            else:
+                second = chain.restricted_argmax_row(
+                    self.previous_chaff, excluded | {user_location}
+                )
+                second_step = float(log_P[self.previous_chaff, second])
+                if self.gamma + user_step - second_step <= 0.0:
+                    chaff = second
+                else:
+                    chaff = ml_cell
+            chaff_step = float(log_P[self.previous_chaff, chaff])
+            self.gamma = self.gamma + user_step - chaff_step
+
+        self.previous_chaff = chaff
+        self.previous_user = int(user_location)
+        self.slot += 1
+        return chaff
+
+    def run(self, user_trajectory: np.ndarray) -> np.ndarray:
+        """Run the controller over a full user trajectory."""
+        user = np.asarray(user_trajectory, dtype=np.int64)
+        chaff = np.empty(user.size, dtype=np.int64)
+        for t, location in enumerate(user):
+            chaff[t] = self.step(int(location))
+        return chaff
+
+
+@register_strategy
+class MyopicOnlineStrategy(ChaffStrategy):
+    """Myopic online strategy: one myopic chaff (extra budget replicates it)."""
+
+    name = "MO"
+    is_online = True
+    is_deterministic = True
+
+    def generate(
+        self,
+        chain: MarkovChain,
+        user_trajectory: np.ndarray,
+        n_chaffs: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        user = self._validate_inputs(chain, user_trajectory, n_chaffs)
+        # A single myopic chaff is all the ML detector can be misled by;
+        # extra budget replicates it (deterministic strategies cannot
+        # benefit from more chaffs, Section VII-A2).
+        chaff = MyopicOnlineController(chain).run(user)
+        return np.tile(chaff, (n_chaffs, 1))

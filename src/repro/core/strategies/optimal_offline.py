@@ -1,0 +1,222 @@
+"""Optimal offline (OO) chaff strategy — Algorithm 1 of the paper.
+
+Given the user's *entire* trajectory, the OO strategy computes a chaff
+trajectory that
+
+* has likelihood at least as high as the user's (so the ML detector picks
+  the chaff instead of the user), and
+* among such trajectories, coincides with the user's trajectory in as few
+  slots as possible (minimising the eavesdropper's tracking accuracy).
+
+The paper solves this by dynamic programming over the trellis of Fig. 2
+with an extra "remaining intersections" dimension ``i``.  We compute the
+DP layer by layer in ``i`` (``i = 0, 1, 2, ...``) and stop at the first
+layer whose optimal cost beats the user's path cost, which is equivalent
+to the paper's ``O(T^2 L^2)`` formulation but typically far cheaper since
+the optimal number of intersections ``i*`` is small.
+
+The solver accepts an ``allowed`` mask of per-slot permitted cells, which
+is how the robust ROO variant injects its random exclusion sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...mobility.markov import MarkovChain
+from ..trellis import (
+    InfeasibleTrellisError,
+    most_likely_trajectory,
+    trajectory_cost,
+    validate_allowed_mask,
+)
+from .base import ChaffStrategy, register_strategy
+
+__all__ = ["OptimalOfflineStrategy", "OptimalOfflineResult", "solve_optimal_offline"]
+
+_INF = np.inf
+
+
+@dataclass(frozen=True)
+class OptimalOfflineResult:
+    """Outcome of the OO dynamic program.
+
+    Attributes
+    ----------
+    trajectory:
+        The chaff trajectory of length ``T``.
+    intersections:
+        Optimal value ``i*`` — number of slots where chaff and user coincide.
+    chaff_cost:
+        Trellis cost (negative log-likelihood) of the chaff trajectory.
+    user_cost:
+        Trellis cost of the user's trajectory.
+    strict:
+        ``True`` if the chaff's likelihood strictly exceeds the user's;
+        ``False`` if only a tie was achievable (the detector then guesses).
+    """
+
+    trajectory: np.ndarray
+    intersections: int
+    chaff_cost: float
+    user_cost: float
+    strict: bool
+
+
+def _terminal_layer(
+    n_cells: int, allowed_last: np.ndarray, user_last: int, layer: int
+) -> np.ndarray:
+    """Cost-to-go at the final slot for intersection budget ``layer``."""
+    costs = np.where(allowed_last, 0.0, _INF)
+    if layer == 0:
+        costs = costs.copy()
+        costs[user_last] = _INF
+    return costs
+
+
+def solve_optimal_offline(
+    chain: MarkovChain,
+    user_trajectory: np.ndarray,
+    *,
+    allowed: np.ndarray | None = None,
+    tolerance: float = 1e-9,
+) -> OptimalOfflineResult:
+    """Run Algorithm 1 and return the optimal chaff trajectory.
+
+    Parameters
+    ----------
+    chain:
+        User mobility model.
+    user_trajectory:
+        The user's realised trajectory (length ``T``).
+    allowed:
+        Optional boolean mask of shape ``(T, L)``; the chaff may only visit
+        cells marked ``True`` (used by the ROO strategy).
+    tolerance:
+        Numerical slack when comparing path costs.
+    """
+    user = np.asarray(user_trajectory, dtype=np.int64)
+    if user.ndim != 1 or user.size == 0:
+        raise ValueError("user trajectory must be a non-empty 1-D sequence")
+    horizon = user.size
+    n_cells = chain.n_states
+    mask = validate_allowed_mask(allowed, horizon, n_cells)
+
+    neg_log_pi = -chain.log_stationary
+    neg_log_P = -chain.log_transition_matrix
+    user_cost = trajectory_cost(chain, user)
+
+    # Decide whether a strictly better path exists at all (unconstrained in
+    # intersections); this fixes the comparison used for i*.
+    best_unconstrained = most_likely_trajectory(chain, horizon, allowed=mask)
+    best_cost = trajectory_cost(chain, best_unconstrained)
+    strict = best_cost < user_cost - tolerance
+
+    def beats_user(cost: float) -> bool:
+        if strict:
+            return cost < user_cost - tolerance
+        return cost <= user_cost + tolerance
+
+    previous_costs: list[np.ndarray] | None = None  # K^{i-1}_t for all t
+    next_hops_by_layer: list[np.ndarray] = []  # n^i_t arrays, indexed by i
+    start_by_layer: list[int] = []
+    total_by_layer: list[float] = []
+
+    max_layers = horizon + 1
+    chosen_layer: int | None = None
+    for layer in range(max_layers):
+        costs = [np.empty(0)] * horizon  # K^layer_t, each (L,)
+        hops = np.full((horizon, n_cells), -1, dtype=np.int64)
+        costs[horizon - 1] = _terminal_layer(
+            n_cells, mask[horizon - 1], int(user[horizon - 1]), layer
+        )
+        for t in range(horizon - 2, -1, -1):
+            next_same = costs[t + 1]
+            candidate_same = neg_log_P + next_same[None, :]
+            best_next_same = np.argmin(candidate_same, axis=1)
+            best_cost_same = candidate_same[np.arange(n_cells), best_next_same]
+            if layer >= 1 and previous_costs is not None:
+                next_lower = previous_costs[t + 1]
+                candidate_lower = neg_log_P + next_lower[None, :]
+                best_next_lower = np.argmin(candidate_lower, axis=1)
+                best_cost_lower = candidate_lower[np.arange(n_cells), best_next_lower]
+            else:
+                best_next_lower = np.zeros(n_cells, dtype=np.int64)
+                best_cost_lower = np.full(n_cells, _INF)
+            layer_cost = best_cost_same.copy()
+            layer_hop = best_next_same.copy()
+            user_cell = int(user[t])
+            layer_cost[user_cell] = best_cost_lower[user_cell]
+            layer_hop[user_cell] = best_next_lower[user_cell]
+            layer_cost[~mask[t]] = _INF
+            costs[t] = layer_cost
+            hops[t] = layer_hop
+        start_costs = neg_log_pi + costs[0]
+        start_cell = int(np.argmin(start_costs))
+        total_cost = float(start_costs[start_cell])
+
+        next_hops_by_layer.append(hops)
+        start_by_layer.append(start_cell)
+        total_by_layer.append(total_cost)
+        previous_costs = costs
+
+        if np.isfinite(total_cost) and beats_user(total_cost):
+            chosen_layer = layer
+            break
+
+    if chosen_layer is None:
+        raise InfeasibleTrellisError(
+            "optimal offline DP found no trajectory at least as likely as the user's"
+        )
+
+    # Backtrack: consume one unit of intersection budget whenever the chaff
+    # sits on the user's cell.
+    trajectory = np.empty(horizon, dtype=np.int64)
+    budget = chosen_layer
+    trajectory[0] = start_by_layer[chosen_layer]
+    for t in range(horizon - 1):
+        current = int(trajectory[t])
+        # The stored next hop for budget ``b`` already accounts for an
+        # intersection at slot ``t`` (it reads the lower layer when the chaff
+        # sits on the user's cell), so look up first, then decrement.
+        trajectory[t + 1] = next_hops_by_layer[budget][t, current]
+        if current == int(user[t]):
+            budget -= 1
+        if budget < 0:  # pragma: no cover - guarded by DP construction
+            raise RuntimeError("intersection budget went negative during backtracking")
+
+    intersections = int(np.sum(trajectory == user))
+    chaff_cost = trajectory_cost(chain, trajectory)
+    return OptimalOfflineResult(
+        trajectory=trajectory,
+        intersections=intersections,
+        chaff_cost=chaff_cost,
+        user_cost=user_cost,
+        strict=strict,
+    )
+
+
+@register_strategy
+class OptimalOfflineStrategy(ChaffStrategy):
+    """Optimal offline strategy: one optimal chaff (extra budget replicates it)."""
+
+    name = "OO"
+    is_online = False
+    is_deterministic = True
+
+    def generate(
+        self,
+        chain: MarkovChain,
+        user_trajectory: np.ndarray,
+        n_chaffs: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        user = self._validate_inputs(chain, user_trajectory, n_chaffs)
+        # A deterministic detector is already defeated by the single optimal
+        # chaff (Section IV-C); extra budget is spent on replicas, matching
+        # the paper's observation that deterministic strategies cannot
+        # benefit from more chaffs.
+        chaff = solve_optimal_offline(chain, user).trajectory
+        return np.tile(chaff, (n_chaffs, 1))

@@ -1,0 +1,185 @@
+"""Randomised robust chaff strategies (Section VI-B).
+
+The deterministic strategies (ML, OO, MO) are vulnerable to an *advanced*
+eavesdropper who knows the strategy: he can recompute the chaff trajectory
+and discard it.  The robust variants break that attack by generating one
+chaff per unit of budget and randomly perturbing each chaff's trajectory
+so it cannot be reproduced exactly:
+
+* **RML** — for each chaff ``u``, pick one random (cell, slot) pair from
+  every previously generated trajectory (user and earlier chaffs) and
+  compute the most likely trajectory that *avoids* those pairs.
+* **ROO** — same exclusion sets, but the trajectory is computed with the
+  OO dynamic program restricted to the remaining cells.
+* **RMO** — for each chaff, pick one random slot per earlier trajectory at
+  which it must avoid that trajectory's cell, then run the myopic online
+  controller with those per-slot exclusions.
+
+All three remain close to their deterministic counterparts under the basic
+ML detector while defeating the strategy-aware detector (Figs. 7 and 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mobility.markov import MarkovChain
+from ..trellis import InfeasibleTrellisError, most_likely_trajectory
+from .base import ChaffStrategy, register_strategy
+from .constrained_ml import ConstrainedMLController
+from .myopic_online import MyopicOnlineController
+from .optimal_offline import solve_optimal_offline
+
+__all__ = [
+    "RobustMLStrategy",
+    "RobustOptimalOfflineStrategy",
+    "RobustMyopicOnlineStrategy",
+    "sample_exclusion_mask",
+]
+
+
+def sample_exclusion_mask(
+    prior_trajectories: np.ndarray,
+    n_cells: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample the RML/ROO exclusion set as a boolean ``allowed`` mask.
+
+    For every previously generated trajectory, one slot is chosen uniformly
+    at random and the trajectory's cell at that slot becomes forbidden for
+    the chaff being generated.  Returns a ``(T, n_cells)`` boolean mask with
+    ``False`` marking forbidden (slot, cell) pairs.
+    """
+    prior = np.asarray(prior_trajectories, dtype=np.int64)
+    if prior.ndim != 2 or prior.size == 0:
+        raise ValueError("prior_trajectories must be a non-empty 2-D array")
+    horizon = prior.shape[1]
+    allowed = np.ones((horizon, n_cells), dtype=bool)
+    for row in prior:
+        slot = int(rng.integers(0, horizon))
+        allowed[slot, int(row[slot])] = False
+    # Never forbid every cell in a slot (cannot happen unless the number of
+    # prior trajectories reaches the cell count, but guard regardless).
+    for slot in range(horizon):
+        if not allowed[slot].any():
+            allowed[slot, int(prior[0, slot])] = True
+    return allowed
+
+
+def _sample_rmo_exclusions(
+    n_prior: int, horizon: int, rng: np.random.Generator
+) -> dict[int, list[int]]:
+    """Map slot -> list of prior-trajectory indices to avoid at that slot."""
+    exclusions: dict[int, list[int]] = {}
+    for prior_index in range(n_prior):
+        slot = int(rng.integers(0, horizon))
+        exclusions.setdefault(slot, []).append(prior_index)
+    return exclusions
+
+
+@register_strategy
+class RobustMLStrategy(ChaffStrategy):
+    """RML: per-chaff randomly perturbed maximum-likelihood trajectories."""
+
+    name = "RML"
+    is_online = True  # trajectories depend only on the model + randomness
+    is_deterministic = False
+
+    def generate(
+        self,
+        chain: MarkovChain,
+        user_trajectory: np.ndarray,
+        n_chaffs: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        user = self._validate_inputs(chain, user_trajectory, n_chaffs)
+        horizon = user.size
+        trajectories = [user]
+        chaffs = np.empty((n_chaffs, horizon), dtype=np.int64)
+        for index in range(n_chaffs):
+            allowed = sample_exclusion_mask(
+                np.stack(trajectories), chain.n_states, rng
+            )
+            try:
+                chaff = most_likely_trajectory(chain, horizon, allowed=allowed)
+            except InfeasibleTrellisError:
+                chaff = chain.sample_trajectory(horizon, rng)
+            chaffs[index] = chaff
+            trajectories.append(chaff)
+        return chaffs
+
+
+@register_strategy
+class RobustOptimalOfflineStrategy(ChaffStrategy):
+    """ROO: per-chaff randomly perturbed optimal offline trajectories."""
+
+    name = "ROO"
+    is_online = False
+    is_deterministic = False
+
+    def generate(
+        self,
+        chain: MarkovChain,
+        user_trajectory: np.ndarray,
+        n_chaffs: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        user = self._validate_inputs(chain, user_trajectory, n_chaffs)
+        horizon = user.size
+        trajectories = [user]
+        chaffs = np.empty((n_chaffs, horizon), dtype=np.int64)
+        for index in range(n_chaffs):
+            allowed = sample_exclusion_mask(
+                np.stack(trajectories), chain.n_states, rng
+            )
+            try:
+                chaff = solve_optimal_offline(chain, user, allowed=allowed).trajectory
+            except InfeasibleTrellisError:
+                chaff = ConstrainedMLController(chain).run(user)
+            chaffs[index] = chaff
+            trajectories.append(chaff)
+        return chaffs
+
+
+@register_strategy
+class RobustMyopicOnlineStrategy(ChaffStrategy):
+    """RMO: per-chaff myopic online controllers with random per-slot exclusions."""
+
+    name = "RMO"
+    is_online = True
+    is_deterministic = False
+
+    def generate(
+        self,
+        chain: MarkovChain,
+        user_trajectory: np.ndarray,
+        n_chaffs: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        user = self._validate_inputs(chain, user_trajectory, n_chaffs)
+        horizon = user.size
+        chaffs = np.full((n_chaffs, horizon), -1, dtype=np.int64)
+        controllers = [MyopicOnlineController(chain) for _ in range(n_chaffs)]
+        # exclusions[c] maps slot -> prior trajectory indices (0 = user,
+        # 1 = first chaff, ...) that chaff c must avoid at that slot.
+        exclusions = [
+            _sample_rmo_exclusions(n_prior=index + 1, horizon=horizon, rng=rng)
+            for index in range(n_chaffs)
+        ]
+        for t in range(horizon):
+            user_cell = int(user[t])
+            for index in range(n_chaffs):
+                forbidden: set[int] = set()
+                for prior_index in exclusions[index].get(t, []):
+                    if prior_index == 0:
+                        forbidden.add(user_cell)
+                    else:
+                        forbidden.add(int(chaffs[prior_index - 1, t]))
+                forbidden.discard(-1)
+                # Keep the problem feasible even in tiny state spaces.
+                while len(forbidden) >= chain.n_states - 1 and forbidden:
+                    forbidden.pop()
+                chaffs[index, t] = controllers[index].step(
+                    user_cell, frozenset(forbidden)
+                )
+        return chaffs

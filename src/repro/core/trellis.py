@@ -1,0 +1,167 @@
+"""Time-expanded trellis graph of Fig. 2 and most-likely-trajectory solvers.
+
+The ML chaff strategy (Section IV-B) and its robust variant reduce to a
+shortest-path problem on a trellis whose layer ``t`` holds one vertex per
+cell, with edge costs ``-log pi(x)`` from the virtual source into layer 1
+and ``-log P(x' | x)`` between consecutive layers.  The minimum-cost path
+is the most likely trajectory of length ``T``.
+
+Two solvers are provided:
+
+* :func:`most_likely_trajectory` — a Viterbi-style dynamic program,
+  ``O(T L^2)``, used by the library;
+* :func:`most_likely_trajectory_dijkstra` — an explicit shortest path on
+  the networkx trellis graph, used to cross-validate the DP in tests and
+  to stay faithful to the paper's description (Dijkstra on Fig. 2).
+
+Both support an ``allowed`` mask of shape ``(T, L)`` marking which cells a
+trajectory may visit at each slot, which is how the robust (RML/ROO)
+strategies carve out their exclusion sets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..mobility.markov import MarkovChain
+
+__all__ = [
+    "InfeasibleTrellisError",
+    "trajectory_cost",
+    "validate_allowed_mask",
+    "most_likely_trajectory",
+    "most_likely_trajectory_dijkstra",
+    "build_trellis_graph",
+]
+
+#: Cost used for structurally forbidden moves; large but finite so that
+#: numpy reductions stay well-defined.
+_INF = np.inf
+
+
+class InfeasibleTrellisError(RuntimeError):
+    """Raised when no feasible trajectory exists under the given mask."""
+
+
+def trajectory_cost(chain: MarkovChain, trajectory: Sequence[int] | np.ndarray) -> float:
+    """Cost of a trajectory on the trellis (= negative log-likelihood)."""
+    return -chain.log_likelihood(trajectory)
+
+
+def validate_allowed_mask(
+    allowed: np.ndarray | None, horizon: int, n_cells: int
+) -> np.ndarray:
+    """Normalise/validate an ``allowed`` mask; default is all-cells-allowed."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if allowed is None:
+        return np.ones((horizon, n_cells), dtype=bool)
+    mask = np.asarray(allowed, dtype=bool)
+    if mask.shape != (horizon, n_cells):
+        raise ValueError(
+            f"allowed mask must have shape ({horizon}, {n_cells}), got {mask.shape}"
+        )
+    if not mask.any(axis=1).all():
+        bad = int(np.argmin(mask.any(axis=1)))
+        raise InfeasibleTrellisError(f"no allowed cell at slot {bad}")
+    return mask
+
+
+def most_likely_trajectory(
+    chain: MarkovChain,
+    horizon: int,
+    *,
+    allowed: np.ndarray | None = None,
+) -> np.ndarray:
+    """Most likely trajectory of length ``horizon`` (Viterbi DP).
+
+    Solves Eq. (2)/(3) of the paper: the trajectory maximising
+    ``pi(x_1) * prod_t P(x_t | x_{t-1})`` subject to the optional
+    per-slot ``allowed`` mask.
+
+    Returns an integer array of length ``horizon``.
+    """
+    mask = validate_allowed_mask(allowed, horizon, chain.n_states)
+    neg_log_pi = -chain.log_stationary
+    neg_log_P = -chain.log_transition_matrix
+
+    cost = np.where(mask[0], neg_log_pi, _INF)
+    backpointers = np.zeros((horizon, chain.n_states), dtype=np.int64)
+    for t in range(1, horizon):
+        # candidate[x_prev, x_next] = cost[x_prev] + neg_log_P[x_prev, x_next]
+        candidate = cost[:, None] + neg_log_P
+        best_prev = np.argmin(candidate, axis=0)
+        best_cost = candidate[best_prev, np.arange(chain.n_states)]
+        best_cost = np.where(mask[t], best_cost, _INF)
+        backpointers[t] = best_prev
+        cost = best_cost
+    final = int(np.argmin(cost))
+    if not np.isfinite(cost[final]):
+        raise InfeasibleTrellisError("no feasible trajectory under the mask")
+    trajectory = np.empty(horizon, dtype=np.int64)
+    trajectory[-1] = final
+    for t in range(horizon - 1, 0, -1):
+        trajectory[t - 1] = backpointers[t, trajectory[t]]
+    return trajectory
+
+
+def build_trellis_graph(
+    chain: MarkovChain,
+    horizon: int,
+    *,
+    allowed: np.ndarray | None = None,
+) -> tuple[nx.DiGraph, str, str]:
+    """Build the explicit Fig. 2 trellis as a networkx digraph.
+
+    Vertices are ``(t, cell)`` for ``t in 1..horizon`` plus the virtual
+    source ``"source"`` and sink ``"sink"``.  Edge weights follow the
+    paper: ``-log pi`` out of the source, ``-log P`` between layers, and
+    zero into the sink.  Forbidden (slot, cell) pairs are simply omitted.
+    """
+    mask = validate_allowed_mask(allowed, horizon, chain.n_states)
+    graph = nx.DiGraph()
+    source, sink = "source", "sink"
+    graph.add_node(source)
+    graph.add_node(sink)
+    neg_log_pi = -chain.log_stationary
+    neg_log_P = -chain.log_transition_matrix
+    for cell in range(chain.n_states):
+        if mask[0, cell]:
+            graph.add_edge(source, (1, cell), weight=float(neg_log_pi[cell]))
+    for t in range(2, horizon + 1):
+        for prev in range(chain.n_states):
+            if not mask[t - 2, prev]:
+                continue
+            for cell in range(chain.n_states):
+                if not mask[t - 1, cell]:
+                    continue
+                weight = float(neg_log_P[prev, cell])
+                if np.isfinite(weight):
+                    graph.add_edge((t - 1, prev), (t, cell), weight=weight)
+    for cell in range(chain.n_states):
+        if mask[horizon - 1, cell]:
+            graph.add_edge((horizon, cell), sink, weight=0.0)
+    return graph, source, sink
+
+
+def most_likely_trajectory_dijkstra(
+    chain: MarkovChain,
+    horizon: int,
+    *,
+    allowed: np.ndarray | None = None,
+) -> np.ndarray:
+    """Most likely trajectory via Dijkstra on the explicit trellis graph.
+
+    Functionally identical to :func:`most_likely_trajectory`; kept as the
+    literal implementation of the paper's algorithm and as a test oracle.
+    """
+    graph, source, sink = build_trellis_graph(chain, horizon, allowed=allowed)
+    try:
+        path = nx.dijkstra_path(graph, source, sink, weight="weight")
+    except nx.NetworkXNoPath as exc:
+        raise InfeasibleTrellisError("no feasible trajectory under the mask") from exc
+    cells = [node[1] for node in path if isinstance(node, tuple)]
+    return np.asarray(cells, dtype=np.int64)

@@ -1,0 +1,45 @@
+"""Experiment modules: one per paper figure/table plus ablations."""
+
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .fig9 import run_fig9
+from .fig10 import run_fig10
+from .ablations import (
+    run_chaff_budget_sweep,
+    run_cost_privacy_tradeoff,
+    run_migration_policy_comparison,
+    run_online_eavesdropper_comparison,
+    run_rollout_vs_myopic,
+)
+from .registry import EXPERIMENTS, available_experiments, run_experiment
+from .trace_common import (
+    build_taxi_dataset,
+    per_user_tracking_accuracy,
+    protected_user_accuracy,
+    top_k_tracked_users,
+)
+
+__all__ = [
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_chaff_budget_sweep",
+    "run_cost_privacy_tradeoff",
+    "run_migration_policy_comparison",
+    "run_online_eavesdropper_comparison",
+    "run_rollout_vs_myopic",
+    "EXPERIMENTS",
+    "available_experiments",
+    "run_experiment",
+    "build_taxi_dataset",
+    "per_user_tracking_accuracy",
+    "protected_user_accuracy",
+    "top_k_tracked_users",
+]

@@ -1,0 +1,316 @@
+"""Ablation and extension experiments beyond the paper's figures.
+
+These experiments exercise the design choices DESIGN.md calls out and the
+extensions the paper defers to future work:
+
+* **chaff-budget sweep** — IM tracking accuracy versus the number of
+  chaffs, compared against the closed form of Eq. (11) (the limit
+  ``sum pi^2`` shows why more IM chaffs eventually stop helping);
+* **cost-privacy trade-off** — tracking accuracy versus total MEC cost as
+  the number of chaffs grows, using the full MEC simulator and its cost
+  ledger (Section VIII's deferred study);
+* **migration-policy comparison** — cost and user/service co-location of
+  the always-follow policy against lazy and MDP-based cost-optimal
+  baselines from the related service-migration literature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.bounds import im_tracking_accuracy, im_tracking_accuracy_limit
+from ..core.eavesdropper.detector import MaximumLikelihoodDetector
+from ..core.eavesdropper.online import BayesianPosteriorTracker, PrefixMLTracker
+from ..core.game import PrivacyGame
+from ..core.strategies.base import get_strategy
+from ..core.strategies.rollout import RolloutOnlineStrategy
+from ..mec.costs import CostModel
+from ..mec.policies import (
+    AlwaysFollowPolicy,
+    DistanceThresholdPolicy,
+    MDPMigrationPolicy,
+    NeverMigratePolicy,
+)
+from ..mec.simulator import MECSimulation, MECSimulationConfig
+from ..mec.topology import MECTopology
+from ..mobility.models import paper_synthetic_models
+from ..sim.config import SyntheticExperimentConfig
+from ..sim.monte_carlo import MonteCarloRunner
+from ..sim.results import ExperimentResult, SeriesResult
+
+__all__ = [
+    "run_chaff_budget_sweep",
+    "run_cost_privacy_tradeoff",
+    "run_migration_policy_comparison",
+    "run_rollout_vs_myopic",
+    "run_online_eavesdropper_comparison",
+]
+
+
+def run_chaff_budget_sweep(
+    config: SyntheticExperimentConfig | None = None,
+    *,
+    budgets: tuple[int, ...] = (2, 3, 4, 5, 6, 8, 10),
+) -> ExperimentResult:
+    """IM tracking accuracy versus ``N``, simulated and closed form (Eq. 11)."""
+    config = config or SyntheticExperimentConfig()
+    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    detector = MaximumLikelihoodDetector()
+    strategy = get_strategy("IM")
+    groups: dict[str, list[SeriesResult]] = {}
+    scalars: dict[str, float] = {}
+    for model_index, label in enumerate(config.mobility_models):
+        chain = models[label]
+        simulated = []
+        analytic = []
+        for n_services in budgets:
+            game = PrivacyGame(chain, strategy, detector, n_services=n_services)
+            runner = MonteCarloRunner(
+                n_runs=config.n_runs, seed=config.seed + 100 * model_index + n_services
+            )
+            stats = runner.run(game, horizon=config.horizon)
+            simulated.append(stats.tracking_accuracy)
+            analytic.append(im_tracking_accuracy(chain, n_services))
+        groups[label] = [
+            SeriesResult.from_array("simulated", simulated, index=list(budgets)),
+            SeriesResult.from_array("eq11", analytic, index=list(budgets)),
+        ]
+        scalars[f"{label}/limit"] = im_tracking_accuracy_limit(chain)
+    return ExperimentResult(
+        experiment_id="ablation-chaff-budget",
+        description="IM tracking accuracy vs number of chaffs, simulated vs Eq. (11)",
+        groups=groups,
+        scalars=scalars,
+        config=config.to_dict(),
+    )
+
+
+def run_cost_privacy_tradeoff(
+    config: SyntheticExperimentConfig | None = None,
+    *,
+    chaff_counts: tuple[int, ...] = (0, 1, 2, 4),
+    strategy_name: str = "IM",
+    n_runs: int = 20,
+) -> ExperimentResult:
+    """Tracking accuracy versus total MEC cost as chaffs are added."""
+    config = config or SyntheticExperimentConfig()
+    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    label = config.mobility_models[0]
+    chain = models[label]
+    topology = MECTopology.ring(config.n_cells)
+    detector = MaximumLikelihoodDetector()
+    accuracy_series = []
+    cost_series = []
+    for n_chaffs in chaff_counts:
+        strategy = get_strategy(strategy_name) if n_chaffs > 0 else None
+        simulation = MECSimulation(
+            topology,
+            chain,
+            strategy=strategy,
+            config=MECSimulationConfig(horizon=config.horizon, n_chaffs=n_chaffs),
+        )
+        accuracies = []
+        costs = []
+        for run_index in range(n_runs):
+            rng = np.random.default_rng(config.seed + 31 * run_index + n_chaffs)
+            report = simulation.run(rng)
+            outcome = report.evaluate(chain, detector, rng)
+            accuracies.append(outcome["tracking_accuracy"])
+            costs.append(outcome["total_cost"])
+        accuracy_series.append(float(np.mean(accuracies)))
+        cost_series.append(float(np.mean(costs)))
+    groups = {
+        label: [
+            SeriesResult.from_array(
+                "tracking-accuracy", accuracy_series, index=list(chaff_counts)
+            ),
+            SeriesResult.from_array("total-cost", cost_series, index=list(chaff_counts)),
+        ]
+    }
+    scalars = {
+        "privacy_gain_per_cost": float(
+            (accuracy_series[0] - accuracy_series[-1])
+            / max(cost_series[-1] - cost_series[0], 1e-9)
+        )
+    }
+    return ExperimentResult(
+        experiment_id="ablation-cost-privacy",
+        description="Tracking accuracy vs total MEC cost as the chaff budget grows",
+        groups=groups,
+        scalars=scalars,
+        config=config.to_dict(),
+    )
+
+
+def run_migration_policy_comparison(
+    config: SyntheticExperimentConfig | None = None, *, n_runs: int = 20
+) -> ExperimentResult:
+    """Compare migration policies on cost and user/service co-location."""
+    config = config or SyntheticExperimentConfig()
+    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    label = config.mobility_models[0]
+    chain = models[label]
+    topology = MECTopology.ring(config.n_cells)
+    cost_model = CostModel()
+    policies = {
+        "always-follow": AlwaysFollowPolicy(),
+        "never-migrate": NeverMigratePolicy(),
+        "threshold-1": DistanceThresholdPolicy(threshold=1),
+        "mdp": MDPMigrationPolicy(topology, chain, cost_model),
+    }
+    cost_values = []
+    colocation_values = []
+    policy_names = list(policies)
+    for policy_name in policy_names:
+        simulation = MECSimulation(
+            topology,
+            chain,
+            strategy=None,
+            policy=policies[policy_name],
+            cost_model=cost_model,
+            config=MECSimulationConfig(horizon=config.horizon, n_chaffs=0),
+        )
+        costs = []
+        colocations = []
+        for run_index in range(n_runs):
+            rng = np.random.default_rng(config.seed + 7 * run_index)
+            report = simulation.run(rng)
+            costs.append(report.total_cost)
+            service_cells = np.asarray(report.real_service.location_history)
+            colocations.append(float(np.mean(service_cells == report.user_trajectory)))
+        cost_values.append(float(np.mean(costs)))
+        colocation_values.append(float(np.mean(colocations)))
+    groups = {
+        label: [
+            SeriesResult.from_array(
+                "total-cost", cost_values, policy_names=policy_names
+            ),
+            SeriesResult.from_array(
+                "co-location-fraction", colocation_values, policy_names=policy_names
+            ),
+        ]
+    }
+    scalars = {
+        f"{name}/cost": cost for name, cost in zip(policy_names, cost_values)
+    }
+    scalars.update(
+        {
+            f"{name}/colocation": value
+            for name, value in zip(policy_names, colocation_values)
+        }
+    )
+    return ExperimentResult(
+        experiment_id="ablation-migration-policies",
+        description="Cost and co-location of always-follow vs lazy/MDP migration policies",
+        groups=groups,
+        scalars=scalars,
+        config=config.to_dict(),
+    )
+
+
+def run_rollout_vs_myopic(
+    config: SyntheticExperimentConfig | None = None,
+    *,
+    n_runs: int = 50,
+    lookahead: int = 5,
+    n_rollouts: int = 4,
+) -> ExperimentResult:
+    """Future-work comparison: rollout MDP solver vs the myopic MO policy.
+
+    The paper's Section IV-D notes that the myopic policy is only one
+    possible solver for the online chaff-control MDP; this experiment runs
+    the rollout solver side by side with MO (and OO as the offline optimum)
+    against the basic ML eavesdropper.
+    """
+    config = config or SyntheticExperimentConfig()
+    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    detector = MaximumLikelihoodDetector()
+    strategies = {
+        "MO": get_strategy("MO"),
+        "ROLLOUT": RolloutOnlineStrategy(
+            lookahead=lookahead, n_rollouts=n_rollouts
+        ),
+        "OO": get_strategy("OO"),
+    }
+    groups: dict[str, list[SeriesResult]] = {}
+    scalars: dict[str, float] = {}
+    runs = min(config.n_runs, n_runs)
+    for model_index, label in enumerate(config.mobility_models):
+        chain = models[label]
+        series_list = []
+        for strategy_index, (name, strategy) in enumerate(strategies.items()):
+            game = PrivacyGame(chain, strategy, detector, n_services=2)
+            runner = MonteCarloRunner(
+                n_runs=runs, seed=config.seed + 100 * model_index + strategy_index
+            )
+            stats = runner.run(game, horizon=config.horizon)
+            series_list.append(
+                SeriesResult.from_array(
+                    name,
+                    stats.per_slot_accuracy,
+                    index=list(range(1, stats.horizon + 1)),
+                    tracking_accuracy=stats.tracking_accuracy,
+                )
+            )
+            scalars[f"{label}/{name}"] = stats.tracking_accuracy
+        groups[label] = series_list
+    return ExperimentResult(
+        experiment_id="ablation-rollout",
+        description="Rollout MDP solver vs myopic online (MO) vs offline optimum (OO)",
+        groups=groups,
+        scalars=scalars,
+        config=config.to_dict(),
+    )
+
+
+def run_online_eavesdropper_comparison(
+    config: SyntheticExperimentConfig | None = None,
+    *,
+    strategy_name: str = "MO",
+    n_runs: int = 50,
+) -> ExperimentResult:
+    """Extension: how much stronger is an online (per-slot) eavesdropper?
+
+    Compares the paper's offline ML detector with the prefix-ML and
+    Bayesian-posterior online trackers, all against the same chaff strategy.
+    """
+    config = config or SyntheticExperimentConfig()
+    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    strategy = get_strategy(strategy_name)
+    offline_detector = MaximumLikelihoodDetector()
+    trackers = {"prefix-ml": PrefixMLTracker(), "bayesian": BayesianPosteriorTracker()}
+    groups: dict[str, list[SeriesResult]] = {}
+    scalars: dict[str, float] = {}
+    runs = min(config.n_runs, n_runs)
+    for model_index, label in enumerate(config.mobility_models):
+        chain = models[label]
+        offline_scores = []
+        tracker_scores = {name: [] for name in trackers}
+        for run_index in range(runs):
+            rng = np.random.default_rng(config.seed + 1000 * model_index + run_index)
+            user = chain.sample_trajectory(config.horizon, rng)
+            chaffs = strategy.generate(chain, user, 1, rng)
+            observed = np.concatenate([user[None, :], chaffs], axis=0)
+            outcome = offline_detector.detect(chain, observed, rng)
+            offline_scores.append(
+                float(np.mean(observed[outcome.chosen_index] == user))
+            )
+            for name, tracker in trackers.items():
+                result = tracker.track(chain, observed, user, rng)
+                tracker_scores[name].append(result.tracking_accuracy)
+        values = {
+            "offline-ml": float(np.mean(offline_scores)),
+            **{name: float(np.mean(scores)) for name, scores in tracker_scores.items()},
+        }
+        groups[label] = [
+            SeriesResult.from_array(name, [value]) for name, value in values.items()
+        ]
+        for name, value in values.items():
+            scalars[f"{label}/{name}"] = value
+    return ExperimentResult(
+        experiment_id="ablation-online-eavesdropper",
+        description="Offline ML detector vs per-slot online trackers (extension)",
+        groups=groups,
+        scalars=scalars,
+        config=config.to_dict(),
+    )

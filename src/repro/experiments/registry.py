@@ -1,0 +1,58 @@
+"""Registry mapping experiment identifiers to their runner functions.
+
+Used by the CLI (``python -m repro.cli run fig5``) and by the benchmark
+harness, which iterates over every registered experiment so each table
+and figure of the paper has a regeneration target.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sim.results import ExperimentResult
+from .ablations import (
+    run_chaff_budget_sweep,
+    run_cost_privacy_tradeoff,
+    run_migration_policy_comparison,
+    run_online_eavesdropper_comparison,
+    run_rollout_vs_myopic,
+)
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .fig9 import run_fig9
+from .fig10 import run_fig10
+
+__all__ = ["EXPERIMENTS", "run_experiment", "available_experiments"]
+
+#: Experiment id -> zero-argument-friendly runner (all accept an optional config).
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "ablation-chaff-budget": run_chaff_budget_sweep,
+    "ablation-cost-privacy": run_cost_privacy_tradeoff,
+    "ablation-migration-policies": run_migration_policy_comparison,
+    "ablation-rollout": run_rollout_vs_myopic,
+    "ablation-online-eavesdropper": run_online_eavesdropper_comparison,
+}
+
+
+def available_experiments() -> list[str]:
+    """Identifiers of all registered experiments."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, *args, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {available_experiments()}"
+        )
+    return EXPERIMENTS[experiment_id](*args, **kwargs)

@@ -1,0 +1,145 @@
+"""Shared machinery for the trace-driven experiments (Figs. 8-10).
+
+Builds the synthetic taxi dataset (the CRAWDAD substitute documented in
+DESIGN.md), fits the population mobility model, and provides the per-user
+ML tracking evaluation used by Figs. 9 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.eavesdropper.detector import MaximumLikelihoodDetector, TrajectoryDetector
+from ..core.strategies.base import ChaffStrategy
+from ..geo.towers import TowerPlacementConfig, generate_towers
+from ..geo.voronoi import VoronoiQuantizer
+from ..sim.config import TraceExperimentConfig
+from ..traces.preprocess import CellTrajectoryDataset, TracePipeline
+from ..traces.taxi import TaxiFleetConfig, TaxiFleetGenerator
+
+__all__ = [
+    "build_taxi_dataset",
+    "per_user_tracking_accuracy",
+    "protected_user_accuracy",
+    "top_k_tracked_users",
+]
+
+
+def _dataset_key(config: TraceExperimentConfig) -> tuple:
+    return (config.n_nodes, config.horizon, config.n_towers, config.seed)
+
+
+@lru_cache(maxsize=8)
+def _build_taxi_dataset_cached(key: tuple) -> CellTrajectoryDataset:
+    n_nodes, horizon, n_towers, seed = key
+    rng = np.random.default_rng(seed)
+    towers = generate_towers(
+        TowerPlacementConfig(n_towers=n_towers), rng=np.random.default_rng(seed + 1)
+    )
+    quantizer = VoronoiQuantizer(towers)
+    fleet = TaxiFleetGenerator(
+        TaxiFleetConfig(n_nodes=n_nodes, duration_minutes=float(horizon + 10))
+    )
+    traces = fleet.generate(rng)
+    pipeline = TracePipeline(quantizer=quantizer, horizon_slots=horizon)
+    return pipeline.run(traces)
+
+
+def build_taxi_dataset(config: TraceExperimentConfig) -> CellTrajectoryDataset:
+    """Build (and cache) the synthetic taxi dataset for a configuration."""
+    return _build_taxi_dataset_cached(_dataset_key(config))
+
+
+def per_user_tracking_accuracy(
+    dataset: CellTrajectoryDataset,
+    *,
+    n_detection_seeds: int = 20,
+    seed: int = 0,
+) -> np.ndarray:
+    """Fig. 9(a): per-user tracking accuracy without chaffs.
+
+    The eavesdropper runs the ML detector once over all observed
+    trajectories (the whole fleet); the accuracy for user ``u`` is the
+    fraction of slots in which the detected trajectory's cell coincides
+    with user ``u``'s cell.  Ties between equally likely trajectories (a
+    real phenomenon when several nodes park at a popular cell) are broken
+    uniformly at random, so the detection is averaged over
+    ``n_detection_seeds`` independent tie-breaks.
+    """
+    if n_detection_seeds < 1:
+        raise ValueError("n_detection_seeds must be positive")
+    detector = MaximumLikelihoodDetector()
+    trajectories = dataset.trajectories
+    chain = dataset.mobility_model
+    accuracies = np.zeros(dataset.n_nodes, dtype=float)
+    for detection_seed in range(n_detection_seeds):
+        rng = np.random.default_rng(seed + detection_seed)
+        outcome = detector.detect(chain, trajectories, rng)
+        chosen = trajectories[outcome.chosen_index]
+        matches = (trajectories == chosen[None, :]).mean(axis=1)
+        accuracies += matches
+    return accuracies / n_detection_seeds
+
+
+def top_k_tracked_users(
+    dataset: CellTrajectoryDataset, k: int, *, seed: int = 0
+) -> list[int]:
+    """Row indices of the ``k`` users tracked most accurately without chaffs."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    accuracies = per_user_tracking_accuracy(dataset, seed=seed)
+    order = np.argsort(-accuracies, kind="stable")
+    return [int(i) for i in order[:k]]
+
+
+def protected_user_accuracy(
+    dataset: CellTrajectoryDataset,
+    user_row: int,
+    strategy: ChaffStrategy | None,
+    detector: TrajectoryDetector,
+    *,
+    n_chaffs: int = 1,
+    n_detection_seeds: int = 10,
+    seed: int = 0,
+) -> float:
+    """Tracking accuracy for one protected user (Figs. 9(b) and 10).
+
+    The observed set is the whole fleet plus the chaffs generated for the
+    protected user (``strategy=None`` reproduces the no-chaff bar).  The
+    accuracy is the fraction of slots where the detected trajectory's cell
+    coincides with the protected user's cell, averaged over detection
+    tie-break seeds (and over chaff randomness for randomised strategies).
+    """
+    if not 0 <= user_row < dataset.n_nodes:
+        raise ValueError("user_row out of range")
+    if n_chaffs < 0:
+        raise ValueError("n_chaffs must be non-negative")
+    trajectories = dataset.trajectories
+    chain = dataset.mobility_model
+    user = trajectories[user_row]
+    total = 0.0
+    fixed_chaffs = None
+    if strategy is not None and n_chaffs > 0 and strategy.is_deterministic:
+        # Deterministic strategies produce the same chaffs regardless of the
+        # detection tie-break seed; compute them once.
+        fixed_chaffs = strategy.generate(
+            chain, user, n_chaffs, np.random.default_rng(seed)
+        )
+    for detection_seed in range(n_detection_seeds):
+        rng = np.random.default_rng(seed + detection_seed)
+        if strategy is not None and n_chaffs > 0:
+            chaffs = (
+                fixed_chaffs
+                if fixed_chaffs is not None
+                else strategy.generate(chain, user, n_chaffs, rng)
+            )
+            observed = np.concatenate([trajectories, chaffs], axis=0)
+        else:
+            observed = trajectories
+        outcome = detector.detect(chain, observed, rng)
+        chosen = observed[outcome.chosen_index]
+        total += float((chosen == user).mean())
+    return total / n_detection_seeds

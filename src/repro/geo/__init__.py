@@ -1,0 +1,27 @@
+"""Geographic substrate: points, tower placement and Voronoi quantisation."""
+
+from .points import (
+    EARTH_RADIUS_M,
+    BoundingBox,
+    GeoPoint,
+    SAN_FRANCISCO_BBOX,
+    haversine_distance,
+    planar_distance,
+    project_to_plane,
+)
+from .towers import TowerPlacementConfig, deduplicate_towers, generate_towers
+from .voronoi import VoronoiQuantizer
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "BoundingBox",
+    "GeoPoint",
+    "SAN_FRANCISCO_BBOX",
+    "haversine_distance",
+    "planar_distance",
+    "project_to_plane",
+    "TowerPlacementConfig",
+    "deduplicate_towers",
+    "generate_towers",
+    "VoronoiQuantizer",
+]

@@ -1,0 +1,149 @@
+"""Geographic point primitives for the trace-driven pipeline.
+
+The taxi traces in the paper are GPS (latitude, longitude) fixes over the
+San Francisco Bay area.  We work in two coordinate systems:
+
+* geographic (lat, lon) degrees, the raw trace format;
+* a local planar projection in metres (equirectangular around a reference
+  latitude), which is accurate to well under a percent over the tens of
+  kilometres the traces span and is what the Voronoi quantiser uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "GeoPoint",
+    "BoundingBox",
+    "haversine_distance",
+    "project_to_plane",
+    "planar_distance",
+    "SAN_FRANCISCO_BBOX",
+]
+
+#: Mean Earth radius in metres (IUGG value).
+EARTH_RADIUS_M = 6_371_008.8
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A geographic point in decimal degrees."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude {self.latitude} out of range")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude {self.longitude} out of range")
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(latitude, longitude)``."""
+        return (self.latitude, self.longitude)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned geographic bounding box."""
+
+    min_latitude: float
+    max_latitude: float
+    min_longitude: float
+    max_longitude: float
+
+    def __post_init__(self) -> None:
+        if self.min_latitude >= self.max_latitude:
+            raise ValueError("min_latitude must be below max_latitude")
+        if self.min_longitude >= self.max_longitude:
+            raise ValueError("min_longitude must be below max_longitude")
+
+    @property
+    def center(self) -> GeoPoint:
+        """Centre of the box."""
+        return GeoPoint(
+            (self.min_latitude + self.max_latitude) / 2.0,
+            (self.min_longitude + self.max_longitude) / 2.0,
+        )
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Whether the point lies inside (or on the edge of) the box."""
+        return (
+            self.min_latitude <= point.latitude <= self.max_latitude
+            and self.min_longitude <= point.longitude <= self.max_longitude
+        )
+
+    def clamp(self, point: GeoPoint) -> GeoPoint:
+        """Project a point onto the box (component-wise clamping)."""
+        return GeoPoint(
+            min(max(point.latitude, self.min_latitude), self.max_latitude),
+            min(max(point.longitude, self.min_longitude), self.max_longitude),
+        )
+
+    def sample_uniform(self, rng: np.random.Generator) -> GeoPoint:
+        """Draw a uniformly random point inside the box."""
+        return GeoPoint(
+            float(rng.uniform(self.min_latitude, self.max_latitude)),
+            float(rng.uniform(self.min_longitude, self.max_longitude)),
+        )
+
+
+#: Approximate bounding box of the CRAWDAD epfl/mobility (San Francisco)
+#: taxi traces, matching the extent of Fig. 8(a) in the paper.
+SAN_FRANCISCO_BBOX = BoundingBox(
+    min_latitude=37.55,
+    max_latitude=37.95,
+    min_longitude=-122.60,
+    max_longitude=-122.10,
+)
+
+
+def haversine_distance(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in metres."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+def project_to_plane(
+    points: Sequence[GeoPoint] | Iterable[GeoPoint], *, reference: GeoPoint
+) -> np.ndarray:
+    """Project geographic points to local planar metres.
+
+    Uses an equirectangular projection centred at ``reference``:
+    ``x = R * (lon - lon0) * cos(lat0)``, ``y = R * (lat - lat0)``.
+
+    Returns an ``(n, 2)`` array of ``(x, y)`` coordinates in metres.
+    """
+    lat0 = math.radians(reference.latitude)
+    lon0 = math.radians(reference.longitude)
+    cos_lat0 = math.cos(lat0)
+    rows = []
+    for point in points:
+        lat = math.radians(point.latitude)
+        lon = math.radians(point.longitude)
+        rows.append(
+            (
+                EARTH_RADIUS_M * (lon - lon0) * cos_lat0,
+                EARTH_RADIUS_M * (lat - lat0),
+            )
+        )
+    return np.asarray(rows, dtype=float).reshape(-1, 2)
+
+
+def planar_distance(xy_a: np.ndarray, xy_b: np.ndarray) -> float:
+    """Euclidean distance between two planar points in metres."""
+    a = np.asarray(xy_a, dtype=float)
+    b = np.asarray(xy_b, dtype=float)
+    if a.shape != (2,) or b.shape != (2,):
+        raise ValueError("planar points must be length-2 vectors")
+    return float(np.hypot(a[0] - b[0], a[1] - b[1]))

@@ -1,0 +1,39 @@
+"""MEC substrate: topology, services, migration, costs and the observer."""
+
+from .topology import EdgeSite, MECTopology
+from .service import ServiceInstance, ServiceKind
+from .costs import CostLedger, CostModel
+from .policies import (
+    AlwaysFollowPolicy,
+    DistanceThresholdPolicy,
+    MDPMigrationPolicy,
+    MigrationPolicy,
+    NeverMigratePolicy,
+)
+from .migration import MigrationEngine, MigrationEvent
+from .observer import EavesdropperObserver, ObservationMatrix
+from .orchestrator import ChaffOrchestrator, ChaffPlan
+from .simulator import MECSimulation, MECSimulationConfig, MECSimulationReport
+
+__all__ = [
+    "EdgeSite",
+    "MECTopology",
+    "ServiceInstance",
+    "ServiceKind",
+    "CostLedger",
+    "CostModel",
+    "AlwaysFollowPolicy",
+    "DistanceThresholdPolicy",
+    "MDPMigrationPolicy",
+    "MigrationPolicy",
+    "NeverMigratePolicy",
+    "MigrationEngine",
+    "MigrationEvent",
+    "EavesdropperObserver",
+    "ObservationMatrix",
+    "ChaffOrchestrator",
+    "ChaffPlan",
+    "MECSimulation",
+    "MECSimulationConfig",
+    "MECSimulationReport",
+]

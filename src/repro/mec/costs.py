@@ -1,0 +1,116 @@
+"""Cost models for service migration and chaff operation.
+
+Service migrations in MECs trade a one-off *migration cost* against the
+recurring *communication cost* of serving a user from a distant cell
+(Section I-A, refs [24], [25], [5], [14]).  Chaff services additionally
+consume MEC resources paid for by the user (Section II-B), so the
+cost-privacy trade-off the paper defers to future work needs an explicit
+ledger — which this module provides and the ablation benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .topology import MECTopology
+
+__all__ = ["CostModel", "CostLedger"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Linear-in-hops cost model.
+
+    Attributes
+    ----------
+    migration_cost_per_hop:
+        Cost of migrating a VM across one inter-MEC hop.
+    migration_cost_fixed:
+        Fixed cost per migration (image transfer, handoff signalling).
+    communication_cost_per_hop:
+        Per-slot cost of serving a user whose service is ``h`` hops away.
+    chaff_running_cost:
+        Per-slot cost of keeping one chaff instance alive.
+    """
+
+    migration_cost_per_hop: float = 1.0
+    migration_cost_fixed: float = 0.5
+    communication_cost_per_hop: float = 1.0
+    chaff_running_cost: float = 0.2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "migration_cost_per_hop",
+            "migration_cost_fixed",
+            "communication_cost_per_hop",
+            "chaff_running_cost",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def migration_cost(self, topology: MECTopology, source: int, target: int) -> float:
+        """Cost of migrating a service from ``source`` to ``target``."""
+        if source == target:
+            return 0.0
+        hops = topology.hop_distance(source, target)
+        return self.migration_cost_fixed + self.migration_cost_per_hop * hops
+
+    def communication_cost(
+        self, topology: MECTopology, user_cell: int, service_cell: int
+    ) -> float:
+        """Per-slot cost of serving a user from ``service_cell``."""
+        hops = topology.hop_distance(user_cell, service_cell)
+        return self.communication_cost_per_hop * hops
+
+
+@dataclass
+class CostLedger:
+    """Accumulates the costs incurred during one simulation run."""
+
+    migration_total: float = 0.0
+    communication_total: float = 0.0
+    chaff_total: float = 0.0
+    migrations: int = 0
+    slots: int = 0
+    _per_slot: list[float] = field(default_factory=list)
+
+    def charge_migration(self, amount: float) -> None:
+        """Record a migration cost (ignores zero-cost non-migrations)."""
+        if amount < 0:
+            raise ValueError("cost must be non-negative")
+        if amount > 0:
+            self.migration_total += amount
+            self.migrations += 1
+
+    def charge_communication(self, amount: float) -> None:
+        """Record one slot's communication cost for the real service."""
+        if amount < 0:
+            raise ValueError("cost must be non-negative")
+        self.communication_total += amount
+
+    def charge_chaff(self, amount: float) -> None:
+        """Record one slot's chaff running cost."""
+        if amount < 0:
+            raise ValueError("cost must be non-negative")
+        self.chaff_total += amount
+
+    def close_slot(self) -> None:
+        """Mark the end of a slot and snapshot the running total."""
+        self.slots += 1
+        self._per_slot.append(self.total)
+
+    @property
+    def total(self) -> float:
+        """Total cost accumulated so far."""
+        return self.migration_total + self.communication_total + self.chaff_total
+
+    @property
+    def per_slot_totals(self) -> list[float]:
+        """Cumulative total after each closed slot."""
+        return list(self._per_slot)
+
+    def average_cost_per_slot(self) -> float:
+        """Average total cost per closed slot (0 if no slot closed yet)."""
+        if self.slots == 0:
+            return 0.0
+        return self.total / self.slots

@@ -1,0 +1,123 @@
+"""Migration engine: applies a policy to services and logs migration events.
+
+The cyber eavesdropper of the paper observes exactly these events — which
+MEC a service is instantiated at and where it migrates — so the event log
+produced here is the ground truth behind the observation plane
+(:mod:`repro.mec.observer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .costs import CostLedger, CostModel
+from .policies import MigrationPolicy
+from .service import ServiceInstance
+from .topology import MECTopology
+
+__all__ = ["MigrationEvent", "MigrationEngine"]
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """A single observed migration (or instantiation) of a service."""
+
+    slot: int
+    service_id: int
+    source_cell: int
+    target_cell: int
+    is_instantiation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ValueError("slot must be non-negative")
+        if self.source_cell < 0 or self.target_cell < 0:
+            raise ValueError("cells must be non-negative")
+
+
+@dataclass
+class MigrationEngine:
+    """Applies a migration policy to the real service and logs all movement.
+
+    Chaff services are moved by the chaff orchestrator, not by the policy;
+    the engine still records their movements as events so the observation
+    plane sees real and chaff migrations through the same interface.
+    """
+
+    topology: MECTopology
+    policy: MigrationPolicy
+    cost_model: CostModel
+    ledger: CostLedger = field(default_factory=CostLedger)
+    events: list[MigrationEvent] = field(default_factory=list)
+
+    def register_instantiation(self, service: ServiceInstance, slot: int) -> None:
+        """Log the creation of a service at its initial cell."""
+        self.events.append(
+            MigrationEvent(
+                slot=slot,
+                service_id=service.service_id,
+                source_cell=service.cell,
+                target_cell=service.cell,
+                is_instantiation=True,
+            )
+        )
+
+    def step_real_service(
+        self, service: ServiceInstance, user_cell: int, slot: int
+    ) -> int:
+        """Advance the real service one slot under the migration policy.
+
+        Returns the cell the service occupies after the (possible)
+        migration, charging migration and communication costs to the
+        ledger.
+        """
+        if service.is_chaff:
+            raise ValueError("step_real_service only handles the real service")
+        target = self.policy.decide(self.topology, service.cell, user_cell)
+        source = service.cell
+        if service.migrate_to(target):
+            cost = self.cost_model.migration_cost(self.topology, source, target)
+            self.ledger.charge_migration(cost)
+            self.events.append(
+                MigrationEvent(
+                    slot=slot,
+                    service_id=service.service_id,
+                    source_cell=source,
+                    target_cell=target,
+                )
+            )
+        self.ledger.charge_communication(
+            self.cost_model.communication_cost(self.topology, user_cell, service.cell)
+        )
+        service.record_slot()
+        return service.cell
+
+    def step_chaff_service(
+        self, service: ServiceInstance, target_cell: int, slot: int
+    ) -> int:
+        """Move a chaff service to the cell chosen by the chaff strategy."""
+        if not service.is_chaff:
+            raise ValueError("step_chaff_service only handles chaff services")
+        source = service.cell
+        if service.migrate_to(target_cell):
+            cost = self.cost_model.migration_cost(self.topology, source, target_cell)
+            self.ledger.charge_migration(cost)
+            self.events.append(
+                MigrationEvent(
+                    slot=slot,
+                    service_id=service.service_id,
+                    source_cell=source,
+                    target_cell=target_cell,
+                )
+            )
+        self.ledger.charge_chaff(self.cost_model.chaff_running_cost)
+        service.record_slot()
+        return service.cell
+
+    def close_slot(self) -> None:
+        """Finish accounting for the current slot."""
+        self.ledger.close_slot()
+
+    def events_for_service(self, service_id: int) -> list[MigrationEvent]:
+        """All events logged for one service, in slot order."""
+        return [event for event in self.events if event.service_id == service_id]

@@ -1,0 +1,114 @@
+"""The eavesdropper's observation plane.
+
+A cyber eavesdropper inside the MEC system (a hacker or an untrusted MEC
+provider) sees where every service instance runs in every slot, but not
+which instance belongs to which user — content is indistinguishable, so
+the only signal is mobility.  This module turns the per-service location
+records of a simulation into the anonymous ``(N, T)`` observation matrix
+the detectors consume, with an optional random shuffle of the service
+order so that nothing about the user leaks through indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .service import ServiceInstance
+
+__all__ = ["ObservationMatrix", "EavesdropperObserver"]
+
+
+@dataclass(frozen=True)
+class ObservationMatrix:
+    """Anonymous observations plus the hidden ground-truth labels.
+
+    Attributes
+    ----------
+    trajectories:
+        ``(N, T)`` array of observed service trajectories, in the (possibly
+        shuffled) order presented to the eavesdropper.
+    service_ids:
+        Service id of each row (hidden from the eavesdropper; used by the
+        harness to score detections).
+    user_row:
+        Row index of the real user's service (ground truth for scoring).
+    """
+
+    trajectories: np.ndarray
+    service_ids: np.ndarray
+    user_row: int
+
+    def __post_init__(self) -> None:
+        if self.trajectories.ndim != 2:
+            raise ValueError("trajectories must be 2-D")
+        if self.service_ids.shape[0] != self.trajectories.shape[0]:
+            raise ValueError("service_ids length must match trajectory count")
+        if not 0 <= self.user_row < self.trajectories.shape[0]:
+            raise ValueError("user_row out of range")
+
+    @property
+    def n_services(self) -> int:
+        """Number of observed services ``N``."""
+        return int(self.trajectories.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        """Number of observed slots ``T``."""
+        return int(self.trajectories.shape[1])
+
+    def user_trajectory(self) -> np.ndarray:
+        """The real user's trajectory (ground truth)."""
+        return self.trajectories[self.user_row]
+
+
+class EavesdropperObserver:
+    """Collects service trajectories into an :class:`ObservationMatrix`."""
+
+    def __init__(self, *, shuffle: bool = True) -> None:
+        self.shuffle = shuffle
+
+    def observe(
+        self,
+        services: Sequence[ServiceInstance],
+        real_service_id: int,
+        rng: np.random.Generator,
+    ) -> ObservationMatrix:
+        """Snapshot the trajectories of all services.
+
+        Parameters
+        ----------
+        services:
+            All service instances (real + chaffs) with recorded histories
+            of equal length.
+        real_service_id:
+            The id of the real user's service (for ground-truth labelling).
+        rng:
+            Used for the presentation-order shuffle.
+        """
+        if not services:
+            raise ValueError("no services to observe")
+        lengths = {len(service.location_history) for service in services}
+        if len(lengths) != 1:
+            raise ValueError("all services must have equal-length histories")
+        if lengths == {0}:
+            raise ValueError("services have empty histories")
+        trajectories = np.stack(
+            [np.asarray(service.location_history, dtype=np.int64) for service in services]
+        )
+        service_ids = np.asarray(
+            [service.service_id for service in services], dtype=np.int64
+        )
+        if real_service_id not in service_ids:
+            raise ValueError("real_service_id not among the observed services")
+        order = np.arange(len(services))
+        if self.shuffle:
+            order = rng.permutation(len(services))
+        trajectories = trajectories[order]
+        service_ids = service_ids[order]
+        user_row = int(np.flatnonzero(service_ids == real_service_id)[0])
+        return ObservationMatrix(
+            trajectories=trajectories, service_ids=service_ids, user_row=user_row
+        )

@@ -1,0 +1,113 @@
+"""Chaff orchestration: launching and steering chaff services.
+
+Section II-B: with the assistance of the network provider (or the service
+provider acting on the user's behalf), the user can make a chaff service
+follow an arbitrary trajectory by sending fake service requests and
+migration requests to the corresponding MECs.  The orchestrator is that
+control loop — it turns a chaff control strategy's planned trajectories
+into instantiation and migration requests against the MEC simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.strategies.base import ChaffStrategy
+from ..mobility.markov import MarkovChain
+from .migration import MigrationEngine
+from .service import ServiceInstance, ServiceKind
+
+__all__ = ["ChaffPlan", "ChaffOrchestrator"]
+
+
+@dataclass(frozen=True)
+class ChaffPlan:
+    """Planned chaff trajectories for one user session."""
+
+    owner_id: int
+    trajectories: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.owner_id < 0:
+            raise ValueError("owner_id must be non-negative")
+        if self.trajectories.ndim != 2:
+            raise ValueError("trajectories must be (n_chaffs, T)")
+
+    @property
+    def n_chaffs(self) -> int:
+        """Number of chaff services in the plan."""
+        return int(self.trajectories.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        """Planned number of slots."""
+        return int(self.trajectories.shape[1])
+
+
+@dataclass
+class ChaffOrchestrator:
+    """Creates chaff service instances and replays their planned trajectories."""
+
+    strategy: ChaffStrategy
+    chain: MarkovChain
+    n_chaffs: int
+    _next_service_id: int = field(default=1, init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_chaffs < 0:
+            raise ValueError("n_chaffs must be non-negative")
+
+    def plan(
+        self, owner_id: int, user_trajectory: np.ndarray, rng: np.random.Generator
+    ) -> ChaffPlan:
+        """Compute the chaff trajectories for a user session."""
+        user = np.asarray(user_trajectory, dtype=np.int64)
+        if self.n_chaffs == 0:
+            return ChaffPlan(
+                owner_id=owner_id,
+                trajectories=np.empty((0, user.size), dtype=np.int64),
+            )
+        trajectories = self.strategy.generate(self.chain, user, self.n_chaffs, rng)
+        return ChaffPlan(owner_id=owner_id, trajectories=trajectories)
+
+    def instantiate(
+        self, plan: ChaffPlan, engine: MigrationEngine, slot: int = 0
+    ) -> list[ServiceInstance]:
+        """Create one chaff service per planned trajectory at its first cell."""
+        services = []
+        for index in range(plan.n_chaffs):
+            service = ServiceInstance(
+                service_id=self._allocate_id(),
+                owner_id=plan.owner_id,
+                kind=ServiceKind.CHAFF,
+                cell=int(plan.trajectories[index, 0]),
+                created_at=slot,
+            )
+            engine.register_instantiation(service, slot)
+            services.append(service)
+        return services
+
+    def step(
+        self,
+        plan: ChaffPlan,
+        services: list[ServiceInstance],
+        engine: MigrationEngine,
+        slot: int,
+    ) -> None:
+        """Issue the migration requests for slot ``slot`` of the plan."""
+        if len(services) != plan.n_chaffs:
+            raise ValueError("service list does not match the plan")
+        if not 0 <= slot < plan.horizon:
+            raise ValueError("slot outside the planned horizon")
+        for index, service in enumerate(services):
+            engine.step_chaff_service(
+                service, int(plan.trajectories[index, slot]), slot
+            )
+
+    # ------------------------------------------------------------------
+    def _allocate_id(self) -> int:
+        service_id = self._next_service_id
+        self._next_service_id += 1
+        return service_id

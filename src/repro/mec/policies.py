@@ -1,0 +1,185 @@
+"""Service migration policies.
+
+The paper assumes the *worst case for privacy*: the real service always
+follows its user (one-hop co-location required by delay-sensitive
+services).  The broader MEC literature it builds on ([24], [25], [5],
+[14]) studies cost-optimal migration, typically via Markov decision
+processes over the user-service distance.  This module implements both
+the always-follow policy used in the paper's evaluation and a family of
+baselines (never-migrate, distance-threshold, and a value-iteration MDP
+policy) so the cost-privacy trade-off can be explored in the ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mobility.markov import MarkovChain
+from .costs import CostModel
+from .topology import MECTopology
+
+__all__ = [
+    "MigrationPolicy",
+    "AlwaysFollowPolicy",
+    "NeverMigratePolicy",
+    "DistanceThresholdPolicy",
+    "MDPMigrationPolicy",
+]
+
+
+class MigrationPolicy(abc.ABC):
+    """Decides where a service should run given its user's location."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        topology: MECTopology,
+        service_cell: int,
+        user_cell: int,
+    ) -> int:
+        """Return the cell the service should occupy for the next slot."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class AlwaysFollowPolicy(MigrationPolicy):
+    """Migrate the service to the user's cell every slot (the paper's setting)."""
+
+    name = "always-follow"
+
+    def decide(self, topology: MECTopology, service_cell: int, user_cell: int) -> int:
+        if not 0 <= user_cell < topology.n_cells:
+            raise ValueError("user cell out of range")
+        return user_cell
+
+
+class NeverMigratePolicy(MigrationPolicy):
+    """Leave the service where it was instantiated (best cost, worst QoS)."""
+
+    name = "never-migrate"
+
+    def decide(self, topology: MECTopology, service_cell: int, user_cell: int) -> int:
+        if not 0 <= service_cell < topology.n_cells:
+            raise ValueError("service cell out of range")
+        return service_cell
+
+
+@dataclass
+class DistanceThresholdPolicy(MigrationPolicy):
+    """Migrate to the user only when the hop distance exceeds a threshold."""
+
+    threshold: int = 1
+    name = "distance-threshold"
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+
+    def decide(self, topology: MECTopology, service_cell: int, user_cell: int) -> int:
+        if topology.hop_distance(service_cell, user_cell) > self.threshold:
+            return user_cell
+        return service_cell
+
+
+class MDPMigrationPolicy(MigrationPolicy):
+    """Cost-optimal migrate-or-stay policy via value iteration over distance.
+
+    Following the distance-based MDP formulations of [24] and [25], the
+    state is the hop distance ``d`` between the user and the service.  Each
+    slot the controller either *migrates* (pay the migration cost for ``d``
+    hops, reset the distance to zero) or *stays* (pay the communication
+    cost for ``d`` hops).  The user's movement then increases or decreases
+    the distance according to a birth-death approximation of the mobility
+    model (probability of moving derived from the chain's self-transition
+    probabilities).  The resulting threshold-style policy is the classic
+    cost-optimal baseline the paper contrasts with always-follow.
+    """
+
+    name = "mdp"
+
+    def __init__(
+        self,
+        topology: MECTopology,
+        chain: MarkovChain,
+        cost_model: CostModel,
+        *,
+        discount: float = 0.9,
+        max_iterations: int = 500,
+        tolerance: float = 1e-8,
+    ) -> None:
+        if not 0 < discount < 1:
+            raise ValueError("discount must be in (0, 1)")
+        self.topology = topology
+        self.chain = chain
+        self.cost_model = cost_model
+        self.discount = discount
+        self._max_distance = int(topology.hop_distance_matrix().max())
+        self._migrate_at = self._solve(max_iterations, tolerance)
+
+    # ------------------------------------------------------------------
+    @property
+    def migrate_threshold_profile(self) -> np.ndarray:
+        """Boolean array: whether the policy migrates at each distance."""
+        return self._migrate_at.copy()
+
+    def decide(self, topology: MECTopology, service_cell: int, user_cell: int) -> int:
+        distance = topology.hop_distance(service_cell, user_cell)
+        distance = min(distance, self._max_distance)
+        if self._migrate_at[distance]:
+            return user_cell
+        return service_cell
+
+    # ------------------------------------------------------------------
+    def _movement_probability(self) -> float:
+        """Probability that the user changes cell in one slot (model average)."""
+        stay = float(np.mean(np.diag(self.chain.transition_matrix)))
+        return min(max(1.0 - stay, 0.0), 1.0)
+
+    def _solve(self, max_iterations: int, tolerance: float) -> np.ndarray:
+        """Value iteration over distances 0..max_distance."""
+        move_prob = self._movement_probability()
+        n = self._max_distance + 1
+        values = np.zeros(n, dtype=float)
+        per_hop_mig = self.cost_model.migration_cost_per_hop
+        fixed_mig = self.cost_model.migration_cost_fixed
+        per_hop_comm = self.cost_model.communication_cost_per_hop
+
+        def expected_next(distance: int, vals: np.ndarray) -> float:
+            # The user moves away with probability move_prob / 2, toward the
+            # service with probability move_prob / 2, else stays put.
+            up = min(distance + 1, n - 1)
+            down = max(distance - 1, 0)
+            return (
+                0.5 * move_prob * vals[up]
+                + 0.5 * move_prob * vals[down]
+                + (1.0 - move_prob) * vals[distance]
+            )
+
+        migrate_at = np.zeros(n, dtype=bool)
+        for _ in range(max_iterations):
+            new_values = np.empty_like(values)
+            for distance in range(n):
+                stay_cost = per_hop_comm * distance + self.discount * expected_next(
+                    distance, values
+                )
+                migrate_cost = (
+                    (fixed_mig + per_hop_mig * distance) if distance > 0 else 0.0
+                ) + self.discount * expected_next(0, values)
+                if migrate_cost < stay_cost:
+                    new_values[distance] = migrate_cost
+                    migrate_at[distance] = True
+                else:
+                    new_values[distance] = stay_cost
+                    migrate_at[distance] = False
+            if np.max(np.abs(new_values - values)) < tolerance:
+                values = new_values
+                break
+            values = new_values
+        migrate_at[0] = False
+        return migrate_at

@@ -1,0 +1,177 @@
+"""End-to-end MEC simulation: user mobility, service migration, chaffs and
+the eavesdropper's observation plane.
+
+This is the "system view" of the paper's setting.  The trajectory-level
+privacy game in :mod:`repro.core.game` evaluates strategies directly on
+cell sequences; the MEC simulator reproduces the same observable through
+the full machinery — services instantiated on MECs, migration requests,
+cost accounting — so that the reproduction exercises the substrate the
+paper's threat model lives in (and so the cost-privacy ablations have a
+real cost signal to report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.eavesdropper.detector import TrajectoryDetector
+from ..core.strategies.base import ChaffStrategy
+from ..mobility.markov import MarkovChain
+from .costs import CostLedger, CostModel
+from .migration import MigrationEngine, MigrationEvent
+from .observer import EavesdropperObserver, ObservationMatrix
+from .orchestrator import ChaffOrchestrator
+from .policies import AlwaysFollowPolicy, MigrationPolicy
+from .service import ServiceInstance, ServiceKind
+from .topology import MECTopology
+
+__all__ = ["MECSimulationConfig", "MECSimulationReport", "MECSimulation"]
+
+
+@dataclass(frozen=True)
+class MECSimulationConfig:
+    """Configuration of a single-user MEC simulation run."""
+
+    horizon: int = 100
+    n_chaffs: int = 1
+    user_id: int = 0
+    shuffle_observations: bool = True
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ValueError("horizon must be positive")
+        if self.n_chaffs < 0:
+            raise ValueError("n_chaffs must be non-negative")
+        if self.user_id < 0:
+            raise ValueError("user_id must be non-negative")
+
+
+@dataclass
+class MECSimulationReport:
+    """Everything produced by one simulation run."""
+
+    user_trajectory: np.ndarray
+    observations: ObservationMatrix
+    ledger: CostLedger
+    events: list[MigrationEvent]
+    real_service: ServiceInstance
+    chaff_services: list[ServiceInstance] = field(default_factory=list)
+
+    @property
+    def horizon(self) -> int:
+        """Number of simulated slots."""
+        return int(self.user_trajectory.size)
+
+    @property
+    def total_cost(self) -> float:
+        """Total migration + communication + chaff cost of the run."""
+        return self.ledger.total
+
+    def evaluate(
+        self, chain: MarkovChain, detector: TrajectoryDetector, rng: np.random.Generator
+    ) -> dict[str, float]:
+        """Run a detector on the observations and score the eavesdropper.
+
+        Returns a dict with ``tracking_accuracy``, ``detection_accuracy``
+        (0/1 for this single run) and ``total_cost``.
+        """
+        outcome = detector.detect(chain, self.observations.trajectories, rng)
+        chosen = self.observations.trajectories[outcome.chosen_index]
+        tracked = chosen == self.user_trajectory
+        return {
+            "tracking_accuracy": float(np.mean(tracked)),
+            "detection_accuracy": float(
+                outcome.chosen_index == self.observations.user_row
+            ),
+            "total_cost": self.total_cost,
+        }
+
+
+class MECSimulation:
+    """Simulates one user, his real service, his chaffs and the observer."""
+
+    def __init__(
+        self,
+        topology: MECTopology,
+        chain: MarkovChain,
+        *,
+        strategy: ChaffStrategy | None = None,
+        policy: MigrationPolicy | None = None,
+        cost_model: CostModel | None = None,
+        config: MECSimulationConfig | None = None,
+    ) -> None:
+        if topology.n_cells != chain.n_states:
+            raise ValueError("topology and mobility model disagree on cell count")
+        self.topology = topology
+        self.chain = chain
+        self.strategy = strategy
+        self.policy = policy or AlwaysFollowPolicy()
+        self.cost_model = cost_model or CostModel()
+        self.config = config or MECSimulationConfig()
+        if self.config.n_chaffs > 0 and strategy is None:
+            raise ValueError("a chaff strategy is required when n_chaffs > 0")
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        rng: np.random.Generator,
+        *,
+        user_trajectory: np.ndarray | None = None,
+    ) -> MECSimulationReport:
+        """Execute one simulation run.
+
+        If ``user_trajectory`` is omitted the user's movement is sampled
+        from the mobility model for ``config.horizon`` slots.
+        """
+        config = self.config
+        if user_trajectory is None:
+            user = self.chain.sample_trajectory(config.horizon, rng)
+        else:
+            user = np.asarray(user_trajectory, dtype=np.int64)
+            if user.ndim != 1 or user.size == 0:
+                raise ValueError("user_trajectory must be a non-empty 1-D array")
+        horizon = user.size
+
+        engine = MigrationEngine(
+            topology=self.topology,
+            policy=self.policy,
+            cost_model=self.cost_model,
+            ledger=CostLedger(),
+        )
+        real_service = ServiceInstance(
+            service_id=0,
+            owner_id=config.user_id,
+            kind=ServiceKind.REAL,
+            cell=int(user[0]),
+        )
+        engine.register_instantiation(real_service, slot=0)
+
+        chaff_services: list[ServiceInstance] = []
+        plan = None
+        if self.strategy is not None and config.n_chaffs > 0:
+            orchestrator = ChaffOrchestrator(
+                strategy=self.strategy, chain=self.chain, n_chaffs=config.n_chaffs
+            )
+            plan = orchestrator.plan(config.user_id, user, rng)
+            chaff_services = orchestrator.instantiate(plan, engine, slot=0)
+
+        for slot in range(horizon):
+            engine.step_real_service(real_service, int(user[slot]), slot)
+            if plan is not None:
+                orchestrator.step(plan, chaff_services, engine, slot)
+            engine.close_slot()
+
+        observer = EavesdropperObserver(shuffle=config.shuffle_observations)
+        observations = observer.observe(
+            [real_service, *chaff_services], real_service_id=0, rng=rng
+        )
+        return MECSimulationReport(
+            user_trajectory=user,
+            observations=observations,
+            ledger=engine.ledger,
+            events=list(engine.events),
+            real_service=real_service,
+            chaff_services=chaff_services,
+        )

@@ -1,0 +1,180 @@
+"""MEC network topology: edge sites, adjacency and hop distances.
+
+Each MEC (edge cloud) covers one cell; the set of cells is the location
+alphabet of the whole system (Section II-A).  The topology records which
+cells are neighbours — used by the cost model (communication cost grows
+with hop distance between a user and his service) and by migration
+policies — and provides all-pairs hop distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..mobility.grid import GridTopology
+from ..geo.voronoi import VoronoiQuantizer
+
+__all__ = ["EdgeSite", "MECTopology"]
+
+
+@dataclass(frozen=True)
+class EdgeSite:
+    """A single MEC edge site serving one cell.
+
+    Attributes
+    ----------
+    cell:
+        Cell index served by this site.
+    capacity:
+        Number of service instances the site can host concurrently.
+    name:
+        Human-readable label (defaults to ``"mec-<cell>"``).
+    """
+
+    cell: int
+    capacity: int = 16
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cell < 0:
+            raise ValueError("cell must be non-negative")
+        if self.capacity < 1:
+            raise ValueError("capacity must be positive")
+        if not self.name:
+            object.__setattr__(self, "name", f"mec-{self.cell}")
+
+
+@dataclass
+class MECTopology:
+    """The MEC deployment: one edge site per cell plus cell adjacency.
+
+    Parameters
+    ----------
+    sites:
+        One :class:`EdgeSite` per cell, ordered by cell index.
+    adjacency:
+        Boolean ``(L, L)`` adjacency matrix between cells.  Must be
+        symmetric with a ``False`` diagonal.
+    """
+
+    sites: Sequence[EdgeSite]
+    adjacency: np.ndarray
+    _hops: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        sites = list(self.sites)
+        if not sites:
+            raise ValueError("topology needs at least one site")
+        cells = [site.cell for site in sites]
+        if cells != list(range(len(sites))):
+            raise ValueError("sites must be ordered by cell index 0..L-1")
+        self.sites = sites
+        adjacency = np.asarray(self.adjacency, dtype=bool)
+        n = len(sites)
+        if adjacency.shape != (n, n):
+            raise ValueError("adjacency matrix shape must match the number of sites")
+        if not np.array_equal(adjacency, adjacency.T):
+            raise ValueError("adjacency matrix must be symmetric")
+        if np.any(np.diag(adjacency)):
+            raise ValueError("adjacency matrix must have a False diagonal")
+        self.adjacency = adjacency
+        self._hops = self._all_pairs_hops(adjacency)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Number of cells / edge sites."""
+        return len(self.sites)
+
+    def site(self, cell: int) -> EdgeSite:
+        """The edge site serving ``cell``."""
+        if not 0 <= cell < self.n_cells:
+            raise ValueError(f"cell {cell} out of range")
+        return self.sites[cell]
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Hop distance between two cells (``L`` if disconnected)."""
+        if not (0 <= a < self.n_cells and 0 <= b < self.n_cells):
+            raise ValueError("cell index out of range")
+        return int(self._hops[a, b])
+
+    def hop_distance_matrix(self) -> np.ndarray:
+        """All-pairs hop distances (copy)."""
+        return self._hops.copy()
+
+    def neighbors(self, cell: int) -> list[int]:
+        """Cells adjacent to ``cell``."""
+        if not 0 <= cell < self.n_cells:
+            raise ValueError("cell index out of range")
+        return [int(i) for i in np.flatnonzero(self.adjacency[cell])]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _all_pairs_hops(adjacency: np.ndarray) -> np.ndarray:
+        """BFS-based all-pairs hop distances; unreachable pairs get ``n``."""
+        n = adjacency.shape[0]
+        hops = np.full((n, n), n, dtype=np.int64)
+        neighbor_lists = [np.flatnonzero(adjacency[i]) for i in range(n)]
+        for source in range(n):
+            hops[source, source] = 0
+            frontier = [source]
+            depth = 0
+            while frontier:
+                depth += 1
+                next_frontier = []
+                for node in frontier:
+                    for neighbor in neighbor_lists[node]:
+                        if hops[source, neighbor] > depth:
+                            hops[source, neighbor] = depth
+                            next_frontier.append(int(neighbor))
+                frontier = next_frontier
+        return hops
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def complete(cls, n_cells: int, *, capacity: int = 16) -> "MECTopology":
+        """Fully meshed deployment: every cell neighbours every other cell."""
+        if n_cells < 1:
+            raise ValueError("n_cells must be positive")
+        adjacency = np.ones((n_cells, n_cells), dtype=bool)
+        np.fill_diagonal(adjacency, False)
+        sites = [EdgeSite(cell=i, capacity=capacity) for i in range(n_cells)]
+        return cls(sites=sites, adjacency=adjacency)
+
+    @classmethod
+    def ring(cls, n_cells: int, *, capacity: int = 16) -> "MECTopology":
+        """1-D ring of cells, matching the paper's random-walk models."""
+        if n_cells < 2:
+            raise ValueError("a ring needs at least two cells")
+        adjacency = np.zeros((n_cells, n_cells), dtype=bool)
+        for i in range(n_cells):
+            adjacency[i, (i + 1) % n_cells] = True
+            adjacency[i, (i - 1) % n_cells] = True
+        np.fill_diagonal(adjacency, False)
+        sites = [EdgeSite(cell=i, capacity=capacity) for i in range(n_cells)]
+        return cls(sites=sites, adjacency=adjacency)
+
+    @classmethod
+    def from_grid(cls, grid: GridTopology, *, capacity: int = 16) -> "MECTopology":
+        """Build a topology from a 2-D grid (4-neighbourhood adjacency)."""
+        n = grid.n_cells
+        adjacency = np.zeros((n, n), dtype=bool)
+        for index in range(n):
+            for neighbor in grid.neighbors(index):
+                adjacency[index, neighbor] = True
+        sites = [EdgeSite(cell=i, capacity=capacity) for i in range(n)]
+        return cls(sites=sites, adjacency=adjacency)
+
+    @classmethod
+    def from_voronoi(
+        cls, quantizer: VoronoiQuantizer, *, capacity: int = 16
+    ) -> "MECTopology":
+        """Build a topology from Voronoi cell adjacency (trace-driven setup)."""
+        adjacency = quantizer.cell_adjacency()
+        sites = [EdgeSite(cell=i, capacity=capacity) for i in range(quantizer.n_cells)]
+        return cls(sites=sites, adjacency=adjacency)

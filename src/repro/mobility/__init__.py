@@ -1,0 +1,51 @@
+"""Mobility substrate: Markov-chain models of user movement over MEC cells."""
+
+from .markov import (
+    MarkovChain,
+    StationaryDistributionError,
+    is_ergodic,
+    stationary_distribution,
+    total_variation_distance,
+    validate_transition_matrix,
+)
+from .models import (
+    SYNTHETIC_MODEL_BUILDERS,
+    lazy_uniform_model,
+    paper_synthetic_models,
+    random_mobility_model,
+    spatially_skewed_model,
+    spatially_temporally_skewed_model,
+    temporally_skewed_model,
+    uniform_iid_model,
+)
+from .grid import GridTopology, grid_drift_walk, grid_random_walk
+from .estimation import (
+    count_transitions,
+    empirical_state_distribution,
+    empirical_transition_matrix,
+    fit_markov_chain,
+)
+
+__all__ = [
+    "MarkovChain",
+    "StationaryDistributionError",
+    "is_ergodic",
+    "stationary_distribution",
+    "total_variation_distance",
+    "validate_transition_matrix",
+    "SYNTHETIC_MODEL_BUILDERS",
+    "lazy_uniform_model",
+    "paper_synthetic_models",
+    "random_mobility_model",
+    "spatially_skewed_model",
+    "spatially_temporally_skewed_model",
+    "temporally_skewed_model",
+    "uniform_iid_model",
+    "GridTopology",
+    "grid_drift_walk",
+    "grid_random_walk",
+    "count_transitions",
+    "empirical_state_distribution",
+    "empirical_transition_matrix",
+    "fit_markov_chain",
+]

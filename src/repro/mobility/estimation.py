@@ -1,0 +1,107 @@
+"""Estimating empirical mobility models from observed cell trajectories.
+
+The trace-driven evaluation (Section VII-B) models all taxi traces as
+trajectories generated independently from the same Markov chain and fits
+the *empirical* transition matrix and steady-state distribution.  This
+module implements that fitting step, with additive smoothing so that the
+resulting chain is ergodic and every observed trajectory has non-zero
+likelihood.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .markov import MarkovChain
+
+__all__ = [
+    "count_transitions",
+    "empirical_transition_matrix",
+    "empirical_state_distribution",
+    "fit_markov_chain",
+]
+
+
+def count_transitions(
+    trajectories: Iterable[Sequence[int]], n_states: int
+) -> np.ndarray:
+    """Count observed one-step transitions over all trajectories.
+
+    Returns an ``(n_states, n_states)`` integer matrix ``C`` with
+    ``C[i, j]`` the number of observed moves from cell ``i`` to cell ``j``.
+    """
+    if n_states <= 0:
+        raise ValueError("n_states must be positive")
+    counts = np.zeros((n_states, n_states), dtype=np.int64)
+    for trajectory in trajectories:
+        traj = np.asarray(trajectory, dtype=np.int64)
+        if traj.ndim != 1:
+            raise ValueError("each trajectory must be 1-D")
+        if traj.size == 0:
+            continue
+        if traj.min() < 0 or traj.max() >= n_states:
+            raise ValueError("trajectory contains out-of-range cell indices")
+        if traj.size > 1:
+            np.add.at(counts, (traj[:-1], traj[1:]), 1)
+    return counts
+
+
+def empirical_state_distribution(
+    trajectories: Iterable[Sequence[int]], n_states: int, *, smoothing: float = 0.0
+) -> np.ndarray:
+    """Empirical distribution of visited cells across all trajectories."""
+    if n_states <= 0:
+        raise ValueError("n_states must be positive")
+    if smoothing < 0:
+        raise ValueError("smoothing must be non-negative")
+    counts = np.full(n_states, smoothing, dtype=float)
+    total_visits = 0
+    for trajectory in trajectories:
+        traj = np.asarray(trajectory, dtype=np.int64)
+        if traj.size == 0:
+            continue
+        if traj.min() < 0 or traj.max() >= n_states:
+            raise ValueError("trajectory contains out-of-range cell indices")
+        np.add.at(counts, traj, 1.0)
+        total_visits += traj.size
+    if total_visits == 0 and smoothing == 0:
+        raise ValueError("no observations and no smoothing; distribution undefined")
+    return counts / counts.sum()
+
+
+def empirical_transition_matrix(
+    trajectories: Iterable[Sequence[int]],
+    n_states: int,
+    *,
+    smoothing: float = 1e-3,
+) -> np.ndarray:
+    """Row-normalised transition matrix with additive (Laplace) smoothing.
+
+    ``smoothing`` is added to every count so rows with no observations
+    become uniform and the fitted chain is ergodic, which the chaff
+    strategies require (they take logs of transition probabilities).
+    """
+    if smoothing <= 0:
+        raise ValueError("smoothing must be positive to guarantee ergodicity")
+    counts = count_transitions(trajectories, n_states).astype(float)
+    counts += smoothing
+    return counts / counts.sum(axis=1, keepdims=True)
+
+
+def fit_markov_chain(
+    trajectories: Sequence[Sequence[int]],
+    n_states: int,
+    *,
+    smoothing: float = 1e-3,
+) -> MarkovChain:
+    """Fit a :class:`MarkovChain` to observed trajectories.
+
+    This is the model the trace-driven eavesdropper uses: the empirical
+    transition matrix of the whole population, as in Section VII-B1.
+    """
+    matrix = empirical_transition_matrix(
+        trajectories, n_states, smoothing=smoothing
+    )
+    return MarkovChain(matrix)

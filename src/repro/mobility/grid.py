@@ -1,0 +1,145 @@
+"""Two-dimensional grid mobility models.
+
+The MEC substrate (``repro.mec``) places edge sites on a rectangular grid
+of cells; these helpers build Markov chains over that grid so that the
+chaff strategies and eavesdropper — which only see cell indices — work
+unchanged on 2-D topologies.  The paper's related work on MEC service
+migration ([5], [14]) uses exactly this kind of 2-D Markov mobility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .markov import MarkovChain, validate_transition_matrix
+
+__all__ = ["GridTopology", "grid_random_walk", "grid_drift_walk"]
+
+
+@dataclass(frozen=True)
+class GridTopology:
+    """A rectangular grid of ``rows x cols`` cells.
+
+    Cells are indexed row-major: cell ``(r, c)`` has index ``r * cols + c``.
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells in the grid."""
+        return self.rows * self.cols
+
+    def index(self, row: int, col: int) -> int:
+        """Cell index for grid coordinates ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"coordinates ({row}, {col}) outside grid")
+        return row * self.cols + col
+
+    def coordinates(self, index: int) -> tuple[int, int]:
+        """Grid coordinates ``(row, col)`` of a cell index."""
+        if not 0 <= index < self.n_cells:
+            raise ValueError(f"index {index} outside grid")
+        return divmod(index, self.cols)
+
+    def neighbors(self, index: int) -> list[int]:
+        """4-neighbourhood of a cell (excluding the cell itself)."""
+        row, col = self.coordinates(index)
+        out = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            r, c = row + dr, col + dc
+            if 0 <= r < self.rows and 0 <= c < self.cols:
+                out.append(self.index(r, c))
+        return out
+
+    def iter_cells(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(index, row, col)`` for every cell."""
+        for index in range(self.n_cells):
+            row, col = self.coordinates(index)
+            yield index, row, col
+
+    def manhattan_distance(self, a: int, b: int) -> int:
+        """Manhattan (hop) distance between two cells."""
+        ra, ca = self.coordinates(a)
+        rb, cb = self.coordinates(b)
+        return abs(ra - rb) + abs(ca - cb)
+
+
+def grid_random_walk(
+    topology: GridTopology, *, stay_probability: float = 0.2, epsilon: float = 0.0
+) -> MarkovChain:
+    """Uniform random walk on the grid's 4-neighbourhood.
+
+    The walker stays put with ``stay_probability`` and otherwise moves to a
+    uniformly random neighbour.  A small ``epsilon`` teleport probability to
+    any cell keeps the chain ergodic even on degenerate grids.
+    """
+    if not 0 <= stay_probability < 1:
+        raise ValueError("stay_probability must be in [0, 1)")
+    n = topology.n_cells
+    if epsilon < 0 or epsilon * n >= 1:
+        raise ValueError("epsilon too large")
+    matrix = np.zeros((n, n), dtype=float)
+    for index in range(n):
+        neighbors = topology.neighbors(index)
+        matrix[index, index] += stay_probability
+        if neighbors:
+            share = (1.0 - stay_probability) / len(neighbors)
+            for other in neighbors:
+                matrix[index, other] += share
+        else:
+            matrix[index, index] += 1.0 - stay_probability
+    if epsilon > 0:
+        matrix = (1.0 - epsilon * n) * matrix + epsilon
+    return MarkovChain(validate_transition_matrix(matrix))
+
+
+def grid_drift_walk(
+    topology: GridTopology,
+    *,
+    drift: Sequence[float] = (0.4, 0.2, 0.2, 0.1),
+    stay_probability: float = 0.1,
+    epsilon: float = 1e-6,
+) -> MarkovChain:
+    """Biased grid walk with a directional drift (commuter-like mobility).
+
+    ``drift`` gives the relative preference for moving (down, up, right,
+    left); probability mass toward a missing neighbour (grid boundary) is
+    folded into staying.  This produces the spatially and temporally skewed
+    behaviour that makes users easy to track, mirroring the paper's
+    observation that predictable users need stronger chaff strategies.
+    """
+    if len(drift) != 4:
+        raise ValueError("drift must have four entries: down, up, right, left")
+    if any(d < 0 for d in drift):
+        raise ValueError("drift entries must be non-negative")
+    if not 0 <= stay_probability < 1:
+        raise ValueError("stay_probability must be in [0, 1)")
+    total_drift = float(sum(drift))
+    if total_drift <= 0:
+        raise ValueError("at least one drift entry must be positive")
+    move_mass = 1.0 - stay_probability
+    directions = ((1, 0), (-1, 0), (0, 1), (0, -1))
+    n = topology.n_cells
+    matrix = np.zeros((n, n), dtype=float)
+    for index in range(n):
+        row, col = topology.coordinates(index)
+        matrix[index, index] += stay_probability
+        for weight, (dr, dc) in zip(drift, directions):
+            mass = move_mass * weight / total_drift
+            r, c = row + dr, col + dc
+            if 0 <= r < topology.rows and 0 <= c < topology.cols:
+                matrix[index, topology.index(r, c)] += mass
+            else:
+                matrix[index, index] += mass
+    if epsilon > 0:
+        matrix = (1.0 - epsilon * n) * matrix + epsilon
+    return MarkovChain(validate_transition_matrix(matrix))

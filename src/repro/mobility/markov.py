@@ -1,0 +1,447 @@
+"""Discrete-time Markov chain mobility substrate.
+
+The paper models user mobility as an ergodic discrete-time Markov chain
+(MC) over the set of MEC cells (Section II-C).  This module provides the
+:class:`MarkovChain` class used throughout the reproduction: sampling of
+trajectories, stationary distributions, log-likelihoods of observed
+trajectories, entropy rates, total-variation mixing times and
+Kullback-Leibler row distances (the paper's "temporal skewness" measure).
+
+Conventions
+-----------
+``P[i, j]`` is the probability of moving *from* state ``i`` *to* state
+``j`` in one slot, i.e. ``P(x_t = j | x_{t-1} = i)``.  States are the
+integers ``0 .. n_states - 1`` and correspond to cell indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "MarkovChain",
+    "StationaryDistributionError",
+    "validate_transition_matrix",
+    "stationary_distribution",
+    "is_ergodic",
+    "total_variation_distance",
+]
+
+#: Probabilities below this are treated as structurally zero when taking logs.
+_LOG_FLOOR = 1e-300
+
+
+class StationaryDistributionError(ValueError):
+    """Raised when a stationary distribution cannot be computed."""
+
+
+def validate_transition_matrix(matrix: np.ndarray, *, atol: float = 1e-8) -> np.ndarray:
+    """Validate and normalise a candidate transition matrix.
+
+    Parameters
+    ----------
+    matrix:
+        A square 2-D array whose rows sum to one (within ``atol``).
+    atol:
+        Absolute tolerance on row sums and non-negativity.
+
+    Returns
+    -------
+    numpy.ndarray
+        A float64 copy of the matrix with rows re-normalised exactly.
+
+    Raises
+    ------
+    ValueError
+        If the matrix is not square, contains negative entries, or a row
+        does not sum to approximately one.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"transition matrix must be square, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError("transition matrix must have at least one state")
+    if np.any(arr < -atol):
+        raise ValueError("transition matrix has negative entries")
+    arr = np.clip(arr, 0.0, None)
+    row_sums = arr.sum(axis=1)
+    if np.any(np.abs(row_sums - 1.0) > max(atol, 1e-6)):
+        bad = int(np.argmax(np.abs(row_sums - 1.0)))
+        raise ValueError(
+            f"row {bad} of transition matrix sums to {row_sums[bad]:.6f}, expected 1"
+        )
+    return arr / row_sums[:, None]
+
+
+def stationary_distribution(matrix: np.ndarray, *, atol: float = 1e-10) -> np.ndarray:
+    """Compute the stationary distribution ``pi`` with ``pi @ P = pi``.
+
+    Uses the eigenvector of the transposed transition matrix associated
+    with eigenvalue 1, falling back to a linear-system solve for robustness.
+
+    Raises
+    ------
+    StationaryDistributionError
+        If no valid probability vector can be found.
+    """
+    P = validate_transition_matrix(matrix)
+    n = P.shape[0]
+    if n == 1:
+        return np.array([1.0])
+    # Solve (P^T - I) pi = 0 with the normalisation sum(pi) = 1.
+    A = np.vstack([P.T - np.eye(n), np.ones((1, n))])
+    b = np.zeros(n + 1)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+    pi = np.real(pi)
+    pi[np.abs(pi) < atol] = 0.0
+    if np.any(pi < -1e-8):
+        raise StationaryDistributionError("stationary solve produced negative mass")
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= 0:
+        raise StationaryDistributionError("stationary solve produced zero mass")
+    pi = pi / total
+    residual = np.max(np.abs(pi @ P - pi))
+    if residual > 1e-6:
+        raise StationaryDistributionError(
+            f"stationary distribution residual too large: {residual:.3e}"
+        )
+    return pi
+
+
+def is_ergodic(matrix: np.ndarray) -> bool:
+    """Return ``True`` if the chain is irreducible and aperiodic.
+
+    Checked by verifying that some power ``P^k`` (k up to ``2 n^2``) is
+    entrywise positive, which is the standard primitivity criterion.
+    """
+    P = validate_transition_matrix(matrix)
+    n = P.shape[0]
+    if n == 1:
+        return True
+    reach = (P > 0).astype(float)
+    power = reach.copy()
+    limit = 2 * n * n
+    for _ in range(limit):
+        if np.all(power > 0):
+            return True
+        power = np.minimum(power @ reach, 1.0)
+        if not np.any(power > 0):  # pragma: no cover - defensive
+            return False
+    return bool(np.all(power > 0))
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance ``0.5 * sum |p - q|`` between two pmfs."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same shape")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def _safe_log(values: np.ndarray) -> np.ndarray:
+    """Elementwise natural log treating zeros as ``log(_LOG_FLOOR)``."""
+    return np.log(np.maximum(values, _LOG_FLOOR))
+
+
+@dataclass
+class MarkovChain:
+    """An ergodic discrete-time Markov chain over cell indices.
+
+    Parameters
+    ----------
+    transition_matrix:
+        Row-stochastic matrix ``P`` with ``P[i, j] = P(j | i)``.
+    initial_distribution:
+        Distribution of the first state.  Defaults to the stationary
+        distribution, matching the paper's steady-state assumption.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> chain = MarkovChain(np.array([[0.9, 0.1], [0.2, 0.8]]))
+    >>> chain.n_states
+    2
+    >>> trajectory = chain.sample_trajectory(5, rng=np.random.default_rng(0))
+    >>> len(trajectory)
+    5
+    """
+
+    transition_matrix: np.ndarray
+    initial_distribution: np.ndarray | None = None
+    _stationary: np.ndarray = field(init=False, repr=False)
+    _log_transition: np.ndarray = field(init=False, repr=False)
+    _cumulative_transition: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.transition_matrix = validate_transition_matrix(self.transition_matrix)
+        self._stationary = stationary_distribution(self.transition_matrix)
+        self._log_transition = _safe_log(self.transition_matrix)
+        self._cumulative_transition = np.cumsum(self.transition_matrix, axis=1)
+        if self.initial_distribution is None:
+            self.initial_distribution = self._stationary.copy()
+        else:
+            init = np.asarray(self.initial_distribution, dtype=float)
+            if init.shape != (self.n_states,):
+                raise ValueError(
+                    "initial distribution shape does not match number of states"
+                )
+            if np.any(init < 0) or not np.isclose(init.sum(), 1.0, atol=1e-6):
+                raise ValueError("initial distribution must be a probability vector")
+            self.initial_distribution = init / init.sum()
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of cells (the paper's ``L``)."""
+        return self.transition_matrix.shape[0]
+
+    @property
+    def stationary(self) -> np.ndarray:
+        """Stationary distribution ``pi`` of the chain."""
+        return self._stationary
+
+    @property
+    def log_stationary(self) -> np.ndarray:
+        """Natural log of the stationary distribution (floored)."""
+        return _safe_log(self._stationary)
+
+    @property
+    def log_transition_matrix(self) -> np.ndarray:
+        """Natural log of the transition matrix (floored)."""
+        return self._log_transition
+
+    def is_ergodic(self) -> bool:
+        """Whether the chain is irreducible and aperiodic."""
+        return is_ergodic(self.transition_matrix)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_initial_state(self, rng: np.random.Generator) -> int:
+        """Draw the first state from the initial distribution."""
+        return int(rng.choice(self.n_states, p=self.initial_distribution))
+
+    def sample_next_state(self, state: int, rng: np.random.Generator) -> int:
+        """Draw the next state given the current ``state``."""
+        self._check_state(state)
+        # Inverse-CDF sampling on the precomputed cumulative rows is an order
+        # of magnitude faster than rng.choice for the tight sampling loops of
+        # the Monte-Carlo experiments.
+        cumulative = self._cumulative_transition[state]
+        return int(
+            min(np.searchsorted(cumulative, rng.random(), side="right"),
+                self.n_states - 1)
+        )
+
+    def sample_trajectory(
+        self,
+        length: int,
+        rng: np.random.Generator,
+        *,
+        initial_state: int | None = None,
+    ) -> np.ndarray:
+        """Sample a trajectory of ``length`` states.
+
+        Parameters
+        ----------
+        length:
+            Number of slots ``T`` (must be positive).
+        rng:
+            Source of randomness.
+        initial_state:
+            Optional fixed first state; otherwise drawn from the initial
+            distribution.
+        """
+        if length <= 0:
+            raise ValueError("trajectory length must be positive")
+        trajectory = np.empty(length, dtype=np.int64)
+        if initial_state is None:
+            trajectory[0] = self.sample_initial_state(rng)
+        else:
+            self._check_state(initial_state)
+            trajectory[0] = initial_state
+        if length > 1:
+            uniforms = rng.random(length - 1)
+            cumulative = self._cumulative_transition
+            last = self.n_states - 1
+            state = int(trajectory[0])
+            for t in range(1, length):
+                state = int(
+                    min(
+                        np.searchsorted(cumulative[state], uniforms[t - 1], side="right"),
+                        last,
+                    )
+                )
+                trajectory[t] = state
+        return trajectory
+
+    def sample_trajectories(
+        self, count: int, length: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample ``count`` independent trajectories as a ``(count, length)`` array."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return np.stack(
+            [self.sample_trajectory(length, rng) for _ in range(count)], axis=0
+        )
+
+    # ------------------------------------------------------------------
+    # Likelihood
+    # ------------------------------------------------------------------
+    def log_likelihood(self, trajectory: Sequence[int] | np.ndarray) -> float:
+        """Log-likelihood of a trajectory under this chain (Eq. 1's objective).
+
+        ``log pi(x_1) + sum_t log P(x_t | x_{t-1})``; the initial term uses
+        the stationary distribution, matching the paper's ML detector.
+        """
+        traj = np.asarray(trajectory, dtype=np.int64)
+        if traj.ndim != 1 or traj.size == 0:
+            raise ValueError("trajectory must be a non-empty 1-D sequence")
+        self._check_state(int(traj.min()))
+        self._check_state(int(traj.max()))
+        value = float(self.log_stationary[traj[0]])
+        if traj.size > 1:
+            value += float(self._log_transition[traj[:-1], traj[1:]].sum())
+        return value
+
+    def stepwise_log_likelihood(self, trajectory: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Per-slot log-likelihood contributions of a trajectory.
+
+        Element 0 is ``log pi(x_1)`` and element ``t`` is
+        ``log P(x_{t+1} | x_t)``.
+        """
+        traj = np.asarray(trajectory, dtype=np.int64)
+        if traj.ndim != 1 or traj.size == 0:
+            raise ValueError("trajectory must be a non-empty 1-D sequence")
+        out = np.empty(traj.size, dtype=float)
+        out[0] = self.log_stationary[traj[0]]
+        if traj.size > 1:
+            out[1:] = self._log_transition[traj[:-1], traj[1:]]
+        return out
+
+    def likelihood(self, trajectory: Sequence[int] | np.ndarray) -> float:
+        """Likelihood (probability) of a trajectory under this chain."""
+        return float(np.exp(self.log_likelihood(trajectory)))
+
+    # ------------------------------------------------------------------
+    # Information-theoretic quantities
+    # ------------------------------------------------------------------
+    def entropy_rate(self) -> float:
+        """Entropy rate ``H(X_t | X_{t-1})`` in nats under stationarity."""
+        P = self.transition_matrix
+        with np.errstate(divide="ignore", invalid="ignore"):
+            logs = np.where(P > 0, np.log(P), 0.0)
+        row_entropies = -(P * logs).sum(axis=1)
+        return float(self._stationary @ row_entropies)
+
+    def stationary_collision_probability(self) -> float:
+        """``sum_x pi(x)^2`` — the probability two independent stationary
+        copies coincide, which drives the IM-strategy floor (Eq. 11)."""
+        return float(np.sum(self._stationary**2))
+
+    def kl_row_distance_matrix(self) -> np.ndarray:
+        """Pairwise KL divergences between rows of the transition matrix.
+
+        The paper uses the average of these distances as a measure of
+        temporal skewness (Section VII-A1).
+        """
+        P = self.transition_matrix
+        n = self.n_states
+        out = np.zeros((n, n), dtype=float)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                out[i, j] = _kl_divergence(P[i], P[j])
+        return out
+
+    def mean_kl_row_distance(self) -> float:
+        """Average KL distance between distinct rows (temporal skewness)."""
+        n = self.n_states
+        if n < 2:
+            return 0.0
+        distances = self.kl_row_distance_matrix()
+        return float(distances.sum() / (n * (n - 1)))
+
+    # ------------------------------------------------------------------
+    # Mixing
+    # ------------------------------------------------------------------
+    def mixing_time(self, epsilon: float = 0.25, *, max_steps: int = 10_000) -> int:
+        """Smallest ``t`` with ``max_x ||P^t(x, .) - pi||_TV <= epsilon``.
+
+        Returns ``max_steps`` if the bound is not reached within the cap
+        (callers treat that as "slow mixing").
+        """
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        P = self.transition_matrix
+        pi = self._stationary
+        power = np.eye(self.n_states)
+        for t in range(1, max_steps + 1):
+            power = power @ P
+            distance = 0.5 * np.abs(power - pi[None, :]).sum(axis=1).max()
+            if distance <= epsilon:
+                return t
+        return max_steps
+
+    def n_step_matrix(self, steps: int) -> np.ndarray:
+        """The ``steps``-step transition matrix ``P^steps``."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        return np.linalg.matrix_power(self.transition_matrix, steps)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_state(self, state: int) -> None:
+        if not 0 <= state < self.n_states:
+            raise ValueError(f"state {state} out of range [0, {self.n_states})")
+
+    def restricted_argmax_row(self, state: int, excluded: Iterable[int] = ()) -> int:
+        """Most likely next state from ``state`` excluding ``excluded`` cells.
+
+        Used by the CML / MO strategies which repeatedly need the best and
+        second-best successor cells.
+        """
+        self._check_state(state)
+        row = self.transition_matrix[state].copy()
+        for cell in excluded:
+            self._check_state(int(cell))
+            row[int(cell)] = -np.inf
+        best = int(np.argmax(row))
+        if row[best] == -np.inf:
+            raise ValueError("all successor states are excluded")
+        return best
+
+    def restricted_argmax_stationary(self, excluded: Iterable[int] = ()) -> int:
+        """Most likely stationary cell excluding ``excluded`` cells."""
+        weights = self._stationary.copy()
+        for cell in excluded:
+            self._check_state(int(cell))
+            weights[int(cell)] = -np.inf
+        best = int(np.argmax(weights))
+        if weights[best] == -np.inf:
+            raise ValueError("all states are excluded")
+        return best
+
+
+def _kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """KL divergence D(p || q) in nats with 0 log 0 = 0 convention.
+
+    Entries where ``p > 0`` but ``q == 0`` contribute a large finite
+    penalty (log of the floor) rather than infinity so that averages over
+    many rows stay finite, mirroring common practice when estimating KL
+    from empirical matrices.
+    """
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    mask = p > 0
+    return float(np.sum(p[mask] * (np.log(p[mask]) - _safe_log(q[mask]))))

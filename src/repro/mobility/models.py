@@ -1,0 +1,203 @@
+"""Synthetic mobility models used in the paper's evaluation (Section VII-A).
+
+The paper evaluates four user mobility models over ``L = 10`` cells:
+
+(a) *non-skewed*: a Markov chain with randomly generated transition
+    probabilities (neither spatially nor temporally skewed);
+(b) *spatially-skewed*: as (a) but with a strongly favoured column
+    (cell index 5 in the paper, i.e. the 5th cell), so the chain
+    concentrates on one cell;
+(c) *temporally-skewed*: a cyclic random walk with uniform stationary
+    distribution (wrap-around boundaries, p=0.5 right, q=0.25 left);
+(d) *spatially and temporally skewed*: the same random walk without
+    wrap-around (reflecting boundaries), yielding a non-uniform
+    stationary distribution.
+
+Models (c) and (d) allow transitions between non-adjacent cells with a
+small probability ``epsilon = 1e-5`` as in the paper's footnote 9.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from .markov import MarkovChain, validate_transition_matrix
+
+__all__ = [
+    "random_mobility_model",
+    "spatially_skewed_model",
+    "temporally_skewed_model",
+    "spatially_temporally_skewed_model",
+    "lazy_uniform_model",
+    "uniform_iid_model",
+    "paper_synthetic_models",
+    "SYNTHETIC_MODEL_BUILDERS",
+]
+
+
+def random_mobility_model(
+    n_cells: int = 10, *, rng: np.random.Generator | None = None
+) -> MarkovChain:
+    """Model (a): random row-normalised transition matrix.
+
+    Each entry is drawn uniformly from [0, 1] and rows are normalised,
+    producing a chain that is neither spatially nor temporally skewed.
+    """
+    if n_cells < 2:
+        raise ValueError("need at least two cells")
+    rng = rng or np.random.default_rng(0)
+    matrix = rng.uniform(0.0, 1.0, size=(n_cells, n_cells))
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    return MarkovChain(matrix)
+
+
+def spatially_skewed_model(
+    n_cells: int = 10,
+    *,
+    hot_cell: int | None = None,
+    hot_weight: float = 2.0,
+    rng: np.random.Generator | None = None,
+) -> MarkovChain:
+    """Model (b): random matrix with one column boosted to ``hot_weight``.
+
+    The paper's footnote 7: generate an LxL matrix of uniform values,
+    set the j-th column (j = 5, zero-based 4) to 2, and normalise rows.
+    """
+    if n_cells < 2:
+        raise ValueError("need at least two cells")
+    rng = rng or np.random.default_rng(1)
+    if hot_cell is None:
+        hot_cell = min(4, n_cells - 1)
+    if not 0 <= hot_cell < n_cells:
+        raise ValueError("hot_cell out of range")
+    if hot_weight <= 0:
+        raise ValueError("hot_weight must be positive")
+    matrix = rng.uniform(0.0, 1.0, size=(n_cells, n_cells))
+    matrix[:, hot_cell] = hot_weight
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    return MarkovChain(matrix)
+
+
+def _random_walk_matrix(
+    n_cells: int,
+    p_right: float,
+    p_left: float,
+    *,
+    wrap: bool,
+    epsilon: float,
+) -> np.ndarray:
+    """Build the (wrapping or reflecting) birth-death random-walk matrix.
+
+    Each cell moves right with probability ``p_right``, left with
+    ``p_left`` and stays otherwise.  With ``wrap`` the walk is on a ring;
+    without it, probability mass that would leave the boundary is folded
+    into staying put (the paper's "variation of model (c) without
+    wrapping").  A small ``epsilon`` probability of jumping to any
+    non-adjacent cell keeps the chain fully connected (footnote 9).
+    """
+    if n_cells < 3:
+        raise ValueError("random-walk models need at least three cells")
+    if p_right < 0 or p_left < 0 or p_right + p_left > 1:
+        raise ValueError("invalid step probabilities")
+    if epsilon < 0 or epsilon * n_cells >= 1:
+        raise ValueError("epsilon too large")
+    stay = 1.0 - p_right - p_left
+    matrix = np.zeros((n_cells, n_cells), dtype=float)
+    for i in range(n_cells):
+        right = (i + 1) % n_cells
+        left = (i - 1) % n_cells
+        if wrap:
+            matrix[i, right] += p_right
+            matrix[i, left] += p_left
+            matrix[i, i] += stay
+        else:
+            if i + 1 < n_cells:
+                matrix[i, i + 1] += p_right
+            else:
+                matrix[i, i] += p_right
+            if i - 1 >= 0:
+                matrix[i, i - 1] += p_left
+            else:
+                matrix[i, i] += p_left
+            matrix[i, i] += stay
+    if epsilon > 0:
+        matrix = (1.0 - epsilon * n_cells) * matrix + epsilon
+    return validate_transition_matrix(matrix)
+
+
+def temporally_skewed_model(
+    n_cells: int = 10,
+    *,
+    p_right: float = 0.5,
+    p_left: float = 0.25,
+    epsilon: float = 1e-5,
+) -> MarkovChain:
+    """Model (c): wrapping random walk with a uniform stationary distribution."""
+    return MarkovChain(
+        _random_walk_matrix(n_cells, p_right, p_left, wrap=True, epsilon=epsilon)
+    )
+
+
+def spatially_temporally_skewed_model(
+    n_cells: int = 10,
+    *,
+    p_right: float = 0.5,
+    p_left: float = 0.25,
+    epsilon: float = 1e-5,
+) -> MarkovChain:
+    """Model (d): non-wrapping random walk with a skewed stationary distribution."""
+    return MarkovChain(
+        _random_walk_matrix(n_cells, p_right, p_left, wrap=False, epsilon=epsilon)
+    )
+
+
+def lazy_uniform_model(n_cells: int = 10, *, stay_probability: float = 0.5) -> MarkovChain:
+    """A lazy chain that stays with ``stay_probability`` and otherwise moves
+    uniformly.  Useful as a maximally unpredictable baseline in tests."""
+    if not 0 <= stay_probability < 1:
+        raise ValueError("stay_probability must be in [0, 1)")
+    off = (1.0 - stay_probability) / (n_cells - 1)
+    matrix = np.full((n_cells, n_cells), off, dtype=float)
+    np.fill_diagonal(matrix, stay_probability)
+    return MarkovChain(matrix)
+
+
+def uniform_iid_model(n_cells: int = 10) -> MarkovChain:
+    """I.i.d. uniform movement: every row is the uniform distribution."""
+    matrix = np.full((n_cells, n_cells), 1.0 / n_cells, dtype=float)
+    return MarkovChain(matrix)
+
+
+#: Builders for the paper's four synthetic models, keyed by the labels used
+#: in the figures.
+SYNTHETIC_MODEL_BUILDERS: Dict[str, Callable[..., MarkovChain]] = {
+    "non-skewed": random_mobility_model,
+    "spatially-skewed": spatially_skewed_model,
+    "temporally-skewed": temporally_skewed_model,
+    "spatially&temporally-skewed": spatially_temporally_skewed_model,
+}
+
+
+def paper_synthetic_models(
+    n_cells: int = 10, *, seed: int = 2017
+) -> Dict[str, MarkovChain]:
+    """Build the four mobility models (a)-(d) used in Figs. 4-7.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of cells ``L`` (the paper uses 10).
+    seed:
+        Seed for the random matrices of models (a) and (b); models (c)
+        and (d) are deterministic.
+    """
+    rng_a = np.random.default_rng(seed)
+    rng_b = np.random.default_rng(seed + 1)
+    return {
+        "non-skewed": random_mobility_model(n_cells, rng=rng_a),
+        "spatially-skewed": spatially_skewed_model(n_cells, rng=rng_b),
+        "temporally-skewed": temporally_skewed_model(n_cells),
+        "spatially&temporally-skewed": spatially_temporally_skewed_model(n_cells),
+    }

@@ -1,0 +1,18 @@
+"""Simulation harness: configs, Monte-Carlo runner and result containers."""
+
+from .config import SyntheticExperimentConfig, TraceExperimentConfig
+from .monte_carlo import MonteCarloRunner, run_game_monte_carlo
+from .results import ExperimentResult, SeriesResult, to_jsonable
+from .runner import StrategySweep, sweep_strategies
+
+__all__ = [
+    "SyntheticExperimentConfig",
+    "TraceExperimentConfig",
+    "MonteCarloRunner",
+    "run_game_monte_carlo",
+    "ExperimentResult",
+    "SeriesResult",
+    "to_jsonable",
+    "StrategySweep",
+    "sweep_strategies",
+]

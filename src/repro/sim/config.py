@@ -1,0 +1,176 @@
+"""Experiment configuration objects.
+
+Configs are plain dataclasses that can round-trip through dictionaries /
+JSON so experiment definitions can be stored alongside their results and
+re-run exactly (the Monte-Carlo harness derives all randomness from the
+``seed`` field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["SyntheticExperimentConfig", "TraceExperimentConfig"]
+
+#: Strategy names evaluated in the paper's synthetic figures.
+_DEFAULT_STRATEGIES = ("IM", "ML", "OO", "MO", "CML")
+
+
+@dataclass(frozen=True)
+class SyntheticExperimentConfig:
+    """Configuration of a synthetic (Markov-model) experiment (Figs. 4-7).
+
+    Attributes
+    ----------
+    n_cells:
+        Number of cells ``L`` (paper: 10).
+    horizon:
+        Trajectory length ``T`` (paper: 100).
+    n_runs:
+        Monte-Carlo runs per data point (paper: 1000).
+    n_services:
+        Total trajectories ``N`` (user + chaffs) for single-setting plots.
+    strategies:
+        Strategy names to evaluate.
+    mobility_models:
+        Mobility-model labels (keys of ``paper_synthetic_models``).
+    seed:
+        Master seed for all randomness.
+    """
+
+    n_cells: int = 10
+    horizon: int = 100
+    n_runs: int = 1000
+    n_services: int = 2
+    strategies: Sequence[str] = _DEFAULT_STRATEGIES
+    mobility_models: Sequence[str] = (
+        "non-skewed",
+        "spatially-skewed",
+        "temporally-skewed",
+        "spatially&temporally-skewed",
+    )
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 2:
+            raise ValueError("n_cells must be at least 2")
+        if self.horizon < 1:
+            raise ValueError("horizon must be positive")
+        if self.n_runs < 1:
+            raise ValueError("n_runs must be positive")
+        if self.n_services < 2:
+            raise ValueError("n_services must be at least 2")
+        if not self.strategies:
+            raise ValueError("at least one strategy is required")
+        if not self.mobility_models:
+            raise ValueError("at least one mobility model is required")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        data = asdict(self)
+        data["strategies"] = list(self.strategies)
+        data["mobility_models"] = list(self.mobility_models)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SyntheticExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        data = dict(data)
+        if "strategies" in data:
+            data["strategies"] = tuple(data["strategies"])
+        if "mobility_models" in data:
+            data["mobility_models"] = tuple(data["mobility_models"])
+        return cls(**data)
+
+    def scaled(self, *, n_runs: int | None = None, horizon: int | None = None):
+        """Copy with a smaller run count / horizon (for tests and CI)."""
+        return SyntheticExperimentConfig(
+            n_cells=self.n_cells,
+            horizon=horizon if horizon is not None else self.horizon,
+            n_runs=n_runs if n_runs is not None else self.n_runs,
+            n_services=self.n_services,
+            strategies=tuple(self.strategies),
+            mobility_models=tuple(self.mobility_models),
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class TraceExperimentConfig:
+    """Configuration of the trace-driven experiments (Figs. 8-10).
+
+    Attributes
+    ----------
+    n_nodes:
+        Taxi fleet size (paper: 174).
+    horizon:
+        Number of one-minute slots (paper: 100).
+    n_towers:
+        Target tower count before deduplication (paper ends at 959 cells;
+        smaller values keep the experiments laptop-friendly).
+    top_k_users:
+        Number of most-trackable users analysed in Figs. 9(b)/10.
+    n_chaffs:
+        Chaffs per protected user (1 in Fig. 9(b), 2 in Fig. 10).
+    strategies:
+        Strategy names to evaluate for the protected users.
+    seed:
+        Master seed.
+    """
+
+    n_nodes: int = 174
+    horizon: int = 100
+    n_towers: int = 300
+    top_k_users: int = 5
+    n_chaffs: int = 1
+    strategies: Sequence[str] = ("IM", "MO", "ML", "OO")
+    seed: int = 2017
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError("n_nodes must be at least 2")
+        if self.horizon < 2:
+            raise ValueError("horizon must be at least 2")
+        if self.n_towers < 2:
+            raise ValueError("n_towers must be at least 2")
+        if self.top_k_users < 1:
+            raise ValueError("top_k_users must be positive")
+        if self.n_chaffs < 1:
+            raise ValueError("n_chaffs must be positive")
+        if not self.strategies:
+            raise ValueError("at least one strategy is required")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        data = asdict(self)
+        data["strategies"] = list(self.strategies)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        data = dict(data)
+        if "strategies" in data:
+            data["strategies"] = tuple(data["strategies"])
+        return cls(**data)
+
+    def scaled(
+        self,
+        *,
+        n_nodes: int | None = None,
+        n_towers: int | None = None,
+        horizon: int | None = None,
+    ) -> "TraceExperimentConfig":
+        """Copy with reduced sizes (for tests and CI)."""
+        return TraceExperimentConfig(
+            n_nodes=n_nodes if n_nodes is not None else self.n_nodes,
+            horizon=horizon if horizon is not None else self.horizon,
+            n_towers=n_towers if n_towers is not None else self.n_towers,
+            top_k_users=self.top_k_users,
+            n_chaffs=self.n_chaffs,
+            strategies=tuple(self.strategies),
+            seed=self.seed,
+            extra=dict(self.extra),
+        )

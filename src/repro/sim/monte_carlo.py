@@ -1,0 +1,111 @@
+"""Monte-Carlo harness for the privacy game.
+
+The paper averages its synthetic results over 1000 Monte-Carlo runs.  The
+harness here owns seeding (each run gets an independent child generator
+spawned from a single :class:`numpy.random.SeedSequence`) so experiments
+are reproducible run-for-run regardless of execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..analysis.metrics import TrackingStatistics, aggregate_episodes
+from ..core.game import EpisodeResult, PrivacyGame
+
+__all__ = ["MonteCarloRunner", "run_game_monte_carlo"]
+
+
+@dataclass
+class MonteCarloRunner:
+    """Runs a privacy game many times and aggregates the outcomes.
+
+    Parameters
+    ----------
+    n_runs:
+        Number of independent episodes.
+    seed:
+        Master seed; per-run generators are spawned from it.
+    """
+
+    n_runs: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_runs < 1:
+            raise ValueError("n_runs must be positive")
+
+    def run(
+        self,
+        game: PrivacyGame,
+        *,
+        horizon: int | None = None,
+        user_trajectory_provider: Callable[[int, np.random.Generator], np.ndarray]
+        | None = None,
+        background_provider: Callable[[int, np.random.Generator], np.ndarray | None]
+        | None = None,
+    ) -> TrackingStatistics:
+        """Run ``n_runs`` episodes and aggregate them.
+
+        Exactly one of ``horizon`` (sample the user from the mobility model)
+        or ``user_trajectory_provider`` (callable mapping run index and RNG
+        to a fixed user trajectory, e.g. a taxi trace) must be supplied.
+        """
+        episodes = self.run_episodes(
+            game,
+            horizon=horizon,
+            user_trajectory_provider=user_trajectory_provider,
+            background_provider=background_provider,
+        )
+        return aggregate_episodes(episodes)
+
+    def run_episodes(
+        self,
+        game: PrivacyGame,
+        *,
+        horizon: int | None = None,
+        user_trajectory_provider: Callable[[int, np.random.Generator], np.ndarray]
+        | None = None,
+        background_provider: Callable[[int, np.random.Generator], np.ndarray | None]
+        | None = None,
+    ) -> list[EpisodeResult]:
+        """Run the episodes and return them without aggregation."""
+        if (horizon is None) == (user_trajectory_provider is None):
+            raise ValueError(
+                "provide exactly one of horizon or user_trajectory_provider"
+            )
+        seed_sequence = np.random.SeedSequence(self.seed)
+        children = seed_sequence.spawn(self.n_runs)
+        episodes: list[EpisodeResult] = []
+        for run_index, child in enumerate(children):
+            rng = np.random.default_rng(child)
+            user_trajectory = None
+            if user_trajectory_provider is not None:
+                user_trajectory = user_trajectory_provider(run_index, rng)
+            background = None
+            if background_provider is not None:
+                background = background_provider(run_index, rng)
+            episodes.append(
+                game.run_episode(
+                    rng,
+                    horizon=horizon if user_trajectory is None else None,
+                    user_trajectory=user_trajectory,
+                    background_trajectories=background,
+                )
+            )
+        return episodes
+
+
+def run_game_monte_carlo(
+    game: PrivacyGame,
+    *,
+    n_runs: int,
+    horizon: int,
+    seed: int = 0,
+) -> TrackingStatistics:
+    """Convenience wrapper: sample-user episodes with default providers."""
+    runner = MonteCarloRunner(n_runs=n_runs, seed=seed)
+    return runner.run(game, horizon=horizon)

@@ -1,0 +1,208 @@
+"""Result containers with JSON (de)serialisation.
+
+Every experiment module returns one of these containers so that the
+benchmark harness, the CLI and EXPERIMENTS.md all consume the same
+structures.  Results are intentionally plain: nested dicts of floats and
+lists, easily diffed against the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SeriesResult", "ExperimentResult", "to_jsonable"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays into JSON-friendly types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class SeriesResult:
+    """A single named series (one curve or bar group of a figure).
+
+    Attributes
+    ----------
+    label:
+        Legend label, e.g. ``"OO (N = 2)"``.
+    values:
+        The y-values of the series.
+    index:
+        The x-values (time slots, user ids, cell ids, ...); optional.
+    metadata:
+        Free-form extras (e.g. the strategy name and ``N`` used).
+    """
+
+    label: str
+    values: tuple[float, ...]
+    index: tuple[float, ...] | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("label must be non-empty")
+        if self.index is not None and len(self.index) != len(self.values):
+            raise ValueError("index and values must have equal length")
+
+    @classmethod
+    def from_array(
+        cls,
+        label: str,
+        values: np.ndarray | list[float],
+        *,
+        index: np.ndarray | list[float] | None = None,
+        **metadata: Any,
+    ) -> "SeriesResult":
+        """Build a series from array-likes."""
+        values_tuple = tuple(float(v) for v in np.asarray(values).ravel())
+        index_tuple = (
+            tuple(float(v) for v in np.asarray(index).ravel())
+            if index is not None
+            else None
+        )
+        return cls(
+            label=label, values=values_tuple, index=index_tuple, metadata=dict(metadata)
+        )
+
+    def final_value(self) -> float:
+        """Last value of the series (e.g. accuracy at the final slot)."""
+        return self.values[-1]
+
+    def mean_value(self) -> float:
+        """Mean of the series values."""
+        return float(np.mean(self.values))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly dict form."""
+        return to_jsonable(
+            {
+                "label": self.label,
+                "values": list(self.values),
+                "index": list(self.index) if self.index is not None else None,
+                "metadata": self.metadata,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SeriesResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            label=data["label"],
+            values=tuple(float(v) for v in data["values"]),
+            index=(
+                tuple(float(v) for v in data["index"])
+                if data.get("index") is not None
+                else None
+            ),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The full output of one experiment (one paper figure or table).
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier such as ``"fig5"``.
+    description:
+        One-line description of what the experiment reproduces.
+    groups:
+        Mapping from group name (e.g. mobility-model label or user id) to
+        the list of series in that group.
+    scalars:
+        Headline scalar outputs (e.g. the KL skewness table).
+    config:
+        The configuration dict the experiment ran with.
+    """
+
+    experiment_id: str
+    description: str
+    groups: dict[str, list[SeriesResult]] = field(default_factory=dict)
+    scalars: dict[str, float] = field(default_factory=dict)
+    config: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.experiment_id:
+            raise ValueError("experiment_id must be non-empty")
+
+    def series(self, group: str, label: str) -> SeriesResult:
+        """Look up a series by group and label."""
+        for candidate in self.groups.get(group, []):
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"series {label!r} not found in group {group!r}")
+
+    def group_labels(self, group: str) -> list[str]:
+        """Labels of all series in a group."""
+        return [series.label for series in self.groups.get(group, [])]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly dict form."""
+        return to_jsonable(
+            {
+                "experiment_id": self.experiment_id,
+                "description": self.description,
+                "groups": {
+                    name: [series.to_dict() for series in series_list]
+                    for name, series_list in self.groups.items()
+                },
+                "scalars": self.scalars,
+                "config": self.config,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            experiment_id=data["experiment_id"],
+            description=data.get("description", ""),
+            groups={
+                name: [SeriesResult.from_dict(item) for item in series_list]
+                for name, series_list in data.get("groups", {}).items()
+            },
+            scalars={key: float(v) for key, v in data.get("scalars", {}).items()},
+            config=dict(data.get("config", {})),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the result to a JSON file and return the path."""
+        destination = Path(path)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return destination
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        """Read a result previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable summary, one line per series (for the CLI)."""
+        lines = [f"[{self.experiment_id}] {self.description}"]
+        for scalar, value in sorted(self.scalars.items()):
+            lines.append(f"  {scalar} = {value:.4g}")
+        for group, series_list in self.groups.items():
+            lines.append(f"  group: {group}")
+            for series in series_list:
+                lines.append(
+                    f"    {series.label}: mean={series.mean_value():.4f} "
+                    f"final={series.final_value():.4f} (n={len(series.values)})"
+                )
+        return lines

@@ -1,0 +1,86 @@
+"""High-level sweep runner: evaluate many strategies against one model.
+
+The experiment modules (one per paper figure) compose this runner with the
+appropriate mobility models, detectors and chaff budgets; it factors out
+the common "for each strategy, Monte-Carlo the game and collect the
+per-slot accuracy curve" loop of Figs. 5 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..analysis.metrics import TrackingStatistics
+from ..core.eavesdropper.detector import TrajectoryDetector
+from ..core.game import PrivacyGame
+from ..core.strategies.base import ChaffStrategy, get_strategy
+from ..mobility.markov import MarkovChain
+from .monte_carlo import MonteCarloRunner
+from .results import SeriesResult
+
+__all__ = ["StrategySweep", "sweep_strategies"]
+
+
+@dataclass(frozen=True)
+class StrategySweep:
+    """Result of sweeping several strategies against one mobility model."""
+
+    model_label: str
+    statistics: dict[str, TrackingStatistics]
+
+    def series(self) -> list[SeriesResult]:
+        """Per-slot accuracy curves as :class:`SeriesResult` objects."""
+        out = []
+        for label, stats in self.statistics.items():
+            out.append(
+                SeriesResult.from_array(
+                    label,
+                    stats.per_slot_accuracy,
+                    index=list(range(1, stats.horizon + 1)),
+                    tracking_accuracy=stats.tracking_accuracy,
+                    detection_accuracy=stats.detection_accuracy,
+                    n_episodes=stats.n_episodes,
+                )
+            )
+        return out
+
+
+def sweep_strategies(
+    chain: MarkovChain,
+    detector: TrajectoryDetector,
+    strategy_specs: Mapping[str, tuple[ChaffStrategy | str, int]],
+    *,
+    horizon: int,
+    n_runs: int,
+    seed: int,
+    model_label: str = "model",
+) -> StrategySweep:
+    """Evaluate several (strategy, N) combinations against one model.
+
+    Parameters
+    ----------
+    chain:
+        The user mobility model.
+    detector:
+        The eavesdropper's detector.
+    strategy_specs:
+        Mapping from series label to ``(strategy, n_services)``; the
+        strategy may be given by name (resolved through the registry) or
+        as an instance.
+    horizon, n_runs, seed:
+        Monte-Carlo parameters.
+    """
+    statistics: dict[str, TrackingStatistics] = {}
+    for offset, (label, (strategy_spec, n_services)) in enumerate(
+        strategy_specs.items()
+    ):
+        strategy = (
+            get_strategy(strategy_spec)
+            if isinstance(strategy_spec, str)
+            else strategy_spec
+        )
+        game = PrivacyGame(chain, strategy, detector, n_services=n_services)
+        runner = MonteCarloRunner(n_runs=n_runs, seed=seed + offset)
+        statistics[label] = runner.run(game, horizon=horizon)
+    return StrategySweep(model_label=model_label, statistics=statistics)

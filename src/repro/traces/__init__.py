@@ -1,0 +1,22 @@
+"""Trace substrate: synthetic taxi traces and the preprocessing pipeline."""
+
+from .taxi import GpsFix, RawTrace, TaxiFleetConfig, TaxiFleetGenerator
+from .preprocess import (
+    CellTrajectoryDataset,
+    TracePipeline,
+    filter_inactive_traces,
+    quantize_traces,
+    resample_trace,
+)
+
+__all__ = [
+    "GpsFix",
+    "RawTrace",
+    "TaxiFleetConfig",
+    "TaxiFleetGenerator",
+    "CellTrajectoryDataset",
+    "TracePipeline",
+    "filter_inactive_traces",
+    "quantize_traces",
+    "resample_trace",
+]

@@ -1,0 +1,225 @@
+"""Trace preprocessing pipeline (Section VII-B1).
+
+The paper's pipeline for the taxi traces is:
+
+1. extract traces over a 100-minute window with updates every minute;
+2. filter out inactive nodes (no update for 5 minutes);
+3. regulate the irregular update intervals via linear interpolation;
+4. quantise positions into Voronoi cells around cell towers;
+5. fit the empirical Markov mobility model of the whole population.
+
+:class:`TracePipeline` packages steps 2-5; the individual functions are
+exposed for unit testing and for callers that need only part of the
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..geo.points import GeoPoint
+from ..geo.voronoi import VoronoiQuantizer
+from ..mobility.estimation import fit_markov_chain
+from ..mobility.markov import MarkovChain
+from .taxi import RawTrace
+
+__all__ = [
+    "filter_inactive_traces",
+    "resample_trace",
+    "quantize_traces",
+    "CellTrajectoryDataset",
+    "TracePipeline",
+]
+
+
+def filter_inactive_traces(
+    traces: Sequence[RawTrace],
+    *,
+    max_gap_s: float = 300.0,
+    min_duration_s: float = 0.0,
+) -> list[RawTrace]:
+    """Drop nodes with any silent gap exceeding ``max_gap_s``.
+
+    The paper filters out inactive nodes ("no update for 5 minutes").
+    Nodes whose total span is shorter than ``min_duration_s`` are also
+    dropped because they cannot be resampled onto the full time grid.
+    """
+    if max_gap_s <= 0:
+        raise ValueError("max_gap_s must be positive")
+    kept = []
+    for trace in traces:
+        if len(trace.fixes) < 2:
+            continue
+        if trace.max_gap() > max_gap_s:
+            continue
+        if trace.duration < min_duration_s:
+            continue
+        kept.append(trace)
+    return kept
+
+
+def resample_trace(
+    trace: RawTrace,
+    *,
+    interval_s: float = 60.0,
+    duration_s: float | None = None,
+    start_s: float | None = None,
+) -> list[GeoPoint]:
+    """Linearly interpolate a raw trace onto a regular time grid.
+
+    Timestamps outside the observed span are clamped to the first/last fix
+    (constant extrapolation), which matches the effect of the paper's
+    filtering + interpolation step for nodes active over the whole window.
+    """
+    if interval_s <= 0:
+        raise ValueError("interval_s must be positive")
+    if len(trace.fixes) < 2:
+        raise ValueError("need at least two fixes to resample")
+    timestamps = trace.timestamps()
+    latitudes = np.array([fix.position.latitude for fix in trace.fixes])
+    longitudes = np.array([fix.position.longitude for fix in trace.fixes])
+    if start_s is None:
+        start_s = 0.0
+    if duration_s is None:
+        duration_s = float(timestamps[-1] - start_s)
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    grid = np.arange(start_s, start_s + duration_s + 1e-9, interval_s)
+    lat_interp = np.interp(grid, timestamps, latitudes)
+    lon_interp = np.interp(grid, timestamps, longitudes)
+    return [GeoPoint(float(lat), float(lon)) for lat, lon in zip(lat_interp, lon_interp)]
+
+
+def quantize_traces(
+    resampled: Sequence[Sequence[GeoPoint]], quantizer: VoronoiQuantizer
+) -> np.ndarray:
+    """Quantise resampled traces into an ``(n_nodes, T)`` cell-index array."""
+    if not resampled:
+        raise ValueError("no traces to quantise")
+    lengths = {len(points) for points in resampled}
+    if len(lengths) != 1:
+        raise ValueError("all resampled traces must have the same length")
+    return np.stack(
+        [quantizer.quantize_points(points) for points in resampled], axis=0
+    )
+
+
+@dataclass
+class CellTrajectoryDataset:
+    """The output of the trace pipeline.
+
+    Attributes
+    ----------
+    trajectories:
+        ``(n_nodes, T)`` integer array of cell indices.
+    node_ids:
+        Original node identifiers, aligned with the rows of ``trajectories``.
+    mobility_model:
+        The empirical population-level Markov chain fitted on the
+        trajectories (the eavesdropper's model of "how typical users move").
+    quantizer:
+        The Voronoi quantiser (defines the cell geometry).
+    """
+
+    trajectories: np.ndarray
+    node_ids: list[int]
+    mobility_model: MarkovChain
+    quantizer: VoronoiQuantizer
+
+    def __post_init__(self) -> None:
+        self.trajectories = np.asarray(self.trajectories, dtype=np.int64)
+        if self.trajectories.ndim != 2:
+            raise ValueError("trajectories must be a 2-D array")
+        if self.trajectories.shape[0] != len(self.node_ids):
+            raise ValueError("node_ids length must match number of trajectories")
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes that survived preprocessing."""
+        return self.trajectories.shape[0]
+
+    @property
+    def horizon(self) -> int:
+        """Number of time slots ``T``."""
+        return self.trajectories.shape[1]
+
+    @property
+    def n_cells(self) -> int:
+        """Number of Voronoi cells in the quantiser."""
+        return self.quantizer.n_cells
+
+    def trajectory_of(self, node_id: int) -> np.ndarray:
+        """Cell trajectory of a specific node id."""
+        try:
+            row = self.node_ids.index(node_id)
+        except ValueError as exc:
+            raise KeyError(f"node {node_id} not in dataset") from exc
+        return self.trajectories[row]
+
+    def empirical_stationary(self) -> np.ndarray:
+        """Empirical distribution of visited cells across the dataset
+        (the histogram plotted in Fig. 8(b))."""
+        counts = np.zeros(self.n_cells, dtype=float)
+        np.add.at(counts, self.trajectories.ravel(), 1.0)
+        return counts / counts.sum()
+
+
+@dataclass
+class TracePipeline:
+    """End-to-end preprocessing: raw GPS traces -> cell trajectories + model.
+
+    Parameters
+    ----------
+    quantizer:
+        Voronoi quantiser defining the cells.
+    slot_interval_s:
+        Resampling interval (the paper uses one minute).
+    max_gap_s:
+        Inactivity threshold for dropping nodes (the paper uses 5 minutes).
+    horizon_slots:
+        Number of slots to keep per node (the paper uses 100).
+    smoothing:
+        Additive smoothing for the empirical transition matrix.
+    """
+
+    quantizer: VoronoiQuantizer
+    slot_interval_s: float = 60.0
+    max_gap_s: float = 300.0
+    horizon_slots: int = 100
+    smoothing: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.horizon_slots < 2:
+            raise ValueError("horizon_slots must be at least 2")
+        if self.slot_interval_s <= 0:
+            raise ValueError("slot_interval_s must be positive")
+
+    def run(self, traces: Sequence[RawTrace]) -> CellTrajectoryDataset:
+        """Run the full pipeline on raw traces."""
+        duration_s = self.slot_interval_s * (self.horizon_slots - 1)
+        active = filter_inactive_traces(
+            traces, max_gap_s=self.max_gap_s, min_duration_s=duration_s * 0.5
+        )
+        if not active:
+            raise ValueError("no traces survive the inactivity filter")
+        resampled = []
+        node_ids = []
+        for trace in active:
+            points = resample_trace(
+                trace, interval_s=self.slot_interval_s, duration_s=duration_s
+            )
+            resampled.append(points[: self.horizon_slots])
+            node_ids.append(trace.node_id)
+        trajectories = quantize_traces(resampled, self.quantizer)
+        model = fit_markov_chain(
+            trajectories, self.quantizer.n_cells, smoothing=self.smoothing
+        )
+        return CellTrajectoryDataset(
+            trajectories=trajectories,
+            node_ids=node_ids,
+            mobility_model=model,
+            quantizer=self.quantizer,
+        )

@@ -1,0 +1,253 @@
+"""Synthetic taxi-fleet GPS trace generator.
+
+The paper's trace-driven evaluation uses the CRAWDAD ``epfl/mobility``
+San Francisco taxi traces (174 nodes over a 100-minute window, location
+updates roughly every minute with irregular intervals).  That dataset is
+not redistributable here, so this module generates a synthetic fleet with
+the same statistical features the evaluation relies on:
+
+* GPS fixes with *irregular* update intervals (exponential jitter around a
+  nominal one-minute period) and occasional long silent gaps, so that the
+  paper's preprocessing (inactivity filtering + linear-interpolation
+  resampling) is exercised;
+* a shared, spatially and temporally skewed mobility structure: taxis
+  shuttle between a small set of urban "anchor" districts with strong
+  return tendencies, producing the heavy-tailed empirical stationary
+  distribution of Fig. 8(b);
+* per-node heterogeneity in predictability: a fraction of "loiterer"
+  nodes stay near a single anchor (these are the users the eavesdropper
+  tracks with high accuracy, Fig. 9(a)), while "roamer" nodes move widely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..geo.points import BoundingBox, GeoPoint, SAN_FRANCISCO_BBOX
+
+__all__ = ["GpsFix", "RawTrace", "TaxiFleetConfig", "TaxiFleetGenerator"]
+
+
+@dataclass(frozen=True)
+class GpsFix:
+    """A single GPS fix: a timestamp (seconds since trace start) and a position."""
+
+    timestamp: float
+    position: GeoPoint
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+
+
+@dataclass
+class RawTrace:
+    """The raw (irregular) GPS trace of one node."""
+
+    node_id: int
+    fixes: List[GpsFix] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        self.fixes = sorted(self.fixes, key=lambda fix: fix.timestamp)
+
+    def add_fix(self, fix: GpsFix) -> None:
+        """Append a fix, keeping fixes sorted by timestamp."""
+        self.fixes.append(fix)
+        self.fixes.sort(key=lambda item: item.timestamp)
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the trace in seconds (0 for < 2 fixes)."""
+        if len(self.fixes) < 2:
+            return 0.0
+        return self.fixes[-1].timestamp - self.fixes[0].timestamp
+
+    def max_gap(self) -> float:
+        """Largest gap between consecutive fixes in seconds."""
+        if len(self.fixes) < 2:
+            return float("inf") if not self.fixes else 0.0
+        timestamps = np.array([fix.timestamp for fix in self.fixes])
+        return float(np.max(np.diff(timestamps)))
+
+    def timestamps(self) -> np.ndarray:
+        """All fix timestamps as an array."""
+        return np.array([fix.timestamp for fix in self.fixes], dtype=float)
+
+    def positions(self) -> list[GeoPoint]:
+        """All fix positions in timestamp order."""
+        return [fix.position for fix in self.fixes]
+
+
+@dataclass(frozen=True)
+class TaxiFleetConfig:
+    """Configuration of the synthetic taxi fleet.
+
+    Defaults match the paper's extraction: 174 nodes, a 100-minute window,
+    nominal one-minute update interval.
+    """
+
+    n_nodes: int = 174
+    duration_minutes: float = 100.0
+    nominal_update_interval_s: float = 60.0
+    update_jitter: float = 0.35
+    silence_probability: float = 0.02
+    silence_duration_s: float = 360.0
+    n_anchors: int = 8
+    anchor_std_degrees: float = 0.012
+    home_offset_std_degrees: float = 0.02
+    loiterer_fraction: float = 0.15
+    loiterer_switch_probability: float = 0.04
+    roamer_switch_probability: float = 0.25
+    speed_degrees_per_minute: float = 0.01
+    movement_noise_fraction: float = 0.5
+    bbox: BoundingBox = SAN_FRANCISCO_BBOX
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be positive")
+        if self.duration_minutes <= 0:
+            raise ValueError("duration_minutes must be positive")
+        if self.nominal_update_interval_s <= 0:
+            raise ValueError("nominal_update_interval_s must be positive")
+        if not 0 <= self.update_jitter < 1:
+            raise ValueError("update_jitter must be in [0, 1)")
+        if not 0 <= self.silence_probability < 1:
+            raise ValueError("silence_probability must be in [0, 1)")
+        if self.n_anchors < 1:
+            raise ValueError("n_anchors must be positive")
+        if self.home_offset_std_degrees < 0:
+            raise ValueError("home_offset_std_degrees must be non-negative")
+        if self.movement_noise_fraction < 0:
+            raise ValueError("movement_noise_fraction must be non-negative")
+        if not 0 <= self.loiterer_fraction <= 1:
+            raise ValueError("loiterer_fraction must be in [0, 1]")
+        for name in ("loiterer_switch_probability", "roamer_switch_probability"):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+class TaxiFleetGenerator:
+    """Generates a synthetic taxi fleet of :class:`RawTrace` objects."""
+
+    def __init__(self, config: TaxiFleetConfig | None = None) -> None:
+        self.config = config or TaxiFleetConfig()
+
+    # ------------------------------------------------------------------
+    def generate(self, rng: np.random.Generator | None = None) -> list[RawTrace]:
+        """Generate the full fleet of raw traces."""
+        rng = rng or np.random.default_rng(2017)
+        anchors = self._generate_anchors(rng)
+        anchor_weights = self._anchor_popularity(rng)
+        traces = []
+        for node_id in range(self.config.n_nodes):
+            is_loiterer = rng.uniform() < self.config.loiterer_fraction
+            traces.append(
+                self._generate_node_trace(
+                    node_id, anchors, anchor_weights, is_loiterer, rng
+                )
+            )
+        return traces
+
+    # ------------------------------------------------------------------
+    def _generate_anchors(self, rng: np.random.Generator) -> list[GeoPoint]:
+        """Urban anchor districts taxis shuttle between."""
+        bbox = self.config.bbox
+        return [bbox.sample_uniform(rng) for _ in range(self.config.n_anchors)]
+
+    def _anchor_popularity(self, rng: np.random.Generator) -> np.ndarray:
+        """Zipf-like popularity over anchors (spatial skew of the fleet)."""
+        ranks = np.arange(1, self.config.n_anchors + 1, dtype=float)
+        weights = 1.0 / ranks
+        permutation = rng.permutation(self.config.n_anchors)
+        weights = weights[permutation]
+        return weights / weights.sum()
+
+    def _generate_node_trace(
+        self,
+        node_id: int,
+        anchors: Sequence[GeoPoint],
+        anchor_weights: np.ndarray,
+        is_loiterer: bool,
+        rng: np.random.Generator,
+    ) -> RawTrace:
+        config = self.config
+        duration_s = config.duration_minutes * 60.0
+        switch_probability = (
+            config.loiterer_switch_probability
+            if is_loiterer
+            else config.roamer_switch_probability
+        )
+        home_anchor = int(rng.choice(len(anchors), p=anchor_weights))
+        # Each node has its own home point near its anchor, so loiterers from
+        # the same district still produce distinct (non-duplicate) cell
+        # trajectories once quantised.
+        home_point = config.bbox.clamp(
+            GeoPoint(
+                anchors[home_anchor].latitude
+                + float(rng.normal(0.0, config.home_offset_std_degrees)),
+                anchors[home_anchor].longitude
+                + float(rng.normal(0.0, config.home_offset_std_degrees)),
+            )
+        )
+        target_point = home_point
+        position = self._jitter_around(home_point, rng)
+        trace = RawTrace(node_id=node_id)
+        time_s = float(rng.uniform(0.0, config.nominal_update_interval_s))
+        while time_s <= duration_s:
+            trace.add_fix(GpsFix(timestamp=time_s, position=position))
+            # Possibly pick a new destination.
+            if rng.uniform() < switch_probability:
+                if is_loiterer:
+                    # Loiterers hop between their home point and nearby spots
+                    # in the same district.
+                    target_point = self._jitter_around(home_point, rng)
+                else:
+                    anchor = anchors[int(rng.choice(len(anchors), p=anchor_weights))]
+                    target_point = self._jitter_around(anchor, rng)
+            position = self._advance_position(position, target_point, rng)
+            # Irregular update interval, with occasional long silences.
+            interval = config.nominal_update_interval_s * float(
+                rng.uniform(1.0 - config.update_jitter, 1.0 + config.update_jitter)
+            )
+            if rng.uniform() < config.silence_probability:
+                interval += float(rng.exponential(config.silence_duration_s))
+            time_s += interval
+        return trace
+
+    def _jitter_around(self, anchor: GeoPoint, rng: np.random.Generator) -> GeoPoint:
+        config = self.config
+        return config.bbox.clamp(
+            GeoPoint(
+                float(rng.normal(anchor.latitude, config.anchor_std_degrees)),
+                float(rng.normal(anchor.longitude, config.anchor_std_degrees)),
+            )
+        )
+
+    def _advance_position(
+        self, position: GeoPoint, target: GeoPoint, rng: np.random.Generator
+    ) -> GeoPoint:
+        """Move one nominal-interval step toward the target anchor with noise."""
+        config = self.config
+        step = config.speed_degrees_per_minute * (
+            config.nominal_update_interval_s / 60.0
+        )
+        dlat = target.latitude - position.latitude
+        dlon = target.longitude - position.longitude
+        norm = float(np.hypot(dlat, dlon))
+        if norm > 1e-9:
+            scale = min(1.0, step / norm)
+            dlat *= scale
+            dlon *= scale
+        noise_std = config.anchor_std_degrees * config.movement_noise_fraction
+        return config.bbox.clamp(
+            GeoPoint(
+                position.latitude + dlat + float(rng.normal(0.0, noise_std)),
+                position.longitude + dlon + float(rng.normal(0.0, noise_std)),
+            )
+        )

@@ -1,0 +1,257 @@
+"""Tests for information measures, concentration bounds, c_t machinery and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import (
+    empirical_tail_probability,
+    hoeffding_bound,
+    lemma_v3_bound,
+)
+from repro.analysis.information import (
+    conditional_step_entropy,
+    entropy,
+    entropy_gap_condition,
+    kl_divergence,
+    spatial_skewness,
+    temporal_skewness,
+)
+from repro.analysis.loglik import (
+    build_cml_induced_chain,
+    ct_series,
+    estimate_expected_ct,
+    simulate_ct_samples,
+)
+from repro.analysis.metrics import (
+    aggregate_episodes,
+    detection_rate,
+    per_slot_accuracy,
+    time_average_accuracy,
+)
+from repro.core.game import PrivacyGame
+from repro.core.eavesdropper import MaximumLikelihoodDetector
+from repro.core.strategies import get_strategy
+from repro.core.strategies.constrained_ml import ConstrainedMLController
+from repro.mobility.models import lazy_uniform_model, uniform_iid_model
+
+
+class TestInformation:
+    def test_entropy_uniform(self):
+        assert np.isclose(entropy(np.full(8, 0.125)), np.log(8))
+
+    def test_entropy_point_mass(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == 0.0
+
+    def test_entropy_rejects_non_distribution(self):
+        with pytest.raises(ValueError):
+            entropy(np.array([0.5, 0.2]))
+
+    def test_kl_zero_for_identical(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(p, p) == 0.0
+
+    def test_kl_positive_and_asymmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) > 0
+        assert not np.isclose(kl_divergence(p, q), kl_divergence(q, p))
+
+    def test_kl_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_spatial_skewness_zero_for_uniform(self):
+        assert np.isclose(spatial_skewness(uniform_iid_model(6)), 0.0, atol=1e-9)
+
+    def test_spatial_skewness_positive_for_skewed(self, skewed_chain):
+        assert spatial_skewness(skewed_chain) > 0.1
+
+    def test_temporal_skewness_zero_for_iid(self):
+        assert np.isclose(temporal_skewness(uniform_iid_model(6)), 0.0)
+
+    def test_conditional_entropy_matches_chain(self, random_chain):
+        assert np.isclose(
+            conditional_step_entropy(random_chain), random_chain.entropy_rate()
+        )
+
+    def test_entropy_gap_condition(self, random_chain):
+        assert entropy_gap_condition(random_chain, 0.0)
+        assert not entropy_gap_condition(random_chain, 100.0)
+        with pytest.raises(ValueError):
+            entropy_gap_condition(random_chain, -1.0)
+
+
+class TestConcentration:
+    def test_hoeffding_decreases_with_n(self):
+        assert hoeffding_bound(100, 0.1, 0, 1) < hoeffding_bound(10, 0.1, 0, 1)
+
+    def test_hoeffding_is_one_at_zero_deviation(self):
+        assert hoeffding_bound(50, 0.0, 0, 1) == 1.0
+
+    def test_lemma_v3_reduces_to_hoeffding_at_zero_epsilon(self):
+        assert np.isclose(
+            lemma_v3_bound(40, 0.2, 0, 1, 0.0), hoeffding_bound(40, 0.2, 0, 1)
+        )
+
+    def test_lemma_v3_weaker_with_slack(self):
+        assert lemma_v3_bound(40, 0.2, 0, 1, 0.5) > lemma_v3_bound(40, 0.2, 0, 1, 0.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            hoeffding_bound(10, 0.1, 1, 1)
+        with pytest.raises(ValueError):
+            lemma_v3_bound(10, 0.1, 1, 0, 0.1)
+
+    def test_bound_dominates_empirical_tail_iid(self):
+        rng = np.random.default_rng(0)
+        n = 50
+        samples = rng.uniform(0, 1, size=(2000, n))
+        delta = 0.1
+        empirical = empirical_tail_probability(samples, 0.5 + delta)
+        assert empirical <= hoeffding_bound(n, delta, 0, 1) + 0.01
+
+    def test_empirical_tail_validation(self):
+        with pytest.raises(ValueError):
+            empirical_tail_probability(np.empty((0, 3)), 0.5)
+
+
+class TestCtMachinery:
+    def test_ct_series_matches_definition(self, random_chain, rng):
+        user = random_chain.sample_trajectory(10, rng)
+        chaff = random_chain.sample_trajectory(10, rng)
+        series = ct_series(random_chain, user, chaff)
+        assert series.shape == (10,)
+        expected_first = random_chain.log_stationary[user[0]] - random_chain.log_stationary[chaff[0]]
+        assert np.isclose(series[0], expected_first)
+        assert np.isclose(
+            series.sum(),
+            random_chain.log_likelihood(user) - random_chain.log_likelihood(chaff),
+        )
+
+    def test_ct_series_shape_mismatch(self, random_chain, rng):
+        with pytest.raises(ValueError):
+            ct_series(random_chain, np.zeros(5, dtype=int), np.zeros(6, dtype=int))
+
+    def test_simulate_ct_samples_cml_negative_mean_for_high_entropy_user(self):
+        chain = lazy_uniform_model(10, stay_probability=0.3)
+        samples = simulate_ct_samples(chain, "CML", 50, 20, np.random.default_rng(0))
+        assert samples.mean() < 0
+
+    def test_simulate_ct_samples_mo(self, random_chain):
+        samples = simulate_ct_samples(random_chain, "MO", 30, 10, np.random.default_rng(1))
+        assert samples.size == 10 * 29
+
+    def test_simulate_ct_samples_unknown_strategy(self, random_chain):
+        with pytest.raises(ValueError):
+            simulate_ct_samples(random_chain, "OO", 10, 5, np.random.default_rng(0))
+
+    def test_estimate_expected_ct_close_to_sample_mean(self, random_chain):
+        value = estimate_expected_ct(
+            random_chain, "CML", horizon=100, n_runs=20, rng=np.random.default_rng(2)
+        )
+        assert -5 < value < 1
+
+    def test_induced_chain_is_stochastic(self, random_chain):
+        induced = build_cml_induced_chain(random_chain)
+        rows = induced.transition_matrix.sum(axis=1)
+        assert np.allclose(rows, 1.0)
+
+    def test_induced_chain_stationary_is_distribution(self, random_chain):
+        induced = build_cml_induced_chain(random_chain)
+        assert np.isclose(induced.stationary.sum(), 1.0)
+        assert np.all(induced.stationary >= -1e-12)
+
+    def test_induced_chain_expected_ct_matches_simulation(self, random_chain):
+        induced = build_cml_induced_chain(random_chain)
+        simulated = estimate_expected_ct(
+            random_chain, "CML", horizon=300, n_runs=30, rng=np.random.default_rng(3)
+        )
+        assert abs(induced.expected_ct - simulated) < 0.1
+
+    def test_induced_chain_never_colocates(self, random_chain):
+        """The CML pair chain only has mass on states with x1 != x2 after one
+        step; verify via the transition structure."""
+        induced = build_cml_induced_chain(random_chain)
+        L = induced.n_cells
+        for target in range(L * L):
+            user_cell, chaff_cell = divmod(target, L)
+            if user_cell == chaff_cell:
+                assert induced.transition_matrix[:, target].sum() == 0.0
+
+    def test_induced_chain_pair_index(self, random_chain):
+        induced = build_cml_induced_chain(random_chain)
+        assert induced.pair_index(2, 3) == 2 * random_chain.n_states + 3
+        with pytest.raises(ValueError):
+            induced.pair_index(99, 0)
+
+    def test_induced_chain_delta_positive(self, random_chain):
+        assert build_cml_induced_chain(random_chain).delta > 0
+
+    def test_induced_chain_mixing_time(self, random_chain):
+        induced = build_cml_induced_chain(random_chain)
+        assert induced.mixing_time(0.3, max_steps=200) >= 1
+
+    def test_cml_controller_consistent_with_induced_response(self, random_chain, rng):
+        """The induced chain's deterministic response must agree with the
+        actual CML controller."""
+        user = random_chain.sample_trajectory(20, rng)
+        chaff = ConstrainedMLController(random_chain).run(user)
+        for t in range(1, 20):
+            expected = random_chain.restricted_argmax_row(
+                int(chaff[t - 1]), excluded=[int(user[t])]
+            )
+            assert chaff[t] == expected
+
+
+class TestMetrics:
+    def _episodes(self, chain, strategy_name, n, horizon=20):
+        game = PrivacyGame(
+            chain, get_strategy(strategy_name), MaximumLikelihoodDetector(), n_services=2
+        )
+        return [
+            game.run_episode(np.random.default_rng(seed), horizon=horizon)
+            for seed in range(n)
+        ]
+
+    def test_per_slot_accuracy_shape(self, random_chain):
+        episodes = self._episodes(random_chain, "IM", 5)
+        assert per_slot_accuracy(episodes).shape == (20,)
+
+    def test_per_slot_accuracy_bounds(self, random_chain):
+        episodes = self._episodes(random_chain, "IM", 5)
+        accuracy = per_slot_accuracy(episodes)
+        assert np.all(accuracy >= 0) and np.all(accuracy <= 1)
+
+    def test_time_average_matches_mean(self, random_chain):
+        episodes = self._episodes(random_chain, "IM", 5)
+        assert np.isclose(
+            time_average_accuracy(episodes), per_slot_accuracy(episodes).mean()
+        )
+
+    def test_detection_rate_bounds(self, random_chain):
+        episodes = self._episodes(random_chain, "ML", 8)
+        assert 0.0 <= detection_rate(episodes) <= 1.0
+
+    def test_aggregate_consistency(self, random_chain):
+        episodes = self._episodes(random_chain, "OO", 6)
+        stats = aggregate_episodes(episodes)
+        assert stats.n_episodes == 6
+        assert stats.horizon == 20
+        assert np.isclose(stats.tracking_accuracy, stats.per_slot_accuracy.mean())
+        cumulative = stats.cumulative_accuracy()
+        assert cumulative.shape == (20,)
+        assert np.isclose(cumulative[-1], stats.tracking_accuracy)
+
+    def test_empty_episode_list_rejected(self):
+        with pytest.raises(ValueError):
+            per_slot_accuracy([])
+        with pytest.raises(ValueError):
+            detection_rate([])
+
+    def test_inconsistent_horizons_rejected(self, random_chain):
+        episodes = self._episodes(random_chain, "IM", 2, horizon=10)
+        episodes += self._episodes(random_chain, "IM", 1, horizon=12)
+        with pytest.raises(ValueError):
+            per_slot_accuracy(episodes)

@@ -1,0 +1,191 @@
+"""Tests for the Section V closed forms and bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    cml_tracking_bound,
+    corollary_v6_bound,
+    im_tracking_accuracy,
+    im_tracking_accuracy_limit,
+    lemma_v1_holds,
+    likelihood_gap_constants,
+    ml_tracking_accuracy,
+    mo_tracking_bound,
+    theorem_v4_bound,
+    theorem_v5_bound,
+)
+from repro.analysis.metrics import aggregate_episodes
+from repro.core.eavesdropper import MaximumLikelihoodDetector
+from repro.core.game import PrivacyGame
+from repro.core.strategies import get_strategy
+from repro.mobility.models import lazy_uniform_model, uniform_iid_model
+
+
+class TestIMClosedForm:
+    def test_eq11_uniform_chain(self):
+        chain = uniform_iid_model(10)
+        # sum pi^2 = 1/10; with N = 2 accuracy = 0.1 + 0.9 / 2 = 0.55.
+        assert np.isclose(im_tracking_accuracy(chain, 2), 0.55)
+
+    def test_eq11_monotone_in_n(self, skewed_chain):
+        values = [im_tracking_accuracy(skewed_chain, n) for n in range(2, 12)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_eq11_limit(self, skewed_chain):
+        assert np.isclose(
+            im_tracking_accuracy_limit(skewed_chain),
+            skewed_chain.stationary_collision_probability(),
+        )
+
+    def test_limit_at_least_one_over_l(self, random_chain):
+        assert im_tracking_accuracy_limit(random_chain) >= 1.0 / random_chain.n_states
+
+    def test_eq11_requires_chaff(self, random_chain):
+        with pytest.raises(ValueError):
+            im_tracking_accuracy(random_chain, 1)
+
+    def test_eq11_matches_simulation(self, random_chain):
+        """The simulated IM tracking accuracy must match Eq. (11)."""
+        n_services = 3
+        game = PrivacyGame(
+            random_chain,
+            get_strategy("IM"),
+            MaximumLikelihoodDetector(),
+            n_services=n_services,
+        )
+        episodes = [
+            game.run_episode(np.random.default_rng(seed), horizon=60)
+            for seed in range(150)
+        ]
+        simulated = aggregate_episodes(episodes).tracking_accuracy
+        analytic = im_tracking_accuracy(random_chain, n_services)
+        assert abs(simulated - analytic) < 0.06
+
+
+class TestMLClosedForm:
+    def test_eq12_value_range(self, random_chain):
+        value = ml_tracking_accuracy(random_chain, 50)
+        assert 0.0 < value <= 1.0
+
+    def test_eq12_skewed_chain_equals_max_pi(self, skewed_chain):
+        # The ML chaff parks in the hot cell, so the accuracy equals pi_max.
+        assert np.isclose(
+            ml_tracking_accuracy(skewed_chain, 20), skewed_chain.stationary.max()
+        )
+
+    def test_lemma_v1_relation(self, skewed_chain, random_chain):
+        """Lemma V.1: if the ML chaff parks in the max-pi cell, many IM
+        chaffs are at least as good (limit = sum pi^2 <= max pi)."""
+        for chain in (skewed_chain, random_chain):
+            assert lemma_v1_holds(chain.stationary)
+            assert im_tracking_accuracy_limit(chain) <= chain.stationary.max() + 1e-12
+
+    def test_lemma_v1_equality_for_uniform(self):
+        pi = np.full(7, 1.0 / 7.0)
+        assert lemma_v1_holds(pi)
+        assert np.isclose(np.sum(pi**2), pi.max())
+
+
+class TestGapConstants:
+    def test_constants_signs(self, random_chain):
+        constants = likelihood_gap_constants(random_chain)
+        assert constants.c0 >= 0
+        assert constants.c_min <= 0
+        assert constants.c_max >= 0
+
+    def test_uniform_chain_constants_zero(self):
+        constants = likelihood_gap_constants(uniform_iid_model(5))
+        assert np.isclose(constants.c0, 0.0)
+        assert np.isclose(constants.c_min, 0.0)
+        assert np.isclose(constants.c_max, 0.0)
+
+    def test_single_state_rejected(self):
+        from repro.mobility.markov import MarkovChain
+
+        with pytest.raises(ValueError):
+            likelihood_gap_constants(MarkovChain(np.array([[1.0]])))
+
+
+class TestTheoremFormulas:
+    def test_theorem_v4_decreases_with_horizon(self):
+        kwargs = dict(mu=0.5, epsilon=0.01, delta=1.0, w=3, c0=1.0, c_min=-2.0, c_max=2.0)
+        short = theorem_v4_bound(horizon=50, **kwargs)
+        long = theorem_v4_bound(horizon=500, **kwargs)
+        assert long < short
+
+    def test_theorem_v4_condition_violation(self):
+        with pytest.raises(ValueError):
+            theorem_v4_bound(
+                horizon=10, mu=0.01, epsilon=0.5, delta=1.0, w=3, c0=5.0,
+                c_min=-2.0, c_max=2.0,
+            )
+
+    def test_theorem_v4_requires_horizon_above_w(self):
+        with pytest.raises(ValueError):
+            theorem_v4_bound(
+                horizon=3, mu=0.5, epsilon=0.01, delta=1.0, w=3, c0=1.0,
+                c_min=-2.0, c_max=2.0,
+            )
+
+    def test_theorem_v5_decreases_with_horizon(self):
+        kwargs = dict(
+            mu_prime=0.5, epsilon=0.01, delta_prime=1.0, w_prime=3, c0=1.0,
+            c_min=-2.0, c_max=2.0,
+        )
+        assert theorem_v5_bound(horizon=500, **kwargs) < theorem_v5_bound(
+            horizon=50, **kwargs
+        )
+
+    def test_corollary_v6_in_unit_interval(self):
+        value = corollary_v6_bound(horizon=100, t0=20, alpha=0.3, w_prime=4)
+        assert 0.0 <= value <= 1.0
+
+    def test_corollary_v6_decreases_with_horizon(self):
+        short = corollary_v6_bound(horizon=100, t0=20, alpha=0.3, w_prime=4)
+        long = corollary_v6_bound(horizon=1000, t0=20, alpha=0.3, w_prime=4)
+        assert long < short
+
+    def test_corollary_v6_validation(self):
+        with pytest.raises(ValueError):
+            corollary_v6_bound(horizon=10, t0=20, alpha=0.3, w_prime=4)
+        with pytest.raises(ValueError):
+            corollary_v6_bound(horizon=10, t0=2, alpha=0.0, w_prime=4)
+
+
+class TestEndToEndBounds:
+    def test_cml_bound_dominates_simulation_high_entropy(self):
+        """For a high-entropy user the Theorem V.4 bound must upper-bound the
+        simulated CML tracking accuracy."""
+        chain = lazy_uniform_model(8, stay_probability=0.2)
+        horizon = 120
+        bound = cml_tracking_bound(chain, horizon, epsilon=0.05)
+        game = PrivacyGame(
+            chain, get_strategy("CML"), MaximumLikelihoodDetector(), n_services=2
+        )
+        episodes = [
+            game.run_episode(np.random.default_rng(seed), horizon=horizon)
+            for seed in range(40)
+        ]
+        simulated = aggregate_episodes(episodes).tracking_accuracy
+        assert simulated <= bound + 0.05
+
+    def test_cml_bound_trivial_when_condition_fails(self, skewed_chain):
+        """For a very predictable user E[c_t] >= 0 and the bound is trivial."""
+        assert cml_tracking_bound(skewed_chain, 50) == 1.0
+
+    def test_cml_bound_small_horizon_rejected(self, random_chain):
+        with pytest.raises(ValueError):
+            cml_tracking_bound(random_chain, 1)
+
+    def test_mo_bound_in_unit_interval(self, random_chain):
+        value = mo_tracking_bound(
+            random_chain, 80, n_estimation_runs=10, rng=np.random.default_rng(0)
+        )
+        assert 0.0 <= value <= 1.0
+
+    def test_mo_bound_small_horizon_rejected(self, random_chain):
+        with pytest.raises(ValueError):
+            mo_tracking_bound(random_chain, 3)

@@ -1,0 +1,173 @@
+"""Tests for the extension modules: online eavesdroppers and the rollout strategy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.eavesdropper.online import (
+    BayesianPosteriorTracker,
+    PrefixMLTracker,
+)
+from repro.core.strategies import get_strategy
+from repro.core.strategies.rollout import RolloutController, RolloutOnlineStrategy
+from repro.experiments.ablations import (
+    run_online_eavesdropper_comparison,
+    run_rollout_vs_myopic,
+)
+from repro.sim.config import SyntheticExperimentConfig
+
+
+class TestOnlineTrackers:
+    def _observations(self, chain, strategy_name, horizon, seed=0):
+        rng = np.random.default_rng(seed)
+        user = chain.sample_trajectory(horizon, rng)
+        chaffs = get_strategy(strategy_name).generate(chain, user, 1, rng)
+        observed = np.concatenate([user[None, :], chaffs], axis=0)
+        return observed, user
+
+    @pytest.mark.parametrize("tracker_cls", [PrefixMLTracker, BayesianPosteriorTracker])
+    def test_output_shapes(self, tracker_cls, random_chain):
+        observed, user = self._observations(random_chain, "IM", 25)
+        result = tracker_cls().track(
+            random_chain, observed, user, np.random.default_rng(1)
+        )
+        assert result.estimated_cells.shape == (25,)
+        assert result.chosen_indices.shape == (25,)
+        assert result.tracked_per_slot.shape == (25,)
+        assert result.posteriors.shape == (25, 2)
+        assert 0.0 <= result.tracking_accuracy <= 1.0
+
+    @pytest.mark.parametrize("tracker_cls", [PrefixMLTracker, BayesianPosteriorTracker])
+    def test_posteriors_are_distributions(self, tracker_cls, random_chain):
+        observed, user = self._observations(random_chain, "IM", 20)
+        result = tracker_cls().track(
+            random_chain, observed, user, np.random.default_rng(2)
+        )
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+        assert np.all(result.posteriors >= 0)
+
+    def test_no_chaff_perfect_tracking(self, random_chain, rng):
+        user = random_chain.sample_trajectory(15, rng)
+        observed = user[None, :]
+        for tracker in (PrefixMLTracker(), BayesianPosteriorTracker()):
+            result = tracker.track(random_chain, observed, user, rng)
+            assert result.tracking_accuracy == 1.0
+
+    def test_validation_errors(self, random_chain, rng):
+        user = random_chain.sample_trajectory(10, rng)
+        with pytest.raises(ValueError):
+            PrefixMLTracker().track(
+                random_chain, np.empty((0, 10), dtype=np.int64), user, rng
+            )
+        with pytest.raises(ValueError):
+            PrefixMLTracker().track(
+                random_chain, user[None, :5], user, rng
+            )
+
+    def test_bayesian_at_least_as_good_as_prefix_against_im(self, random_chain):
+        """Pooling posterior mass per cell can only help compared to picking
+        a single trajectory (on average over runs)."""
+        prefix_scores, bayes_scores = [], []
+        for seed in range(15):
+            observed, user = self._observations(random_chain, "IM", 30, seed=seed)
+            rng = np.random.default_rng(seed)
+            prefix_scores.append(
+                PrefixMLTracker().track(random_chain, observed, user, rng).tracking_accuracy
+            )
+            bayes_scores.append(
+                BayesianPosteriorTracker()
+                .track(random_chain, observed, user, np.random.default_rng(seed))
+                .tracking_accuracy
+            )
+        assert np.mean(bayes_scores) >= np.mean(prefix_scores) - 0.05
+
+    def test_oo_still_defeats_online_trackers(self, random_chain):
+        """The OO chaff has higher prefix likelihood at the end and most of
+        the way through, so even a per-slot tracker is mostly misled."""
+        accuracies = []
+        for seed in range(10):
+            observed, user = self._observations(random_chain, "OO", 40, seed=seed)
+            result = PrefixMLTracker().track(
+                random_chain, observed, user, np.random.default_rng(seed)
+            )
+            accuracies.append(result.tracking_accuracy)
+        assert np.mean(accuracies) < 0.5
+
+
+class TestRolloutStrategy:
+    def test_registered(self):
+        strategy = get_strategy("ROLLOUT")
+        assert isinstance(strategy, RolloutOnlineStrategy)
+        assert strategy.is_online
+
+    def test_output_shape(self, random_chain, rng):
+        strategy = RolloutOnlineStrategy(lookahead=2, n_rollouts=2, n_candidates=2)
+        user = random_chain.sample_trajectory(15, rng)
+        chaffs = strategy.generate(random_chain, user, 2, rng)
+        assert chaffs.shape == (2, 15)
+        assert np.array_equal(chaffs[0], chaffs[1])  # replicas
+
+    def test_zero_lookahead_behaves_like_greedy(self, random_chain, rng):
+        controller = RolloutController(
+            random_chain, lookahead=0, n_rollouts=1, n_candidates=random_chain.n_states
+        )
+        user = random_chain.sample_trajectory(20, rng)
+        chaff = controller.run(user)
+        # With zero lookahead the controller picks a zero-immediate-cost cell
+        # whenever one exists among the candidates.
+        colocations = np.mean(chaff == user)
+        assert colocations < 0.3
+
+    def test_rollout_protects_high_entropy_user(self, random_chain):
+        from repro.core.eavesdropper import MaximumLikelihoodDetector
+        from repro.core.game import PrivacyGame
+        from repro.sim.monte_carlo import MonteCarloRunner
+
+        strategy = RolloutOnlineStrategy(lookahead=3, n_rollouts=2, n_candidates=3)
+        game = PrivacyGame(
+            random_chain, strategy, MaximumLikelihoodDetector(), n_services=2
+        )
+        stats = MonteCarloRunner(n_runs=15, seed=0).run(game, horizon=40)
+        assert stats.tracking_accuracy < 0.25
+
+    def test_invalid_parameters(self, random_chain):
+        with pytest.raises(ValueError):
+            RolloutController(random_chain, lookahead=-1)
+        with pytest.raises(ValueError):
+            RolloutController(random_chain, n_rollouts=0)
+        with pytest.raises(ValueError):
+            RolloutController(random_chain, n_candidates=0)
+
+    def test_controller_rejects_bad_user_location(self, random_chain):
+        controller = RolloutController(random_chain, lookahead=1)
+        with pytest.raises(ValueError):
+            controller.step(99)
+
+
+class TestExtensionExperiments:
+    def test_rollout_experiment_runs(self):
+        config = SyntheticExperimentConfig(
+            n_runs=8, horizon=25, mobility_models=("non-skewed",)
+        )
+        result = run_rollout_vs_myopic(config, n_runs=8, lookahead=2, n_rollouts=2)
+        assert set(result.groups) == {"non-skewed"}
+        assert {series.label for series in result.groups["non-skewed"]} == {
+            "MO",
+            "ROLLOUT",
+            "OO",
+        }
+        for value in result.scalars.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_online_eavesdropper_experiment_runs(self):
+        config = SyntheticExperimentConfig(
+            n_runs=8, horizon=25, mobility_models=("non-skewed",)
+        )
+        result = run_online_eavesdropper_comparison(config, n_runs=8)
+        scalars = result.scalars
+        assert "non-skewed/offline-ml" in scalars
+        assert "non-skewed/prefix-ml" in scalars
+        assert "non-skewed/bayesian" in scalars
+        for value in scalars.values():
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,184 @@
+"""Tests for the geographic substrate: points, towers and Voronoi cells."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geo.points import (
+    BoundingBox,
+    GeoPoint,
+    SAN_FRANCISCO_BBOX,
+    haversine_distance,
+    planar_distance,
+    project_to_plane,
+)
+from repro.geo.towers import TowerPlacementConfig, deduplicate_towers, generate_towers
+from repro.geo.voronoi import VoronoiQuantizer
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        point = GeoPoint(37.7, -122.4)
+        assert point.as_tuple() == (37.7, -122.4)
+
+    def test_invalid_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+
+    def test_invalid_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+
+class TestBoundingBox:
+    def test_center(self):
+        box = BoundingBox(0.0, 2.0, 10.0, 14.0)
+        assert box.center.as_tuple() == (1.0, 12.0)
+
+    def test_contains(self):
+        assert SAN_FRANCISCO_BBOX.contains(GeoPoint(37.7, -122.4))
+        assert not SAN_FRANCISCO_BBOX.contains(GeoPoint(40.0, -122.4))
+
+    def test_clamp(self):
+        clamped = SAN_FRANCISCO_BBOX.clamp(GeoPoint(40.0, -122.4))
+        assert clamped.latitude == SAN_FRANCISCO_BBOX.max_latitude
+
+    def test_sample_uniform_inside(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert SAN_FRANCISCO_BBOX.contains(SAN_FRANCISCO_BBOX.sample_uniform(rng))
+
+    def test_invalid_box(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 1.0, 0.0, 2.0)
+
+
+class TestDistances:
+    def test_haversine_zero(self):
+        p = GeoPoint(37.7, -122.4)
+        assert haversine_distance(p, p) == 0.0
+
+    def test_haversine_one_degree_latitude(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(1.0, 0.0)
+        # One degree of latitude is roughly 111 km.
+        assert 110_000 < haversine_distance(a, b) < 112_500
+
+    def test_haversine_symmetric(self):
+        a = GeoPoint(37.7, -122.4)
+        b = GeoPoint(37.8, -122.3)
+        assert np.isclose(haversine_distance(a, b), haversine_distance(b, a))
+
+    def test_projection_preserves_local_distance(self):
+        a = GeoPoint(37.70, -122.40)
+        b = GeoPoint(37.72, -122.38)
+        xy = project_to_plane([a, b], reference=a)
+        assert np.isclose(
+            planar_distance(xy[0], xy[1]), haversine_distance(a, b), rtol=0.01
+        )
+
+    def test_planar_distance_validation(self):
+        with pytest.raises(ValueError):
+            planar_distance(np.zeros(3), np.zeros(2))
+
+    def test_projection_reference_maps_to_origin(self):
+        a = GeoPoint(37.7, -122.4)
+        xy = project_to_plane([a], reference=a)
+        assert np.allclose(xy[0], [0.0, 0.0])
+
+
+class TestTowerPlacement:
+    def test_generate_returns_points_in_bbox(self):
+        towers = generate_towers(TowerPlacementConfig(n_towers=50))
+        assert towers
+        for tower in towers:
+            assert SAN_FRANCISCO_BBOX.contains(tower)
+
+    def test_deduplication_enforces_min_separation(self):
+        towers = generate_towers(
+            TowerPlacementConfig(n_towers=120, min_separation_m=500.0)
+        )
+        for i, a in enumerate(towers):
+            for b in towers[i + 1 :]:
+                assert haversine_distance(a, b) >= 500.0
+
+    def test_deduplicate_keeps_first(self):
+        a = GeoPoint(37.7, -122.4)
+        b = GeoPoint(37.70001, -122.40001)  # a few metres away
+        kept = deduplicate_towers([a, b], min_separation_m=100.0)
+        assert kept == [a]
+
+    def test_deduplicate_zero_separation_keeps_all(self):
+        a = GeoPoint(37.7, -122.4)
+        b = GeoPoint(37.70001, -122.40001)
+        assert len(deduplicate_towers([a, b], min_separation_m=0.0)) == 2
+
+    def test_reproducible_with_seed(self):
+        a = generate_towers(TowerPlacementConfig(n_towers=40), rng=np.random.default_rng(1))
+        b = generate_towers(TowerPlacementConfig(n_towers=40), rng=np.random.default_rng(1))
+        assert [t.as_tuple() for t in a] == [t.as_tuple() for t in b]
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TowerPlacementConfig(n_towers=0)
+        with pytest.raises(ValueError):
+            TowerPlacementConfig(cluster_fraction=1.5)
+
+
+class TestVoronoiQuantizer:
+    @pytest.fixture
+    def quantizer(self) -> VoronoiQuantizer:
+        towers = [
+            GeoPoint(37.60, -122.50),
+            GeoPoint(37.60, -122.20),
+            GeoPoint(37.90, -122.50),
+            GeoPoint(37.90, -122.20),
+        ]
+        return VoronoiQuantizer(towers)
+
+    def test_n_cells(self, quantizer):
+        assert quantizer.n_cells == 4
+
+    def test_point_near_tower_maps_to_it(self, quantizer):
+        assert quantizer.quantize_point(GeoPoint(37.61, -122.49)) == 0
+        assert quantizer.quantize_point(GeoPoint(37.89, -122.21)) == 3
+
+    def test_quantize_points_batch(self, quantizer):
+        cells = quantizer.quantize_points(
+            [GeoPoint(37.60, -122.50), GeoPoint(37.90, -122.20)]
+        )
+        assert list(cells) == [0, 3]
+
+    def test_quantize_empty(self, quantizer):
+        assert quantizer.quantize_points([]).size == 0
+
+    def test_requires_towers(self):
+        with pytest.raises(ValueError):
+            VoronoiQuantizer([])
+
+    def test_adjacency_symmetric_no_self_loops(self, quantizer):
+        adjacency = quantizer.cell_adjacency()
+        assert np.array_equal(adjacency, adjacency.T)
+        assert not np.any(np.diag(adjacency))
+
+    def test_adjacency_small_layouts(self):
+        towers = [GeoPoint(37.6, -122.5), GeoPoint(37.9, -122.2)]
+        adjacency = VoronoiQuantizer(towers).cell_adjacency()
+        assert adjacency[0, 1] and adjacency[1, 0]
+
+    def test_single_tower_adjacency_empty(self):
+        adjacency = VoronoiQuantizer([GeoPoint(37.6, -122.5)]).cell_adjacency()
+        assert adjacency.shape == (1, 1) and not adjacency.any()
+
+    def test_visit_histogram(self, quantizer):
+        histogram = quantizer.cell_visit_histogram([0, 0, 1, 3])
+        assert np.isclose(histogram.sum(), 1.0)
+        assert histogram[0] == 0.5
+
+    def test_visit_histogram_out_of_range(self, quantizer):
+        with pytest.raises(ValueError):
+            quantizer.cell_visit_histogram([9])
+
+    def test_tower_planar_coordinates_shape(self, quantizer):
+        assert quantizer.tower_planar_coordinates.shape == (4, 2)

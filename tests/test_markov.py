@@ -1,0 +1,327 @@
+"""Unit tests for the Markov-chain mobility substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility.markov import (
+    MarkovChain,
+    StationaryDistributionError,
+    is_ergodic,
+    stationary_distribution,
+    total_variation_distance,
+    validate_transition_matrix,
+)
+
+
+class TestValidateTransitionMatrix:
+    def test_accepts_valid_matrix(self):
+        matrix = np.array([[0.5, 0.5], [0.2, 0.8]])
+        out = validate_transition_matrix(matrix)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_renormalises_tiny_drift(self):
+        matrix = np.array([[0.5, 0.5 + 1e-9], [0.2, 0.8]])
+        out = validate_transition_matrix(matrix)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            validate_transition_matrix(np.ones((2, 3)) / 3)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError, match="negative"):
+            validate_transition_matrix(np.array([[1.5, -0.5], [0.5, 0.5]]))
+
+    def test_rejects_bad_row_sum(self):
+        with pytest.raises(ValueError, match="sums to"):
+            validate_transition_matrix(np.array([[0.5, 0.1], [0.5, 0.5]]))
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ValueError, match="at least one state"):
+            validate_transition_matrix(np.empty((0, 0)))
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError, match="square"):
+            validate_transition_matrix(np.ones((2, 2, 2)))
+
+
+class TestStationaryDistribution:
+    def test_two_state_closed_form(self):
+        # For [[1-a, a], [b, 1-b]] the stationary vector is (b, a)/(a+b).
+        a, b = 0.1, 0.3
+        pi = stationary_distribution(np.array([[1 - a, a], [b, 1 - b]]))
+        assert np.allclose(pi, [b / (a + b), a / (a + b)])
+
+    def test_uniform_for_doubly_stochastic(self):
+        matrix = np.array([[0.5, 0.25, 0.25], [0.25, 0.5, 0.25], [0.25, 0.25, 0.5]])
+        pi = stationary_distribution(matrix)
+        assert np.allclose(pi, 1.0 / 3.0)
+
+    def test_is_left_eigenvector(self, random_chain):
+        pi = random_chain.stationary
+        assert np.allclose(pi @ random_chain.transition_matrix, pi, atol=1e-8)
+
+    def test_sums_to_one(self, skewed_chain):
+        assert np.isclose(skewed_chain.stationary.sum(), 1.0)
+
+    def test_single_state(self):
+        assert np.allclose(stationary_distribution(np.array([[1.0]])), [1.0])
+
+    def test_identity_matrix_not_unique_but_valid_output(self):
+        # The identity chain has many stationary vectors; the solver must
+        # still return a valid probability vector satisfying pi P = pi.
+        pi = stationary_distribution(np.eye(3))
+        assert np.isclose(pi.sum(), 1.0)
+        assert np.all(pi >= 0)
+
+
+class TestErgodicity:
+    def test_positive_matrix_is_ergodic(self):
+        assert is_ergodic(np.full((4, 4), 0.25))
+
+    def test_periodic_chain_not_ergodic(self):
+        # Deterministic 2-cycle is irreducible but periodic.
+        assert not is_ergodic(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_reducible_chain_not_ergodic(self):
+        assert not is_ergodic(np.array([[1.0, 0.0], [0.0, 1.0]]))
+
+    def test_single_state_is_ergodic(self):
+        assert is_ergodic(np.array([[1.0]]))
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        p = np.array([0.3, 0.7])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestMarkovChainBasics:
+    def test_n_states(self, two_state_chain):
+        assert two_state_chain.n_states == 2
+
+    def test_rejects_bad_initial_distribution_shape(self):
+        with pytest.raises(ValueError, match="initial distribution"):
+            MarkovChain(np.eye(2) * 0.5 + 0.25, initial_distribution=np.array([1.0]))
+
+    def test_rejects_non_probability_initial_distribution(self):
+        with pytest.raises(ValueError, match="probability"):
+            MarkovChain(
+                np.full((2, 2), 0.5), initial_distribution=np.array([0.7, 0.7])
+            )
+
+    def test_default_initial_is_stationary(self, two_state_chain):
+        assert np.allclose(
+            two_state_chain.initial_distribution, two_state_chain.stationary
+        )
+
+    def test_log_transition_matches_log(self, two_state_chain):
+        assert np.allclose(
+            two_state_chain.log_transition_matrix,
+            np.log(two_state_chain.transition_matrix),
+        )
+
+    def test_is_ergodic_method(self, two_state_chain):
+        assert two_state_chain.is_ergodic()
+
+
+class TestSampling:
+    def test_trajectory_length(self, two_state_chain, rng):
+        assert two_state_chain.sample_trajectory(17, rng).shape == (17,)
+
+    def test_trajectory_values_in_range(self, random_chain, rng):
+        traj = random_chain.sample_trajectory(200, rng)
+        assert traj.min() >= 0 and traj.max() < random_chain.n_states
+
+    def test_initial_state_respected(self, random_chain, rng):
+        traj = random_chain.sample_trajectory(5, rng, initial_state=3)
+        assert traj[0] == 3
+
+    def test_invalid_initial_state(self, two_state_chain, rng):
+        with pytest.raises(ValueError):
+            two_state_chain.sample_trajectory(5, rng, initial_state=9)
+
+    def test_zero_length_rejected(self, two_state_chain, rng):
+        with pytest.raises(ValueError):
+            two_state_chain.sample_trajectory(0, rng)
+
+    def test_sample_trajectories_shape(self, two_state_chain, rng):
+        batch = two_state_chain.sample_trajectories(4, 9, rng)
+        assert batch.shape == (4, 9)
+
+    def test_sample_trajectories_count_positive(self, two_state_chain, rng):
+        with pytest.raises(ValueError):
+            two_state_chain.sample_trajectories(0, 5, rng)
+
+    def test_deterministic_chain_sampling(self, rng):
+        # An (almost) deterministic cycle must produce the cycle.
+        eps = 1e-12
+        matrix = np.array(
+            [[eps, 1 - 2 * eps, eps], [eps, eps, 1 - 2 * eps], [1 - 2 * eps, eps, eps]]
+        )
+        chain = MarkovChain(matrix)
+        traj = chain.sample_trajectory(9, rng, initial_state=0)
+        assert list(traj[:4]) == [0, 1, 2, 0]
+
+    def test_empirical_frequency_matches_stationary(self, two_state_chain):
+        rng = np.random.default_rng(0)
+        traj = two_state_chain.sample_trajectory(20_000, rng)
+        frequency = np.bincount(traj, minlength=2) / traj.size
+        assert np.allclose(frequency, two_state_chain.stationary, atol=0.03)
+
+    def test_next_state_distribution(self, two_state_chain):
+        rng = np.random.default_rng(1)
+        draws = np.array(
+            [two_state_chain.sample_next_state(0, rng) for _ in range(5000)]
+        )
+        assert abs(draws.mean() - two_state_chain.transition_matrix[0, 1]) < 0.02
+
+
+class TestLikelihood:
+    def test_log_likelihood_manual(self, two_state_chain):
+        trajectory = [0, 1, 1]
+        expected = (
+            np.log(two_state_chain.stationary[0])
+            + np.log(two_state_chain.transition_matrix[0, 1])
+            + np.log(two_state_chain.transition_matrix[1, 1])
+        )
+        assert np.isclose(two_state_chain.log_likelihood(trajectory), expected)
+
+    def test_single_slot_likelihood(self, two_state_chain):
+        assert np.isclose(
+            two_state_chain.log_likelihood([1]), np.log(two_state_chain.stationary[1])
+        )
+
+    def test_likelihood_exponentiates(self, two_state_chain):
+        trajectory = [0, 0, 1]
+        assert np.isclose(
+            two_state_chain.likelihood(trajectory),
+            np.exp(two_state_chain.log_likelihood(trajectory)),
+        )
+
+    def test_stepwise_sums_to_total(self, random_chain, rng):
+        trajectory = random_chain.sample_trajectory(30, rng)
+        steps = random_chain.stepwise_log_likelihood(trajectory)
+        assert np.isclose(steps.sum(), random_chain.log_likelihood(trajectory))
+
+    def test_out_of_range_trajectory(self, two_state_chain):
+        with pytest.raises(ValueError):
+            two_state_chain.log_likelihood([0, 5])
+
+    def test_empty_trajectory(self, two_state_chain):
+        with pytest.raises(ValueError):
+            two_state_chain.log_likelihood([])
+
+    def test_zero_probability_transition_is_floored(self):
+        chain = MarkovChain(np.array([[1.0, 0.0], [0.5, 0.5]]))
+        value = chain.log_likelihood([0, 1])
+        assert np.isfinite(value)
+        assert value < -100  # effectively impossible
+
+
+class TestInformationQuantities:
+    def test_entropy_rate_uniform_chain(self):
+        chain = MarkovChain(np.full((4, 4), 0.25))
+        assert np.isclose(chain.entropy_rate(), np.log(4))
+
+    def test_entropy_rate_deterministic_chain(self):
+        eps = 1e-15
+        chain = MarkovChain(
+            np.array([[eps, 1 - eps], [1 - eps, eps]])
+        )
+        assert chain.entropy_rate() < 1e-10
+
+    def test_collision_probability_uniform(self):
+        chain = MarkovChain(np.full((5, 5), 0.2))
+        assert np.isclose(chain.stationary_collision_probability(), 0.2)
+
+    def test_collision_probability_bounds(self, skewed_chain):
+        value = skewed_chain.stationary_collision_probability()
+        assert 1.0 / skewed_chain.n_states <= value <= 1.0
+
+    def test_kl_row_distance_zero_for_identical_rows(self):
+        chain = MarkovChain(np.full((3, 3), 1.0 / 3.0))
+        assert chain.mean_kl_row_distance() == 0.0
+
+    def test_kl_row_distance_positive_for_different_rows(self, random_chain):
+        assert random_chain.mean_kl_row_distance() > 0
+
+    def test_kl_matrix_diagonal_zero(self, random_chain):
+        assert np.all(np.diag(random_chain.kl_row_distance_matrix()) == 0)
+
+    def test_single_state_kl_zero(self):
+        chain = MarkovChain(np.array([[1.0]]))
+        assert chain.mean_kl_row_distance() == 0.0
+
+
+class TestMixing:
+    def test_mixing_time_fast_chain(self):
+        chain = MarkovChain(np.full((3, 3), 1.0 / 3.0))
+        assert chain.mixing_time(0.25) == 1
+
+    def test_mixing_time_monotone_in_epsilon(self, random_chain):
+        assert random_chain.mixing_time(0.01) >= random_chain.mixing_time(0.25)
+
+    def test_mixing_time_invalid_epsilon(self, random_chain):
+        with pytest.raises(ValueError):
+            random_chain.mixing_time(0.0)
+
+    def test_mixing_time_capped(self):
+        # Near-periodic chain mixes very slowly; the cap must be returned.
+        eps = 1e-9
+        chain = MarkovChain(np.array([[eps, 1 - eps], [1 - eps, eps]]))
+        assert chain.mixing_time(0.01, max_steps=10) == 10
+
+    def test_n_step_matrix(self, two_state_chain):
+        two_step = two_state_chain.n_step_matrix(2)
+        assert np.allclose(
+            two_step,
+            two_state_chain.transition_matrix @ two_state_chain.transition_matrix,
+        )
+
+    def test_n_step_matrix_zero(self, two_state_chain):
+        assert np.allclose(two_state_chain.n_step_matrix(0), np.eye(2))
+
+    def test_n_step_matrix_negative(self, two_state_chain):
+        with pytest.raises(ValueError):
+            two_state_chain.n_step_matrix(-1)
+
+
+class TestRestrictedArgmax:
+    def test_row_argmax(self, skewed_chain):
+        assert skewed_chain.restricted_argmax_row(1) == 0
+
+    def test_row_argmax_with_exclusion(self, skewed_chain):
+        best = skewed_chain.restricted_argmax_row(1, excluded=[0])
+        assert best != 0
+
+    def test_stationary_argmax(self, skewed_chain):
+        assert skewed_chain.restricted_argmax_stationary() == int(
+            np.argmax(skewed_chain.stationary)
+        )
+
+    def test_stationary_argmax_with_exclusion(self, skewed_chain):
+        top = int(np.argmax(skewed_chain.stationary))
+        assert skewed_chain.restricted_argmax_stationary(excluded=[top]) != top
+
+    def test_all_excluded_raises(self, two_state_chain):
+        with pytest.raises(ValueError):
+            two_state_chain.restricted_argmax_row(0, excluded=[0, 1])
+
+    def test_invalid_state_raises(self, two_state_chain):
+        with pytest.raises(ValueError):
+            two_state_chain.restricted_argmax_row(5)
+
+
+class TestStationaryError:
+    def test_error_type_is_value_error(self):
+        assert issubclass(StationaryDistributionError, ValueError)

@@ -1,0 +1,246 @@
+"""Tests for the synthetic mobility models, grid walks and model fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility.estimation import (
+    count_transitions,
+    empirical_state_distribution,
+    empirical_transition_matrix,
+    fit_markov_chain,
+)
+from repro.mobility.grid import GridTopology, grid_drift_walk, grid_random_walk
+from repro.mobility.models import (
+    SYNTHETIC_MODEL_BUILDERS,
+    lazy_uniform_model,
+    paper_synthetic_models,
+    random_mobility_model,
+    spatially_skewed_model,
+    spatially_temporally_skewed_model,
+    temporally_skewed_model,
+    uniform_iid_model,
+)
+
+
+class TestSyntheticModels:
+    def test_paper_models_have_four_entries(self, synthetic_models):
+        assert set(synthetic_models) == {
+            "non-skewed",
+            "spatially-skewed",
+            "temporally-skewed",
+            "spatially&temporally-skewed",
+        }
+
+    def test_all_models_are_ergodic(self, synthetic_models):
+        for chain in synthetic_models.values():
+            assert chain.is_ergodic()
+
+    def test_all_models_have_ten_cells(self, synthetic_models):
+        for chain in synthetic_models.values():
+            assert chain.n_states == 10
+
+    def test_spatially_skewed_concentrates_on_hot_cell(self):
+        chain = spatially_skewed_model(10, hot_cell=4)
+        assert int(np.argmax(chain.stationary)) == 4
+        assert chain.stationary[4] > 2.0 / 10.0
+
+    def test_temporally_skewed_has_uniform_stationary(self):
+        chain = temporally_skewed_model(10)
+        assert np.allclose(chain.stationary, 0.1, atol=1e-3)
+
+    def test_temporally_skewed_has_high_kl(self):
+        # The paper reports 8.18 for model (c); the exact value depends only
+        # on the construction, so it must land close.
+        chain = temporally_skewed_model(10)
+        assert 6.0 < chain.mean_kl_row_distance() < 10.0
+
+    def test_both_skewed_has_nonuniform_stationary(self):
+        chain = spatially_temporally_skewed_model(10)
+        assert chain.stationary.max() > 0.2
+
+    def test_both_skewed_more_spatially_skewed_than_model_c(self):
+        c = temporally_skewed_model(10)
+        d = spatially_temporally_skewed_model(10)
+        assert d.stationary_collision_probability() > c.stationary_collision_probability()
+
+    def test_random_model_reproducible_with_seed(self):
+        a = random_mobility_model(8, rng=np.random.default_rng(3))
+        b = random_mobility_model(8, rng=np.random.default_rng(3))
+        assert np.allclose(a.transition_matrix, b.transition_matrix)
+
+    def test_random_model_requires_two_cells(self):
+        with pytest.raises(ValueError):
+            random_mobility_model(1)
+
+    def test_spatially_skewed_invalid_hot_cell(self):
+        with pytest.raises(ValueError):
+            spatially_skewed_model(5, hot_cell=9)
+
+    def test_spatially_skewed_invalid_weight(self):
+        with pytest.raises(ValueError):
+            spatially_skewed_model(5, hot_weight=0.0)
+
+    def test_random_walk_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            temporally_skewed_model(10, p_right=0.8, p_left=0.5)
+
+    def test_random_walk_needs_three_cells(self):
+        with pytest.raises(ValueError):
+            temporally_skewed_model(2)
+
+    def test_random_walk_epsilon_bound(self):
+        with pytest.raises(ValueError):
+            temporally_skewed_model(10, epsilon=0.2)
+
+    def test_lazy_uniform_stationary_uniform(self):
+        chain = lazy_uniform_model(6, stay_probability=0.4)
+        assert np.allclose(chain.stationary, 1.0 / 6.0)
+
+    def test_lazy_uniform_invalid_stay(self):
+        with pytest.raises(ValueError):
+            lazy_uniform_model(6, stay_probability=1.0)
+
+    def test_uniform_iid_rows_uniform(self):
+        chain = uniform_iid_model(5)
+        assert np.allclose(chain.transition_matrix, 0.2)
+
+    def test_builder_registry_matches_labels(self):
+        assert set(SYNTHETIC_MODEL_BUILDERS) == set(paper_synthetic_models(10))
+
+    def test_models_reproducible_for_fixed_seed(self):
+        a = paper_synthetic_models(10, seed=5)
+        b = paper_synthetic_models(10, seed=5)
+        for label in a:
+            assert np.allclose(a[label].transition_matrix, b[label].transition_matrix)
+
+    def test_kl_ordering_matches_paper(self, synthetic_models):
+        # Models (c) and (d) are far more temporally skewed than (a) and (b).
+        kl = {label: chain.mean_kl_row_distance() for label, chain in synthetic_models.items()}
+        assert kl["temporally-skewed"] > 10 * kl["non-skewed"]
+        assert kl["spatially&temporally-skewed"] > 10 * kl["spatially-skewed"]
+
+
+class TestGridTopology:
+    def test_index_roundtrip(self):
+        grid = GridTopology(3, 4)
+        for index in range(grid.n_cells):
+            row, col = grid.coordinates(index)
+            assert grid.index(row, col) == index
+
+    def test_neighbors_corner(self):
+        grid = GridTopology(3, 3)
+        assert sorted(grid.neighbors(0)) == [1, 3]
+
+    def test_neighbors_center(self):
+        grid = GridTopology(3, 3)
+        assert sorted(grid.neighbors(4)) == [1, 3, 5, 7]
+
+    def test_manhattan_distance(self):
+        grid = GridTopology(4, 4)
+        assert grid.manhattan_distance(0, 15) == 6
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            GridTopology(0, 3)
+
+    def test_invalid_coordinates(self):
+        with pytest.raises(ValueError):
+            GridTopology(2, 2).index(2, 0)
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            GridTopology(2, 2).coordinates(4)
+
+    def test_iter_cells_count(self):
+        grid = GridTopology(2, 5)
+        assert len(list(grid.iter_cells())) == 10
+
+
+class TestGridWalks:
+    def test_random_walk_is_valid_chain(self):
+        chain = grid_random_walk(GridTopology(3, 3))
+        assert np.allclose(chain.transition_matrix.sum(axis=1), 1.0)
+
+    def test_random_walk_stationary_uniform_with_lazy_component(self):
+        # The simple random walk on a grid is not uniform in general, but
+        # the chain must still be a valid ergodic chain.
+        chain = grid_random_walk(GridTopology(3, 3), epsilon=1e-4)
+        assert chain.is_ergodic()
+
+    def test_random_walk_invalid_stay(self):
+        with pytest.raises(ValueError):
+            grid_random_walk(GridTopology(2, 2), stay_probability=1.0)
+
+    def test_drift_walk_biased_direction(self):
+        chain = grid_drift_walk(GridTopology(5, 5), drift=(1.0, 0.0, 0.0, 0.0))
+        # Mass concentrates on the bottom row under pure downward drift.
+        bottom_row_mass = chain.stationary[-5:].sum()
+        assert bottom_row_mass > 0.5
+
+    def test_drift_walk_invalid_drift_length(self):
+        with pytest.raises(ValueError):
+            grid_drift_walk(GridTopology(2, 2), drift=(1.0, 1.0))
+
+    def test_drift_walk_negative_drift(self):
+        with pytest.raises(ValueError):
+            grid_drift_walk(GridTopology(2, 2), drift=(1.0, -1.0, 0.0, 0.0))
+
+    def test_drift_walk_zero_drift(self):
+        with pytest.raises(ValueError):
+            grid_drift_walk(GridTopology(2, 2), drift=(0.0, 0.0, 0.0, 0.0))
+
+
+class TestEstimation:
+    def test_count_transitions_simple(self):
+        counts = count_transitions([[0, 1, 1, 0]], n_states=2)
+        assert counts[0, 1] == 1
+        assert counts[1, 1] == 1
+        assert counts[1, 0] == 1
+        assert counts[0, 0] == 0
+
+    def test_count_transitions_multiple_trajectories(self):
+        counts = count_transitions([[0, 1], [0, 1], [1, 0]], n_states=2)
+        assert counts[0, 1] == 2
+        assert counts[1, 0] == 1
+
+    def test_count_transitions_out_of_range(self):
+        with pytest.raises(ValueError):
+            count_transitions([[0, 3]], n_states=2)
+
+    def test_count_transitions_empty_trajectory_ok(self):
+        counts = count_transitions([[]], n_states=2)
+        assert counts.sum() == 0
+
+    def test_empirical_state_distribution(self):
+        dist = empirical_state_distribution([[0, 0, 1]], n_states=2)
+        assert np.allclose(dist, [2 / 3, 1 / 3])
+
+    def test_empirical_state_distribution_no_data(self):
+        with pytest.raises(ValueError):
+            empirical_state_distribution([], n_states=3)
+
+    def test_empirical_state_distribution_smoothing(self):
+        dist = empirical_state_distribution([], n_states=4, smoothing=1.0)
+        assert np.allclose(dist, 0.25)
+
+    def test_transition_matrix_rows_sum_to_one(self):
+        matrix = empirical_transition_matrix([[0, 1, 0, 1, 1]], n_states=3)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_transition_matrix_requires_smoothing(self):
+        with pytest.raises(ValueError):
+            empirical_transition_matrix([[0, 1]], n_states=2, smoothing=0.0)
+
+    def test_fit_recovers_true_chain(self, two_state_chain):
+        rng = np.random.default_rng(5)
+        trajectories = two_state_chain.sample_trajectories(30, 500, rng)
+        fitted = fit_markov_chain(trajectories, 2, smoothing=1e-6)
+        assert np.allclose(
+            fitted.transition_matrix, two_state_chain.transition_matrix, atol=0.05
+        )
+
+    def test_fitted_chain_is_ergodic_even_with_missing_states(self):
+        fitted = fit_markov_chain([[0, 0, 0, 0]], n_states=3)
+        assert fitted.is_ergodic()

@@ -1,0 +1,160 @@
+"""End-to-end invariants tying the simulation to the paper's claims.
+
+These are the "does the reproduction behave like the paper says" tests:
+each one encodes a statement from Sections V-VII and checks it on a
+reduced-scale simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import im_tracking_accuracy, ml_tracking_accuracy
+from repro.analysis.loglik import build_cml_induced_chain
+from repro.analysis.metrics import aggregate_episodes
+from repro.core.eavesdropper import MaximumLikelihoodDetector, StrategyAwareDetector
+from repro.core.game import PrivacyGame
+from repro.core.strategies import get_strategy
+from repro.mobility.models import (
+    lazy_uniform_model,
+    paper_synthetic_models,
+    spatially_skewed_model,
+)
+from repro.sim.monte_carlo import MonteCarloRunner
+
+
+def _tracking(chain, strategy_name, detector, n_services=2, horizon=80, n_runs=60, seed=0):
+    strategy = get_strategy(strategy_name) if strategy_name else None
+    game = PrivacyGame(chain, strategy, detector, n_services=n_services)
+    runner = MonteCarloRunner(n_runs=n_runs, seed=seed)
+    return runner.run(game, horizon=horizon)
+
+
+class TestSectionVClaims:
+    def test_im_accuracy_matches_eq11_all_models(self, synthetic_models):
+        """Eq. (11) must predict the simulated IM accuracy for every model."""
+        detector = MaximumLikelihoodDetector()
+        for label, chain in synthetic_models.items():
+            stats = _tracking(chain, "IM", detector, n_services=4, n_runs=80)
+            analytic = im_tracking_accuracy(chain, 4)
+            assert abs(stats.tracking_accuracy - analytic) < 0.08, label
+
+    def test_ml_accuracy_matches_eq12(self, synthetic_models):
+        """Eq. (12): ML chaff accuracy equals the mean stationary mass of the
+        chaff's cells (the chaff is deterministic)."""
+        detector = MaximumLikelihoodDetector()
+        chain = synthetic_models["non-skewed"]
+        horizon = 60
+        stats = _tracking(chain, "ML", detector, horizon=horizon, n_runs=80)
+        assert abs(stats.tracking_accuracy - ml_tracking_accuracy(chain, horizon)) < 0.08
+
+    def test_im_accuracy_bounded_away_from_zero(self):
+        """Remark after Eq. (11): even many IM chaffs cannot reach zero."""
+        chain = lazy_uniform_model(10, stay_probability=0.3)
+        detector = MaximumLikelihoodDetector()
+        stats = _tracking(chain, "IM", detector, n_services=10, n_runs=60)
+        assert stats.tracking_accuracy > 0.5 / chain.n_states
+
+    def test_oo_and_mo_decay_to_zero_for_high_entropy_user(self):
+        """Theorems V.4 / V.5: for a high-entropy user the OO and MO tracking
+        accuracies decay toward zero over time."""
+        chain = lazy_uniform_model(10, stay_probability=0.2)
+        detector = MaximumLikelihoodDetector()
+        for name in ("OO", "MO", "CML"):
+            stats = _tracking(chain, name, detector, horizon=100, n_runs=40)
+            late = stats.per_slot_accuracy[-20:].mean()
+            assert late < 0.05, name
+
+    def test_predictable_user_not_fully_protected_by_cml(self):
+        """When E[c_t] >= 0 (very predictable user) the decay condition fails
+        and CML cannot drive the accuracy to zero."""
+        chain = spatially_skewed_model(6, hot_weight=20.0, rng=np.random.default_rng(0))
+        induced = build_cml_induced_chain(chain)
+        assert induced.expected_ct > -0.2  # weak or failed decay condition
+        detector = MaximumLikelihoodDetector()
+        stats = _tracking(chain, "CML", detector, horizon=80, n_runs=40)
+        assert stats.tracking_accuracy > 0.1
+
+    def test_oo_is_best_strategy_under_basic_eavesdropper(self, synthetic_models):
+        """OO minimises tracking accuracy among all strategies for the ML
+        detector (it is optimal by construction)."""
+        detector = MaximumLikelihoodDetector()
+        chain = synthetic_models["spatially&temporally-skewed"]
+        accuracies = {
+            name: _tracking(chain, name, detector, horizon=60, n_runs=40).tracking_accuracy
+            for name in ("IM", "ML", "OO", "MO", "CML")
+        }
+        best_other = min(v for k, v in accuracies.items() if k != "OO")
+        assert accuracies["OO"] <= best_other + 0.03
+
+
+class TestSectionVIClaims:
+    def test_deterministic_strategies_fail_against_advanced_eavesdropper(self):
+        """Section VI-A: an eavesdropper aware of a deterministic strategy
+        tracks the user almost perfectly."""
+        chain = paper_synthetic_models(10)["non-skewed"]
+        for name in ("ML", "OO"):
+            detector = StrategyAwareDetector(get_strategy(name))
+            stats = _tracking(chain, name, detector, horizon=40, n_runs=30)
+            assert stats.detection_accuracy > 0.9, name
+
+    def test_im_fully_robust_to_advanced_eavesdropper(self):
+        """Section VI-A1: knowing the IM strategy does not help."""
+        chain = paper_synthetic_models(10)["non-skewed"]
+        basic = _tracking(chain, "IM", MaximumLikelihoodDetector(), n_services=5, n_runs=60)
+        aware = _tracking(
+            chain,
+            "IM",
+            StrategyAwareDetector(get_strategy("IM")),
+            n_services=5,
+            n_runs=60,
+        )
+        assert abs(basic.tracking_accuracy - aware.tracking_accuracy) < 0.08
+
+    def test_robust_strategies_beat_their_deterministic_counterparts(self):
+        """Section VI-B: against the strategy-aware eavesdropper, the robust
+        variants achieve far lower tracking accuracy than the deterministic
+        strategies they perturb."""
+        chain = paper_synthetic_models(10)["non-skewed"]
+        pairs = (("ML", "RML"), ("OO", "ROO"))
+        for deterministic, robust in pairs:
+            detector = StrategyAwareDetector(get_strategy(deterministic))
+            det_stats = _tracking(
+                chain, deterministic, detector, n_services=4, horizon=40, n_runs=30
+            )
+            rob_stats = _tracking(
+                chain, robust, detector, n_services=4, horizon=40, n_runs=30
+            )
+            assert rob_stats.tracking_accuracy < det_stats.tracking_accuracy - 0.3
+
+    def test_robust_strategies_competitive_under_basic_eavesdropper(self):
+        """Section VI-B discussion: the robust strategies approximate their
+        originals when the eavesdropper is not strategy-aware."""
+        chain = paper_synthetic_models(10)["non-skewed"]
+        detector = MaximumLikelihoodDetector()
+        rml = _tracking(chain, "RML", detector, n_services=4, horizon=60, n_runs=40)
+        im = _tracking(chain, "IM", detector, n_services=4, horizon=60, n_runs=40)
+        assert rml.tracking_accuracy <= im.tracking_accuracy + 0.1
+
+
+class TestEavesdropperMetricsRelationship:
+    def test_tracking_at_least_detection_times_one(self):
+        """Detection implies tracking at every slot, so tracking accuracy is
+        always >= detection accuracy."""
+        chain = paper_synthetic_models(10)["spatially-skewed"]
+        detector = MaximumLikelihoodDetector()
+        game = PrivacyGame(chain, get_strategy("IM"), detector, n_services=3)
+        episodes = [
+            game.run_episode(np.random.default_rng(seed), horizon=40)
+            for seed in range(40)
+        ]
+        stats = aggregate_episodes(episodes)
+        assert stats.tracking_accuracy >= stats.detection_accuracy - 1e-9
+
+    def test_no_chaff_baseline_perfect_tracking(self, synthetic_models):
+        """Without chaffs (single-user observation) the eavesdropper is
+        always right — the worst case the paper starts from."""
+        chain = synthetic_models["non-skewed"]
+        stats = _tracking(chain, None, MaximumLikelihoodDetector(), n_services=1, n_runs=10)
+        assert stats.tracking_accuracy == 1.0

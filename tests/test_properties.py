@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import im_tracking_accuracy, lemma_v1_holds
+from repro.analysis.concentration import lemma_v3_bound
+from repro.analysis.information import entropy, kl_divergence
+from repro.analysis.loglik import ct_series
+from repro.core.strategies import get_strategy, solve_optimal_offline
+from repro.core.trellis import most_likely_trajectory, trajectory_cost
+from repro.core.eavesdropper.detector import (
+    MaximumLikelihoodDetector,
+    trajectory_log_likelihoods,
+)
+from repro.mobility.markov import MarkovChain
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def transition_matrices(draw, min_states: int = 2, max_states: int = 6) -> np.ndarray:
+    """Random strictly-positive row-stochastic matrices (ergodic chains)."""
+    n = draw(st.integers(min_states, max_states))
+    raw = draw(
+        st.lists(
+            st.lists(st.floats(0.05, 1.0), min_size=n, max_size=n),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    matrix = np.asarray(raw, dtype=float)
+    return matrix / matrix.sum(axis=1, keepdims=True)
+
+
+@st.composite
+def chains(draw) -> MarkovChain:
+    return MarkovChain(draw(transition_matrices()))
+
+
+@st.composite
+def probability_vectors(draw, min_size: int = 2, max_size: int = 10) -> np.ndarray:
+    n = draw(st.integers(min_size, max_size))
+    raw = np.asarray(draw(st.lists(st.floats(0.01, 1.0), min_size=n, max_size=n)))
+    return raw / raw.sum()
+
+
+# ---------------------------------------------------------------------------
+# Markov chain invariants
+# ---------------------------------------------------------------------------
+
+
+class TestChainProperties:
+    @_SETTINGS
+    @given(matrix=transition_matrices())
+    def test_stationary_is_fixed_point(self, matrix):
+        chain = MarkovChain(matrix)
+        assert np.allclose(chain.stationary @ chain.transition_matrix, chain.stationary, atol=1e-7)
+        assert np.isclose(chain.stationary.sum(), 1.0)
+
+    @_SETTINGS
+    @given(chain=chains(), length=st.integers(1, 30), seed=st.integers(0, 10_000))
+    def test_sampled_trajectories_stay_in_range(self, chain, length, seed):
+        trajectory = chain.sample_trajectory(length, np.random.default_rng(seed))
+        assert trajectory.shape == (length,)
+        assert trajectory.min() >= 0 and trajectory.max() < chain.n_states
+
+    @_SETTINGS
+    @given(chain=chains(), length=st.integers(1, 20), seed=st.integers(0, 10_000))
+    def test_log_likelihood_is_negative_and_consistent(self, chain, length, seed):
+        trajectory = chain.sample_trajectory(length, np.random.default_rng(seed))
+        loglik = chain.log_likelihood(trajectory)
+        assert loglik <= 1e-12
+        assert np.isclose(chain.stepwise_log_likelihood(trajectory).sum(), loglik)
+
+    @_SETTINGS
+    @given(chain=chains())
+    def test_entropy_rate_bounded_by_log_l(self, chain):
+        assert 0.0 <= chain.entropy_rate() <= np.log(chain.n_states) + 1e-9
+
+    @_SETTINGS
+    @given(chain=chains())
+    def test_collision_probability_bounds(self, chain):
+        value = chain.stationary_collision_probability()
+        assert 1.0 / chain.n_states - 1e-9 <= value <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Information measures
+# ---------------------------------------------------------------------------
+
+
+class TestInformationProperties:
+    @_SETTINGS
+    @given(p=probability_vectors())
+    def test_entropy_nonnegative_and_bounded(self, p):
+        assert 0.0 <= entropy(p) <= np.log(p.size) + 1e-9
+
+    @_SETTINGS
+    @given(p=probability_vectors(max_size=6), q=probability_vectors(max_size=6))
+    def test_kl_nonnegative(self, p, q):
+        if p.size != q.size:
+            pytest.skip("different sizes")
+        assert kl_divergence(p, q) >= -1e-9
+
+    @_SETTINGS
+    @given(p=probability_vectors())
+    def test_lemma_v1_always_holds(self, p):
+        assert lemma_v1_holds(p)
+
+    @_SETTINGS
+    @given(
+        n=st.integers(1, 500),
+        delta=st.floats(0.0, 2.0),
+        epsilon=st.floats(0.0, 1.0),
+    )
+    def test_lemma_v3_bound_is_probability_like(self, n, delta, epsilon):
+        value = lemma_v3_bound(n, delta, a=-1.0, b=1.0, epsilon=epsilon)
+        assert 0.0 <= value <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Strategy / detector invariants
+# ---------------------------------------------------------------------------
+
+
+class TestStrategyProperties:
+    @_SETTINGS
+    @given(chain=chains(), horizon=st.integers(2, 15), seed=st.integers(0, 5000))
+    def test_oo_chaff_at_least_as_likely_as_user(self, chain, horizon, seed):
+        user = chain.sample_trajectory(horizon, np.random.default_rng(seed))
+        result = solve_optimal_offline(chain, user)
+        assert result.chaff_cost <= result.user_cost + 1e-6
+        assert 0 <= result.intersections <= horizon
+        assert result.intersections == int(np.sum(result.trajectory == user))
+
+    @_SETTINGS
+    @given(chain=chains(), horizon=st.integers(1, 15))
+    def test_most_likely_trajectory_dominates_samples(self, chain, horizon):
+        best = trajectory_cost(chain, most_likely_trajectory(chain, horizon))
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            sample = chain.sample_trajectory(horizon, rng)
+            assert best <= trajectory_cost(chain, sample) + 1e-9
+
+    @_SETTINGS
+    @given(chain=chains(), horizon=st.integers(2, 12), seed=st.integers(0, 5000))
+    def test_cml_chaff_never_colocated(self, chain, horizon, seed):
+        rng = np.random.default_rng(seed)
+        user = chain.sample_trajectory(horizon, rng)
+        chaff = get_strategy("CML").generate(chain, user, 1, rng)[0]
+        assert not np.any(chaff == user)
+
+    @_SETTINGS
+    @given(
+        chain=chains(),
+        horizon=st.integers(2, 12),
+        n_chaffs=st.integers(1, 4),
+        seed=st.integers(0, 5000),
+    )
+    def test_im_chaffs_shape_and_range(self, chain, horizon, n_chaffs, seed):
+        rng = np.random.default_rng(seed)
+        user = chain.sample_trajectory(horizon, rng)
+        chaffs = get_strategy("IM").generate(chain, user, n_chaffs, rng)
+        assert chaffs.shape == (n_chaffs, horizon)
+        assert chaffs.min() >= 0 and chaffs.max() < chain.n_states
+
+    @_SETTINGS
+    @given(chain=chains(), horizon=st.integers(2, 12), seed=st.integers(0, 5000))
+    def test_ml_detector_chooses_argmax(self, chain, horizon, seed):
+        rng = np.random.default_rng(seed)
+        trajectories = chain.sample_trajectories(4, horizon, rng)
+        outcome = MaximumLikelihoodDetector().detect(chain, trajectories, rng)
+        scores = trajectory_log_likelihoods(chain, trajectories)
+        assert np.isclose(scores[outcome.chosen_index], scores.max(), atol=1e-9)
+
+    @_SETTINGS
+    @given(chain=chains(), horizon=st.integers(2, 12), seed=st.integers(0, 5000))
+    def test_ct_series_antisymmetric(self, chain, horizon, seed):
+        rng = np.random.default_rng(seed)
+        a = chain.sample_trajectory(horizon, rng)
+        b = chain.sample_trajectory(horizon, rng)
+        forward = ct_series(chain, a, b)
+        backward = ct_series(chain, b, a)
+        assert np.allclose(forward, -backward)
+
+    @_SETTINGS
+    @given(chain=chains(), n=st.integers(2, 20))
+    def test_eq11_is_probability(self, chain, n):
+        assert 0.0 < im_tracking_accuracy(chain, n) <= 1.0

@@ -1,0 +1,295 @@
+"""Tests for the chaff control strategies (IM, ML, CML, MO and the registry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    ChaffStrategy,
+    ConstrainedMLController,
+    ConstrainedMLStrategy,
+    ImpersonatingStrategy,
+    MaximumLikelihoodStrategy,
+    MyopicOnlineController,
+    MyopicOnlineStrategy,
+    available_strategies,
+    get_strategy,
+)
+from repro.core.strategies.base import StrategyRegistry, as_trajectory_array
+from repro.core.trellis import most_likely_trajectory
+
+
+class TestRegistry:
+    def test_all_paper_strategies_registered(self):
+        names = available_strategies()
+        for expected in ("IM", "ML", "OO", "MO", "CML", "RML", "ROO", "RMO"):
+            assert expected in names
+
+    def test_get_strategy_case_insensitive(self):
+        assert isinstance(get_strategy("im"), ImpersonatingStrategy)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            get_strategy("does-not-exist")
+
+    def test_registry_rejects_non_strategy(self):
+        registry = StrategyRegistry()
+        with pytest.raises(TypeError):
+            registry.register(dict)  # type: ignore[arg-type]
+
+    def test_registry_rejects_duplicate_names(self):
+        registry = StrategyRegistry()
+
+        class First(ChaffStrategy):
+            name = "dup"
+
+            def generate(self, chain, user_trajectory, n_chaffs, rng):
+                raise NotImplementedError
+
+        class Second(ChaffStrategy):
+            name = "dup"
+
+            def generate(self, chain, user_trajectory, n_chaffs, rng):
+                raise NotImplementedError
+
+        registry.register(First)
+        with pytest.raises(ValueError):
+            registry.register(Second)
+
+    def test_as_trajectory_array_validation(self):
+        with pytest.raises(ValueError):
+            as_trajectory_array([])
+        with pytest.raises(ValueError):
+            as_trajectory_array([[0, 1]])
+
+
+class TestCommonStrategyContract:
+    @pytest.mark.parametrize(
+        "name", ["IM", "ML", "OO", "MO", "CML", "RML", "ROO", "RMO"]
+    )
+    def test_output_shape_and_range(self, name, random_chain, rng):
+        strategy = get_strategy(name)
+        user = random_chain.sample_trajectory(20, rng)
+        chaffs = strategy.generate(random_chain, user, 3, rng)
+        assert chaffs.shape == (3, 20)
+        assert chaffs.min() >= 0 and chaffs.max() < random_chain.n_states
+
+    @pytest.mark.parametrize(
+        "name", ["IM", "ML", "OO", "MO", "CML", "RML", "ROO", "RMO"]
+    )
+    def test_rejects_zero_chaffs(self, name, random_chain, rng):
+        strategy = get_strategy(name)
+        user = random_chain.sample_trajectory(10, rng)
+        with pytest.raises(ValueError):
+            strategy.generate(random_chain, user, 0, rng)
+
+    @pytest.mark.parametrize("name", ["IM", "ML", "OO", "MO", "CML"])
+    def test_rejects_out_of_range_user(self, name, random_chain, rng):
+        strategy = get_strategy(name)
+        with pytest.raises(ValueError):
+            strategy.generate(random_chain, np.array([0, 99]), 1, rng)
+
+    def test_deterministic_flags(self):
+        assert not get_strategy("IM").is_deterministic
+        assert get_strategy("ML").is_deterministic
+        assert get_strategy("OO").is_deterministic
+        assert get_strategy("MO").is_deterministic
+        assert get_strategy("CML").is_deterministic
+        assert not get_strategy("RML").is_deterministic
+        assert not get_strategy("ROO").is_deterministic
+        assert not get_strategy("RMO").is_deterministic
+
+    def test_online_flags(self):
+        assert get_strategy("IM").is_online
+        assert get_strategy("MO").is_online
+        assert get_strategy("CML").is_online
+        assert not get_strategy("OO").is_online
+        assert not get_strategy("ROO").is_online
+
+    def test_deterministic_map_none_for_randomised(self, random_chain, rng):
+        user = random_chain.sample_trajectory(10, rng)
+        assert get_strategy("IM").deterministic_map(random_chain, user) is None
+        assert get_strategy("RML").deterministic_map(random_chain, user) is None
+
+    @pytest.mark.parametrize("name", ["ML", "OO", "MO", "CML"])
+    def test_deterministic_map_matches_first_chaff(self, name, random_chain, rng):
+        strategy = get_strategy(name)
+        user = random_chain.sample_trajectory(15, rng)
+        gamma = strategy.deterministic_map(random_chain, user)
+        chaffs = strategy.generate(random_chain, user, 1, np.random.default_rng(99))
+        assert np.array_equal(gamma, chaffs[0])
+
+
+class TestImpersonatingStrategy:
+    def test_chaffs_follow_user_model_statistics(self, skewed_chain):
+        rng = np.random.default_rng(0)
+        strategy = ImpersonatingStrategy()
+        user = skewed_chain.sample_trajectory(50, rng)
+        chaffs = strategy.generate(skewed_chain, user, 40, rng)
+        frequency = np.bincount(chaffs.ravel(), minlength=skewed_chain.n_states)
+        frequency = frequency / frequency.sum()
+        assert np.allclose(frequency, skewed_chain.stationary, atol=0.05)
+
+    def test_chaffs_are_independent_of_user(self, random_chain):
+        strategy = ImpersonatingStrategy()
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        user_a = np.zeros(10, dtype=np.int64)
+        user_b = np.full(10, random_chain.n_states - 1, dtype=np.int64)
+        chaffs_a = strategy.generate(random_chain, user_a, 2, rng_a)
+        chaffs_b = strategy.generate(random_chain, user_b, 2, rng_b)
+        assert np.array_equal(chaffs_a, chaffs_b)
+
+    def test_different_chaffs_differ(self, random_chain, rng):
+        strategy = ImpersonatingStrategy()
+        user = random_chain.sample_trajectory(30, rng)
+        chaffs = strategy.generate(random_chain, user, 2, rng)
+        assert not np.array_equal(chaffs[0], chaffs[1])
+
+
+class TestMaximumLikelihoodStrategy:
+    def test_first_chaff_is_most_likely_trajectory(self, random_chain, rng):
+        strategy = MaximumLikelihoodStrategy()
+        user = random_chain.sample_trajectory(12, rng)
+        chaffs = strategy.generate(random_chain, user, 1, rng)
+        assert np.array_equal(chaffs[0], most_likely_trajectory(random_chain, 12))
+
+    def test_chaff_likelihood_at_least_user(self, random_chain, rng):
+        strategy = MaximumLikelihoodStrategy()
+        for _ in range(10):
+            user = random_chain.sample_trajectory(20, rng)
+            chaff = strategy.generate(random_chain, user, 1, rng)[0]
+            assert random_chain.log_likelihood(chaff) >= random_chain.log_likelihood(
+                user
+            ) - 1e-9
+
+    def test_chaff_independent_of_user_trajectory(self, random_chain, rng):
+        strategy = MaximumLikelihoodStrategy()
+        user_a = random_chain.sample_trajectory(15, rng)
+        user_b = random_chain.sample_trajectory(15, rng)
+        chaff_a = strategy.generate(random_chain, user_a, 1, rng)[0]
+        chaff_b = strategy.generate(random_chain, user_b, 1, rng)[0]
+        assert np.array_equal(chaff_a, chaff_b)
+
+    def test_skewed_chain_chaff_parks_in_hot_cell(self, skewed_chain, rng):
+        strategy = MaximumLikelihoodStrategy()
+        user = skewed_chain.sample_trajectory(8, rng)
+        chaff = strategy.generate(skewed_chain, user, 1, rng)[0]
+        assert np.all(chaff == 0)
+
+
+class TestConstrainedMLStrategy:
+    def test_chaff_never_colocates_with_user(self, random_chain, rng):
+        strategy = ConstrainedMLStrategy()
+        for _ in range(10):
+            user = random_chain.sample_trajectory(25, rng)
+            chaff = strategy.generate(random_chain, user, 1, rng)[0]
+            assert not np.any(chaff == user)
+
+    def test_controller_greedy_choice(self, skewed_chain):
+        controller = ConstrainedMLController(skewed_chain)
+        # User occupies the hot cell, so the chaff takes the second best.
+        first = controller.step(0)
+        assert first != 0
+        # Next slot, user moves away; chaff may move to the hot cell.
+        second = controller.step(3)
+        assert second == 0
+
+    def test_controller_rejects_bad_location(self, two_state_chain):
+        controller = ConstrainedMLController(two_state_chain)
+        with pytest.raises(ValueError):
+            controller.step(7)
+
+    def test_controller_all_excluded(self, two_state_chain):
+        controller = ConstrainedMLController(two_state_chain)
+        with pytest.raises(ValueError):
+            controller.step(0, forbidden=frozenset({1}))
+
+    def test_run_matches_stepwise(self, random_chain, rng):
+        user = random_chain.sample_trajectory(15, rng)
+        by_run = ConstrainedMLController(random_chain).run(user)
+        controller = ConstrainedMLController(random_chain)
+        by_step = np.array([controller.step(int(x)) for x in user])
+        assert np.array_equal(by_run, by_step)
+
+
+class TestMyopicOnlineStrategy:
+    def test_online_causality(self, random_chain):
+        """The chaff at slot t must not depend on the user's future."""
+        strategy = MyopicOnlineStrategy()
+        rng = np.random.default_rng(3)
+        user = random_chain.sample_trajectory(20, rng)
+        chaff_full = strategy.generate(random_chain, user, 1, np.random.default_rng(0))[0]
+        # Change the future (last 5 slots) and re-run: the first 15 chaff
+        # slots must be unchanged.
+        altered = user.copy()
+        altered[15:] = (altered[15:] + 1) % random_chain.n_states
+        chaff_altered = strategy.generate(
+            random_chain, altered, 1, np.random.default_rng(0)
+        )[0]
+        assert np.array_equal(chaff_full[:15], chaff_altered[:15])
+
+    def test_avoids_user_when_likelihood_allows(self, random_chain, rng):
+        strategy = MyopicOnlineStrategy()
+        user = random_chain.sample_trajectory(30, rng)
+        chaff = strategy.generate(random_chain, user, 1, rng)[0]
+        # Co-location should be rare for a high-entropy user.
+        assert np.mean(chaff == user) < 0.3
+
+    def test_moves_to_ml_location_when_user_not_there(self, skewed_chain):
+        controller = MyopicOnlineController(skewed_chain)
+        # User starts away from the hot cell: chaff takes the hot cell.
+        assert controller.step(2) == 0
+
+    def test_takes_second_best_when_user_on_ml_cell_under_tie(self):
+        """When another cell ties with the user's (ML) cell in stationary
+        probability, Algorithm 2 moves the chaff there instead of
+        co-locating."""
+        from repro.mobility.models import uniform_iid_model
+
+        controller = MyopicOnlineController(uniform_iid_model(5))
+        chaff = controller.step(0)
+        assert chaff != 0
+
+    def test_colocates_when_user_cell_strictly_dominates(self, skewed_chain):
+        """If the user sits on the strictly dominant cell, no other cell can
+        match the likelihood, so Algorithm 2 accepts co-location (case 3)."""
+        controller = MyopicOnlineController(skewed_chain)
+        assert controller.step(0) == 0
+
+    def test_gamma_tracks_log_likelihood_gap(self, random_chain, rng):
+        user = random_chain.sample_trajectory(12, rng)
+        controller = MyopicOnlineController(random_chain)
+        chaff = np.array([controller.step(int(x)) for x in user])
+        expected_gamma = random_chain.log_likelihood(user) - random_chain.log_likelihood(
+            chaff
+        )
+        assert np.isclose(controller.gamma, expected_gamma)
+
+    def test_forbidden_cells_respected(self, random_chain, rng):
+        controller = MyopicOnlineController(random_chain)
+        forbidden = frozenset({1, 2, 3})
+        for t in range(10):
+            user_cell = int(rng.integers(0, random_chain.n_states))
+            chaff = controller.step(user_cell, forbidden)
+            assert chaff not in forbidden
+
+    def test_too_many_forbidden_cells(self, two_state_chain):
+        controller = MyopicOnlineController(two_state_chain)
+        with pytest.raises(ValueError):
+            controller.step(0, forbidden=frozenset({0, 1}))
+
+    def test_chaff_keeps_likelihood_advantage_when_possible(self, random_chain, rng):
+        # Whenever the chaff is not co-located at the end of the horizon, MO
+        # guarantees gamma <= 0 or it moved to the ML cell; just check the
+        # strategy usually ends with non-positive gamma for a random user.
+        strategy = MyopicOnlineStrategy()
+        wins = 0
+        for seed in range(20):
+            local_rng = np.random.default_rng(seed)
+            user = random_chain.sample_trajectory(40, local_rng)
+            chaff = strategy.generate(random_chain, user, 1, local_rng)[0]
+            if random_chain.log_likelihood(chaff) >= random_chain.log_likelihood(user):
+                wins += 1
+        assert wins >= 18

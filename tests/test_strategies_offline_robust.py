@@ -1,0 +1,220 @@
+"""Tests for the optimal offline (OO) strategy and the robust variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    OptimalOfflineStrategy,
+    RobustMLStrategy,
+    RobustMyopicOnlineStrategy,
+    RobustOptimalOfflineStrategy,
+    get_strategy,
+    solve_optimal_offline,
+    sample_exclusion_mask,
+)
+from repro.core.trellis import most_likely_trajectory, trajectory_cost
+from repro.mobility.markov import MarkovChain
+from repro.mobility.models import lazy_uniform_model
+
+
+def _brute_force_oo(chain: MarkovChain, user: np.ndarray) -> int:
+    """Exhaustive optimal number of intersections for tiny instances."""
+    horizon = user.size
+    user_loglik = chain.log_likelihood(user)
+    # First pass: does any trajectory strictly beat the user?
+    best_loglik = -np.inf
+    for code in range(chain.n_states**horizon):
+        candidate = []
+        value = code
+        for _ in range(horizon):
+            candidate.append(value % chain.n_states)
+            value //= chain.n_states
+        best_loglik = max(best_loglik, chain.log_likelihood(candidate))
+    strict = best_loglik > user_loglik + 1e-9
+    best_intersections = horizon + 1
+    for code in range(chain.n_states**horizon):
+        candidate = []
+        value = code
+        for _ in range(horizon):
+            candidate.append(value % chain.n_states)
+            value //= chain.n_states
+        loglik = chain.log_likelihood(candidate)
+        qualifies = (
+            loglik > user_loglik + 1e-9
+            if strict
+            else loglik >= user_loglik - 1e-9
+        )
+        if qualifies:
+            intersections = int(np.sum(np.asarray(candidate) == user))
+            best_intersections = min(best_intersections, intersections)
+    return best_intersections
+
+
+class TestOptimalOffline:
+    def test_chaff_likelihood_at_least_user(self, random_chain, rng):
+        for _ in range(10):
+            user = random_chain.sample_trajectory(25, rng)
+            result = solve_optimal_offline(random_chain, user)
+            assert result.chaff_cost <= result.user_cost + 1e-6
+
+    def test_intersections_matches_actual_overlap(self, random_chain, rng):
+        user = random_chain.sample_trajectory(30, rng)
+        result = solve_optimal_offline(random_chain, user)
+        assert result.intersections == int(np.sum(result.trajectory == user))
+
+    def test_matches_bruteforce_on_tiny_instances(self, rng):
+        generator = np.random.default_rng(42)
+        matrix = generator.uniform(0.2, 1.0, size=(3, 3))
+        matrix /= matrix.sum(axis=1, keepdims=True)
+        chain = MarkovChain(matrix)
+        for seed in range(8):
+            user = chain.sample_trajectory(5, np.random.default_rng(seed))
+            result = solve_optimal_offline(chain, user)
+            assert result.intersections == _brute_force_oo(chain, user)
+
+    def test_zero_intersections_for_high_entropy_user(self):
+        chain = lazy_uniform_model(8, stay_probability=0.2)
+        rng = np.random.default_rng(0)
+        user = chain.sample_trajectory(40, rng)
+        result = solve_optimal_offline(chain, user)
+        assert result.intersections == 0
+
+    def test_user_on_most_likely_path_forces_tie(self, skewed_chain):
+        # If the user parks in the hot cell (the most likely trajectory),
+        # no trajectory is strictly more likely: the OO strategy ties.
+        user = np.zeros(10, dtype=np.int64)
+        result = solve_optimal_offline(skewed_chain, user)
+        assert not result.strict
+        assert np.isclose(result.chaff_cost, result.user_cost, atol=1e-6)
+
+    def test_allowed_mask_respected(self, random_chain, rng):
+        user = random_chain.sample_trajectory(12, rng)
+        mask = np.ones((12, random_chain.n_states), dtype=bool)
+        mask[4, int(user[4])] = False
+        mask[7, 2] = False
+        result = solve_optimal_offline(random_chain, user, allowed=mask)
+        assert result.trajectory[4] != user[4]
+        assert result.trajectory[7] != 2
+
+    def test_horizon_one(self, random_chain):
+        user = np.array([int(np.argmax(random_chain.stationary))])
+        result = solve_optimal_offline(random_chain, user)
+        assert result.trajectory.shape == (1,)
+
+    def test_rejects_empty_user(self, random_chain):
+        with pytest.raises(ValueError):
+            solve_optimal_offline(random_chain, np.array([], dtype=np.int64))
+
+    def test_strategy_wrapper_first_chaff_optimal(self, random_chain, rng):
+        strategy = OptimalOfflineStrategy()
+        user = random_chain.sample_trajectory(20, rng)
+        chaffs = strategy.generate(random_chain, user, 2, rng)
+        reference = solve_optimal_offline(random_chain, user)
+        assert np.array_equal(chaffs[0], reference.trajectory)
+
+    def test_beats_or_ties_cml_in_overlap(self, random_chain, rng):
+        """OO minimises co-location among likelihood-qualified trajectories,
+        so its overlap is never worse than any qualified alternative we can
+        construct (here: the most likely trajectory)."""
+        user = random_chain.sample_trajectory(25, rng)
+        result = solve_optimal_offline(random_chain, user)
+        ml_chaff = most_likely_trajectory(random_chain, 25)
+        ml_overlap = int(np.sum(ml_chaff == user))
+        assert result.intersections <= ml_overlap
+
+    def test_chaff_cost_not_below_global_optimum(self, random_chain, rng):
+        user = random_chain.sample_trajectory(20, rng)
+        result = solve_optimal_offline(random_chain, user)
+        best = trajectory_cost(random_chain, most_likely_trajectory(random_chain, 20))
+        assert result.chaff_cost >= best - 1e-9
+
+
+class TestExclusionMask:
+    def test_mask_marks_one_pair_per_prior_trajectory(self, random_chain, rng):
+        prior = random_chain.sample_trajectories(3, 10, rng)
+        mask = sample_exclusion_mask(prior, random_chain.n_states, rng)
+        assert mask.shape == (10, random_chain.n_states)
+        assert (~mask).sum() <= 3
+
+    def test_mask_never_blocks_whole_slot(self, rng):
+        chain = MarkovChain(np.full((2, 2), 0.5))
+        prior = chain.sample_trajectories(4, 6, rng)
+        mask = sample_exclusion_mask(prior, 2, rng)
+        assert mask.any(axis=1).all()
+
+    def test_mask_rejects_empty_prior(self, rng):
+        with pytest.raises(ValueError):
+            sample_exclusion_mask(np.empty((0, 5), dtype=np.int64), 5, rng)
+
+
+class TestRobustStrategies:
+    def test_rml_chaffs_are_high_likelihood(self, random_chain, rng):
+        strategy = RobustMLStrategy()
+        user = random_chain.sample_trajectory(20, rng)
+        chaffs = strategy.generate(random_chain, user, 4, rng)
+        user_loglik = random_chain.log_likelihood(user)
+        # Perturbed ML trajectories stay close to the global optimum and in
+        # particular typically beat a random user trajectory.
+        beats = sum(
+            random_chain.log_likelihood(chaff) >= user_loglik for chaff in chaffs
+        )
+        assert beats >= 3
+
+    def test_rml_randomised_across_seeds(self, random_chain):
+        strategy = RobustMLStrategy()
+        user = random_chain.sample_trajectory(20, np.random.default_rng(0))
+        a = strategy.generate(random_chain, user, 3, np.random.default_rng(1))
+        b = strategy.generate(random_chain, user, 3, np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_rml_differs_from_deterministic_ml(self, random_chain, rng):
+        user = random_chain.sample_trajectory(20, rng)
+        rml = RobustMLStrategy().generate(random_chain, user, 3, rng)
+        ml = most_likely_trajectory(random_chain, 20)
+        # At least one chaff must deviate from the unperturbed ML trajectory,
+        # otherwise the advanced eavesdropper unmasks them all.
+        assert any(not np.array_equal(chaff, ml) for chaff in rml)
+
+    def test_roo_keeps_low_overlap_with_user(self, random_chain, rng):
+        strategy = RobustOptimalOfflineStrategy()
+        user = random_chain.sample_trajectory(25, rng)
+        chaffs = strategy.generate(random_chain, user, 3, rng)
+        for chaff in chaffs:
+            assert np.mean(chaff == user) < 0.3
+
+    def test_roo_randomised_across_seeds(self, random_chain):
+        strategy = RobustOptimalOfflineStrategy()
+        user = random_chain.sample_trajectory(15, np.random.default_rng(0))
+        a = strategy.generate(random_chain, user, 3, np.random.default_rng(3))
+        b = strategy.generate(random_chain, user, 3, np.random.default_rng(4))
+        assert not np.array_equal(a, b)
+
+    def test_rmo_respects_exclusions_shape(self, random_chain, rng):
+        strategy = RobustMyopicOnlineStrategy()
+        user = random_chain.sample_trajectory(30, rng)
+        chaffs = strategy.generate(random_chain, user, 5, rng)
+        assert chaffs.shape == (5, 30)
+        assert chaffs.min() >= 0
+
+    def test_rmo_low_colocation(self, random_chain, rng):
+        strategy = RobustMyopicOnlineStrategy()
+        user = random_chain.sample_trajectory(40, rng)
+        chaffs = strategy.generate(random_chain, user, 2, rng)
+        assert np.mean(chaffs[0] == user) < 0.3
+
+    def test_rmo_works_in_tiny_state_space(self, rng):
+        chain = MarkovChain(np.array([[0.6, 0.3, 0.1], [0.2, 0.5, 0.3], [0.3, 0.3, 0.4]]))
+        user = chain.sample_trajectory(10, rng)
+        chaffs = RobustMyopicOnlineStrategy().generate(chain, user, 2, rng)
+        assert chaffs.shape == (2, 10)
+
+    @pytest.mark.parametrize("name", ["RML", "ROO", "RMO"])
+    def test_robust_strategies_generate_distinct_chaffs(self, name, random_chain, rng):
+        strategy = get_strategy(name)
+        user = random_chain.sample_trajectory(20, rng)
+        chaffs = strategy.generate(random_chain, user, 3, rng)
+        # The whole point of the robust variants is that the chaffs are not
+        # all identical copies of one deterministic trajectory.
+        assert len({chaff.tobytes() for chaff in chaffs}) >= 2

@@ -1,0 +1,173 @@
+"""Integration tests for the trace-driven experiments (Figs. 8-10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig8, run_fig9, run_fig10
+from repro.experiments.trace_common import (
+    build_taxi_dataset,
+    per_user_tracking_accuracy,
+    protected_user_accuracy,
+    top_k_tracked_users,
+)
+from repro.core.eavesdropper import MaximumLikelihoodDetector
+from repro.core.strategies import get_strategy
+from repro.sim.config import TraceExperimentConfig
+
+#: Reduced-scale trace config shared by this module (cached dataset).
+SMALL_TRACE = TraceExperimentConfig(
+    n_nodes=80, n_towers=100, horizon=50, top_k_users=3, seed=2024
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_taxi_dataset(SMALL_TRACE)
+
+
+class TestTraceDataset:
+    def test_dataset_dimensions(self, dataset):
+        assert dataset.horizon == SMALL_TRACE.horizon
+        assert 0 < dataset.n_nodes <= SMALL_TRACE.n_nodes
+        assert dataset.n_cells > 10
+
+    def test_dataset_cached(self, dataset):
+        assert build_taxi_dataset(SMALL_TRACE) is dataset
+
+    def test_population_model_is_spatially_skewed(self, dataset):
+        stationary = dataset.mobility_model.stationary
+        assert stationary.max() > 3.0 / dataset.n_cells
+
+    def test_per_user_accuracy_heavy_tailed(self, dataset):
+        accuracies = per_user_tracking_accuracy(dataset, seed=1)
+        baseline = 1.0 / dataset.n_nodes
+        assert accuracies.max() > 10 * baseline
+        assert np.median(accuracies) < accuracies.max() / 2
+
+    def test_top_k_users_sorted_by_accuracy(self, dataset):
+        accuracies = per_user_tracking_accuracy(dataset, seed=0)
+        top = top_k_tracked_users(dataset, 3, seed=0)
+        top_values = accuracies[top]
+        assert np.all(np.diff(top_values) <= 1e-9)
+
+    def test_protected_user_accuracy_validation(self, dataset):
+        detector = MaximumLikelihoodDetector()
+        with pytest.raises(ValueError):
+            protected_user_accuracy(dataset, -1, None, detector)
+        with pytest.raises(ValueError):
+            protected_user_accuracy(dataset, 0, None, detector, n_chaffs=-1)
+
+    def test_ml_chaff_protects_top_user(self, dataset):
+        """A single ML chaff must not increase (and typically decreases) the
+        top user's tracking accuracy under the basic eavesdropper."""
+        detector = MaximumLikelihoodDetector()
+        top_user = top_k_tracked_users(dataset, 1, seed=0)[0]
+        before = protected_user_accuracy(dataset, top_user, None, detector, seed=3)
+        after = protected_user_accuracy(
+            dataset, top_user, get_strategy("ML"), detector, n_chaffs=1, seed=3
+        )
+        assert after <= before + 1e-9
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(SMALL_TRACE)
+
+    def test_scalar_consistency(self, result):
+        assert result.scalars["n_cells"] > 0
+        assert result.scalars["n_nodes"] > 0
+        assert result.scalars["horizon"] == SMALL_TRACE.horizon
+
+    def test_steady_state_is_distribution(self, result):
+        empirical = result.series("steady-state", "empirical-visits")
+        assert np.isclose(sum(empirical.values), 1.0)
+        fitted = result.series("steady-state", "fitted-model")
+        assert np.isclose(sum(fitted.values), 1.0)
+
+    def test_spatial_skew_entropy_gap(self, result):
+        """The empirical mobility model concentrates on few cells, so its
+        stationary entropy is well below the uniform entropy (Fig. 8(b))."""
+        assert (
+            result.scalars["stationary_entropy_nats"]
+            < 0.9 * result.scalars["uniform_entropy_nats"]
+        )
+
+    def test_layout_coordinates_match_cell_count(self, result):
+        xs = result.series("layout", "tower-x-meters")
+        assert len(xs.values) == int(result.scalars["n_cells"])
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(SMALL_TRACE)
+
+    def test_panel_a_shows_users_above_baseline(self, result):
+        assert result.scalars["max_unprotected_accuracy"] > 10 * result.scalars[
+            "baseline_1_over_N"
+        ]
+        assert result.scalars["n_users_above_10x_baseline"] >= 1
+
+    def test_panel_a_sorted_descending(self, result):
+        series = result.series("no-chaff", "per-user accuracy (sorted)")
+        assert np.all(np.diff(series.values) <= 1e-9)
+
+    def test_panel_b_has_top_k_users(self, result):
+        assert len(result.groups["single-chaff"]) == SMALL_TRACE.top_k_users
+
+    def test_im_does_not_help_top_users(self, result):
+        """Fig. 9(b): a single IM chaff barely changes the top users'
+        accuracy (it only adds one more plausible trajectory among many)."""
+        for rank in range(1, SMALL_TRACE.top_k_users + 1):
+            no_chaff = result.scalars[f"user{rank}/no chaff"]
+            im = result.scalars[f"user{rank}/IM"]
+            assert im >= no_chaff - 0.1
+
+    def test_ml_and_oo_reduce_tracking_of_top_users(self, result):
+        """Fig. 9(b): ML and OO chaffs significantly lower the accuracy."""
+        improvements = 0
+        for rank in range(1, SMALL_TRACE.top_k_users + 1):
+            no_chaff = result.scalars[f"user{rank}/no chaff"]
+            ml = result.scalars[f"user{rank}/ML"]
+            oo = result.scalars[f"user{rank}/OO"]
+            if ml < no_chaff - 0.05 or oo < no_chaff - 0.05:
+                improvements += 1
+            assert ml <= no_chaff + 1e-9
+            assert oo <= no_chaff + 1e-9
+        assert improvements >= 1
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(SMALL_TRACE, n_chaffs=2)
+
+    def test_all_strategies_reported(self, result):
+        for rank in range(1, SMALL_TRACE.top_k_users + 1):
+            for label in ("IM", "ML", "OO", "MO", "RMO", "RML", "ROO"):
+                assert f"user{rank}/{label}" in result.scalars
+
+    def test_values_are_probabilities(self, result):
+        for value in result.scalars.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_robust_strategies_not_worse_than_deterministic_oo(self, result):
+        """Against the strategy-aware eavesdropper, ROO must not be worse
+        than plain OO on average over the top users (the whole point of the
+        randomisation)."""
+        oo_mean = np.mean(
+            [
+                result.scalars[f"user{rank}/OO"]
+                for rank in range(1, SMALL_TRACE.top_k_users + 1)
+            ]
+        )
+        roo_mean = np.mean(
+            [
+                result.scalars[f"user{rank}/ROO"]
+                for rank in range(1, SMALL_TRACE.top_k_users + 1)
+            ]
+        )
+        assert roo_mean <= oo_mean + 0.05

@@ -1,0 +1,205 @@
+"""Tests for the synthetic taxi traces and the preprocessing pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geo.points import GeoPoint
+from repro.geo.towers import TowerPlacementConfig, generate_towers
+from repro.geo.voronoi import VoronoiQuantizer
+from repro.traces.preprocess import (
+    CellTrajectoryDataset,
+    TracePipeline,
+    filter_inactive_traces,
+    quantize_traces,
+    resample_trace,
+)
+from repro.traces.taxi import GpsFix, RawTrace, TaxiFleetConfig, TaxiFleetGenerator
+
+
+def _make_trace(node_id: int, timestamps, latitudes, longitude=-122.4) -> RawTrace:
+    fixes = [
+        GpsFix(timestamp=float(t), position=GeoPoint(float(lat), longitude))
+        for t, lat in zip(timestamps, latitudes)
+    ]
+    return RawTrace(node_id=node_id, fixes=fixes)
+
+
+class TestGpsFixAndRawTrace:
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            GpsFix(timestamp=-1.0, position=GeoPoint(37.7, -122.4))
+
+    def test_fixes_sorted_on_construction(self):
+        trace = _make_trace(0, [60, 0, 30], [37.7, 37.6, 37.65])
+        assert [fix.timestamp for fix in trace.fixes] == [0, 30, 60]
+
+    def test_add_fix_keeps_order(self):
+        trace = _make_trace(0, [0, 60], [37.6, 37.7])
+        trace.add_fix(GpsFix(timestamp=30, position=GeoPoint(37.65, -122.4)))
+        assert [fix.timestamp for fix in trace.fixes] == [0, 30, 60]
+
+    def test_duration(self):
+        trace = _make_trace(0, [10, 130], [37.6, 37.7])
+        assert trace.duration == 120
+
+    def test_duration_single_fix(self):
+        trace = _make_trace(0, [10], [37.6])
+        assert trace.duration == 0.0
+
+    def test_max_gap(self):
+        trace = _make_trace(0, [0, 60, 400], [37.6, 37.7, 37.8])
+        assert trace.max_gap() == 340
+
+    def test_negative_node_id(self):
+        with pytest.raises(ValueError):
+            RawTrace(node_id=-1)
+
+
+class TestTaxiFleetGenerator:
+    def test_generates_requested_number_of_nodes(self):
+        config = TaxiFleetConfig(n_nodes=12, duration_minutes=20)
+        traces = TaxiFleetGenerator(config).generate(np.random.default_rng(0))
+        assert len(traces) == 12
+        assert {trace.node_id for trace in traces} == set(range(12))
+
+    def test_fixes_within_bbox_and_duration(self):
+        config = TaxiFleetConfig(n_nodes=5, duration_minutes=15)
+        traces = TaxiFleetGenerator(config).generate(np.random.default_rng(1))
+        for trace in traces:
+            assert trace.fixes
+            for fix in trace.fixes:
+                assert config.bbox.contains(fix.position)
+                assert 0 <= fix.timestamp <= config.duration_minutes * 60 + 1e-6
+
+    def test_update_intervals_are_irregular(self):
+        config = TaxiFleetConfig(n_nodes=3, duration_minutes=30, silence_probability=0.0)
+        traces = TaxiFleetGenerator(config).generate(np.random.default_rng(2))
+        intervals = np.diff(traces[0].timestamps())
+        assert intervals.std() > 1.0  # not perfectly regular
+
+    def test_reproducible_with_seed(self):
+        config = TaxiFleetConfig(n_nodes=4, duration_minutes=10)
+        a = TaxiFleetGenerator(config).generate(np.random.default_rng(5))
+        b = TaxiFleetGenerator(config).generate(np.random.default_rng(5))
+        assert [fix.timestamp for fix in a[0].fixes] == [
+            fix.timestamp for fix in b[0].fixes
+        ]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TaxiFleetConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            TaxiFleetConfig(update_jitter=1.5)
+        with pytest.raises(ValueError):
+            TaxiFleetConfig(loiterer_fraction=2.0)
+
+
+class TestFilterInactive:
+    def test_drops_trace_with_long_gap(self):
+        active = _make_trace(0, range(0, 600, 60), [37.6 + 0.001 * i for i in range(10)])
+        inactive = _make_trace(1, [0, 60, 500], [37.6, 37.61, 37.62])
+        kept = filter_inactive_traces([active, inactive], max_gap_s=300)
+        assert [trace.node_id for trace in kept] == [0]
+
+    def test_drops_short_traces(self):
+        short = _make_trace(0, [0, 60], [37.6, 37.61])
+        kept = filter_inactive_traces([short], max_gap_s=300, min_duration_s=600)
+        assert kept == []
+
+    def test_drops_single_fix_traces(self):
+        kept = filter_inactive_traces([_make_trace(0, [0], [37.6])])
+        assert kept == []
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            filter_inactive_traces([], max_gap_s=0)
+
+
+class TestResample:
+    def test_regular_grid_length(self):
+        trace = _make_trace(0, [0, 60, 120, 180], [37.60, 37.61, 37.62, 37.63])
+        points = resample_trace(trace, interval_s=60, duration_s=180)
+        assert len(points) == 4
+
+    def test_linear_interpolation_midpoint(self):
+        trace = _make_trace(0, [0, 120], [37.60, 37.62])
+        points = resample_trace(trace, interval_s=60, duration_s=120)
+        assert np.isclose(points[1].latitude, 37.61, atol=1e-9)
+
+    def test_extrapolation_clamps_to_last_fix(self):
+        trace = _make_trace(0, [0, 60], [37.60, 37.61])
+        points = resample_trace(trace, interval_s=60, duration_s=240)
+        assert points[-1].latitude == 37.61
+
+    def test_requires_two_fixes(self):
+        with pytest.raises(ValueError):
+            resample_trace(_make_trace(0, [0], [37.6]))
+
+    def test_invalid_interval(self):
+        trace = _make_trace(0, [0, 60], [37.6, 37.61])
+        with pytest.raises(ValueError):
+            resample_trace(trace, interval_s=0)
+
+
+class TestQuantizeAndPipeline:
+    @pytest.fixture
+    def quantizer(self) -> VoronoiQuantizer:
+        towers = generate_towers(
+            TowerPlacementConfig(n_towers=40), rng=np.random.default_rng(11)
+        )
+        return VoronoiQuantizer(towers)
+
+    def test_quantize_traces_shape(self, quantizer):
+        trace = _make_trace(0, [0, 60, 120], [37.6, 37.7, 37.8])
+        resampled = [resample_trace(trace, duration_s=120)]
+        cells = quantize_traces(resampled, quantizer)
+        assert cells.shape == (1, 3)
+
+    def test_quantize_traces_requires_equal_lengths(self, quantizer):
+        a = resample_trace(_make_trace(0, [0, 120], [37.6, 37.7]), duration_s=120)
+        b = resample_trace(_make_trace(1, [0, 180], [37.6, 37.7]), duration_s=180)
+        with pytest.raises(ValueError):
+            quantize_traces([a, b], quantizer)
+
+    def test_quantize_traces_empty(self, quantizer):
+        with pytest.raises(ValueError):
+            quantize_traces([], quantizer)
+
+    def test_pipeline_produces_dataset(self, quantizer):
+        config = TaxiFleetConfig(
+            n_nodes=20, duration_minutes=30, silence_probability=0.0
+        )
+        traces = TaxiFleetGenerator(config).generate(np.random.default_rng(3))
+        pipeline = TracePipeline(quantizer=quantizer, horizon_slots=25)
+        dataset = pipeline.run(traces)
+        assert isinstance(dataset, CellTrajectoryDataset)
+        assert dataset.horizon == 25
+        assert dataset.n_nodes > 0
+        assert dataset.trajectories.max() < dataset.n_cells
+        assert dataset.mobility_model.is_ergodic()
+
+    def test_pipeline_empty_after_filter_raises(self, quantizer):
+        # A single trace with a huge gap is filtered out entirely.
+        trace = _make_trace(0, [0, 4000], [37.6, 37.7])
+        pipeline = TracePipeline(quantizer=quantizer, horizon_slots=10)
+        with pytest.raises(ValueError):
+            pipeline.run([trace])
+
+    def test_dataset_helpers(self, quantizer):
+        config = TaxiFleetConfig(
+            n_nodes=10, duration_minutes=25, silence_probability=0.0
+        )
+        traces = TaxiFleetGenerator(config).generate(np.random.default_rng(4))
+        dataset = TracePipeline(quantizer=quantizer, horizon_slots=20).run(traces)
+        node = dataset.node_ids[0]
+        assert dataset.trajectory_of(node).shape == (20,)
+        with pytest.raises(KeyError):
+            dataset.trajectory_of(9999)
+        stationary = dataset.empirical_stationary()
+        assert np.isclose(stationary.sum(), 1.0)
+
+    def test_pipeline_invalid_horizon(self, quantizer):
+        with pytest.raises(ValueError):
+            TracePipeline(quantizer=quantizer, horizon_slots=1)

@@ -1,0 +1,126 @@
+"""Tests for the trellis graph and most-likely-trajectory solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trellis import (
+    InfeasibleTrellisError,
+    build_trellis_graph,
+    most_likely_trajectory,
+    most_likely_trajectory_dijkstra,
+    trajectory_cost,
+    validate_allowed_mask,
+)
+from repro.mobility.markov import MarkovChain
+
+
+class TestValidateAllowedMask:
+    def test_default_mask_all_true(self):
+        mask = validate_allowed_mask(None, 5, 3)
+        assert mask.shape == (5, 3) and mask.all()
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            validate_allowed_mask(np.ones((4, 3), dtype=bool), 5, 3)
+
+    def test_fully_blocked_slot_rejected(self):
+        mask = np.ones((4, 3), dtype=bool)
+        mask[2] = False
+        with pytest.raises(InfeasibleTrellisError):
+            validate_allowed_mask(mask, 4, 3)
+
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            validate_allowed_mask(None, 0, 3)
+
+
+class TestMostLikelyTrajectory:
+    def test_matches_dijkstra_small_chains(self, random_chain, skewed_chain):
+        for chain in (random_chain, skewed_chain):
+            for horizon in (1, 2, 5, 12):
+                viterbi = most_likely_trajectory(chain, horizon)
+                dijkstra = most_likely_trajectory_dijkstra(chain, horizon)
+                assert np.isclose(
+                    trajectory_cost(chain, viterbi), trajectory_cost(chain, dijkstra)
+                )
+
+    def test_matches_bruteforce_tiny_chain(self, two_state_chain):
+        horizon = 6
+        best_cost = np.inf
+        for code in range(2**horizon):
+            candidate = [(code >> t) & 1 for t in range(horizon)]
+            best_cost = min(best_cost, trajectory_cost(two_state_chain, candidate))
+        solution = most_likely_trajectory(two_state_chain, horizon)
+        assert np.isclose(trajectory_cost(two_state_chain, solution), best_cost)
+
+    def test_skewed_chain_sticks_to_hot_cell(self, skewed_chain):
+        trajectory = most_likely_trajectory(skewed_chain, 10)
+        assert np.all(trajectory == 0)
+
+    def test_horizon_one_returns_stationary_argmax(self, skewed_chain):
+        trajectory = most_likely_trajectory(skewed_chain, 1)
+        assert trajectory[0] == int(np.argmax(skewed_chain.stationary))
+
+    def test_trajectory_has_no_lower_cost_than_samples(self, random_chain, rng):
+        best = trajectory_cost(random_chain, most_likely_trajectory(random_chain, 15))
+        for _ in range(50):
+            sample = random_chain.sample_trajectory(15, rng)
+            assert best <= trajectory_cost(random_chain, sample) + 1e-9
+
+    def test_allowed_mask_respected(self, skewed_chain):
+        horizon = 6
+        mask = np.ones((horizon, skewed_chain.n_states), dtype=bool)
+        mask[:, 0] = False  # forbid the hot cell everywhere
+        trajectory = most_likely_trajectory(skewed_chain, horizon, allowed=mask)
+        assert not np.any(trajectory == 0)
+
+    def test_allowed_mask_single_cell_forces_it(self, random_chain):
+        horizon = 4
+        mask = np.zeros((horizon, random_chain.n_states), dtype=bool)
+        mask[:, 3] = True
+        trajectory = most_likely_trajectory(random_chain, horizon, allowed=mask)
+        assert np.all(trajectory == 3)
+
+    def test_masked_viterbi_matches_masked_dijkstra(self, random_chain):
+        horizon = 8
+        mask = np.ones((horizon, random_chain.n_states), dtype=bool)
+        mask[2, 0] = False
+        mask[5, 4] = False
+        viterbi = most_likely_trajectory(random_chain, horizon, allowed=mask)
+        dijkstra = most_likely_trajectory_dijkstra(random_chain, horizon, allowed=mask)
+        assert np.isclose(
+            trajectory_cost(random_chain, viterbi),
+            trajectory_cost(random_chain, dijkstra),
+        )
+
+    def test_cost_is_negative_log_likelihood(self, random_chain, rng):
+        trajectory = random_chain.sample_trajectory(9, rng)
+        assert np.isclose(
+            trajectory_cost(random_chain, trajectory),
+            -random_chain.log_likelihood(trajectory),
+        )
+
+
+class TestTrellisGraph:
+    def test_node_and_edge_counts(self, two_state_chain):
+        horizon = 4
+        graph, source, sink = build_trellis_graph(two_state_chain, horizon)
+        # source + sink + horizon layers of L cells
+        assert graph.number_of_nodes() == 2 + horizon * 2
+        # source->L1 (2) + between-layer (3 * 4) + LT->sink (2)
+        assert graph.number_of_edges() == 2 + (horizon - 1) * 4 + 2
+
+    def test_edge_weights_match_model(self, two_state_chain):
+        graph, source, _ = build_trellis_graph(two_state_chain, 3)
+        weight = graph.edges[source, (1, 0)]["weight"]
+        assert np.isclose(weight, -np.log(two_state_chain.stationary[0]))
+        weight = graph.edges[(1, 0), (2, 1)]["weight"]
+        assert np.isclose(weight, -np.log(two_state_chain.transition_matrix[0, 1]))
+
+    def test_forbidden_vertices_removed(self, two_state_chain):
+        mask = np.ones((3, 2), dtype=bool)
+        mask[1, 0] = False
+        graph, _, _ = build_trellis_graph(two_state_chain, 3, allowed=mask)
+        assert (2, 0) not in graph.nodes
