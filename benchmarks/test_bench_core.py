@@ -13,9 +13,11 @@ import numpy as np
 import pytest
 
 from repro.core.eavesdropper.detector import MaximumLikelihoodDetector
+from repro.core.game import PrivacyGame
 from repro.core.strategies import get_strategy, solve_optimal_offline
 from repro.core.trellis import most_likely_trajectory
 from repro.mobility.models import paper_synthetic_models, random_mobility_model
+from repro.sim.monte_carlo import MonteCarloRunner
 
 
 @pytest.fixture(scope="module")
@@ -87,3 +89,27 @@ def test_bench_trajectory_sampling(benchmark, chain_small):
     rng = np.random.default_rng(5)
     trajectory = benchmark(chain_small.sample_trajectory, 1000, rng)
     assert trajectory.shape == (1000,)
+
+
+def _paper_scale_monte_carlo(chain, engine: str):
+    """One full paper-scale point: IM (N = 2), 1000 runs, T = 100."""
+    game = PrivacyGame(
+        chain, get_strategy("IM"), MaximumLikelihoodDetector(), n_services=2
+    )
+    runner = MonteCarloRunner(n_runs=1000, seed=0, engine=engine)
+    return runner.run(game, horizon=100)
+
+
+@pytest.mark.parametrize("engine", ["batch", "loop"])
+def test_bench_monte_carlo_paper_scale(benchmark, chain_small, engine):
+    """Full Monte-Carlo point at paper scale (R = 1000, T = 100, L = 10).
+
+    Run with both engines so the batch-vs-loop speedup is visible in one
+    benchmark table; a single round each keeps the suite fast (the looped
+    engine takes on the order of a second per round).
+    """
+    stats = benchmark.pedantic(
+        _paper_scale_monte_carlo, args=(chain_small, engine), rounds=1, iterations=1
+    )
+    assert stats.n_episodes == 1000
+    assert stats.horizon == 100

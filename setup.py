@@ -1,5 +1,9 @@
-"""Setuptools shim so the package installs in environments without the
-``wheel`` package (offline editable installs fall back to ``setup.py develop``)."""
+"""Legacy-path shim: all project metadata lives in ``pyproject.toml``.
+
+Kept only so ``pip install -e .`` still works on machines without the
+``wheel`` package (offline editable installs fall back to
+``setup.py develop``, and setuptools >= 61 reads the pyproject metadata).
+"""
 
 from setuptools import setup
 

@@ -21,6 +21,7 @@ True
 """
 
 from .core import (
+    BatchEpisodeResult,
     ChaffStrategy,
     EpisodeResult,
     MaximumLikelihoodDetector,
@@ -43,6 +44,7 @@ from .experiments import available_experiments, run_experiment
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchEpisodeResult",
     "ChaffStrategy",
     "EpisodeResult",
     "MaximumLikelihoodDetector",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..mobility.markov import MarkovChain
+from ..numerics import LOG_FLOOR
 from ..core.trellis import most_likely_trajectory
 from .loglik import build_cml_induced_chain, estimate_expected_ct
 
@@ -95,13 +96,13 @@ def likelihood_gap_constants(chain: MarkovChain) -> LikelihoodGapConstants:
     if chain.n_states < 2:
         raise ValueError("need at least two cells")
     sorted_pi = np.sort(pi)[::-1]
-    pi_max, pi_2 = float(sorted_pi[0]), float(max(sorted_pi[1], 1e-300))
+    pi_max, pi_2 = float(sorted_pi[0]), float(max(sorted_pi[1], LOG_FLOOR))
     P = chain.transition_matrix
     positive = P[P > 0]
     p_max = float(positive.max())
     p_min = float(positive.min())
     second_largest_rows = np.sort(P, axis=1)[:, -2]
-    p_2 = float(max(second_largest_rows.min(), 1e-300))
+    p_2 = float(max(second_largest_rows.min(), LOG_FLOOR))
     return LikelihoodGapConstants(
         c0=math.log(pi_max / pi_2),
         c_min=math.log(p_min / p_max),

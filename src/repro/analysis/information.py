@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mobility.markov import MarkovChain
+from ..numerics import LOG_FLOOR
 
 __all__ = [
     "entropy",
@@ -27,8 +28,6 @@ __all__ = [
     "conditional_step_entropy",
     "entropy_gap_condition",
 ]
-
-_FLOOR = 1e-300
 
 
 def entropy(distribution: np.ndarray) -> float:
@@ -50,7 +49,7 @@ def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
         raise ValueError("distributions must have the same shape")
     mask = p > 0
     return float(
-        np.sum(p[mask] * (np.log(p[mask]) - np.log(np.maximum(q[mask], _FLOOR))))
+        np.sum(p[mask] * (np.log(p[mask]) - np.log(np.maximum(q[mask], LOG_FLOOR))))
     )
 
 

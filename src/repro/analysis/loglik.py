@@ -23,6 +23,7 @@ import numpy as np
 from ..mobility.markov import MarkovChain
 from ..core.strategies.constrained_ml import ConstrainedMLController
 from ..core.strategies.myopic_online import MyopicOnlineController
+from ..numerics import LOG_FLOOR
 
 __all__ = [
     "ct_series",
@@ -32,11 +33,8 @@ __all__ = [
     "estimate_expected_ct",
 ]
 
-_FLOOR = 1e-300
-
-
 def _log(values: np.ndarray | float) -> np.ndarray | float:
-    return np.log(np.maximum(values, _FLOOR))
+    return np.log(np.maximum(values, LOG_FLOOR))
 
 
 def ct_series(

@@ -14,11 +14,12 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.game import EpisodeResult
+from ..core.game import BatchEpisodeResult, EpisodeResult
 
 __all__ = [
     "TrackingStatistics",
     "aggregate_episodes",
+    "aggregate_batch",
     "per_slot_accuracy",
     "time_average_accuracy",
     "detection_rate",
@@ -91,4 +92,20 @@ def aggregate_episodes(episodes: Sequence[EpisodeResult]) -> TrackingStatistics:
         tracking_accuracy=float(per_slot.mean()),
         detection_accuracy=detection_rate(episodes),
         n_episodes=len(episodes),
+    )
+
+
+def aggregate_batch(batch: BatchEpisodeResult) -> TrackingStatistics:
+    """Aggregate a :class:`BatchEpisodeResult` into :class:`TrackingStatistics`.
+
+    The tracking indicators are 0/1 values, so the run-axis means here are
+    exact and coincide bit for bit with :func:`aggregate_episodes` over the
+    materialised episode list.
+    """
+    per_slot = batch.tracked_per_slot.astype(float).mean(axis=0)
+    return TrackingStatistics(
+        per_slot_accuracy=per_slot,
+        tracking_accuracy=float(per_slot.mean()),
+        detection_accuracy=float(batch.detected_user.astype(float).mean()),
+        n_episodes=batch.n_runs,
     )

@@ -53,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--towers", type=int, default=None, help="tower count")
     run_parser.add_argument("--seed", type=int, default=2017, help="master seed")
     run_parser.add_argument(
+        "--engine",
+        choices=("batch", "loop"),
+        default="batch",
+        help="Monte-Carlo execution engine (identical results, batch is faster)",
+    )
+    run_parser.add_argument(
         "--output", type=str, default=None, help="write the result JSON to this path"
     )
     return parser
@@ -60,8 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _build_config(args: argparse.Namespace):
     """Construct the appropriate config object for the chosen experiment."""
+    engine = getattr(args, "engine", "batch")
     if args.experiment in _TRACE_EXPERIMENTS:
-        config = TraceExperimentConfig(seed=args.seed)
+        config = TraceExperimentConfig(seed=args.seed, engine=engine)
         return config.scaled(
             n_nodes=args.nodes, n_towers=args.towers, horizon=args.horizon
         )
@@ -70,6 +77,7 @@ def _build_config(args: argparse.Namespace):
         n_cells=args.cells if args.cells is not None else 10,
         n_runs=args.runs if args.runs is not None else 1000,
         horizon=args.horizon if args.horizon is not None else 100,
+        engine=engine,
     )
     return config
 

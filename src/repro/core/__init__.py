@@ -1,9 +1,10 @@
 """Core contribution: chaff strategies, eavesdroppers and the privacy game."""
 
-from .game import EpisodeResult, PrivacyGame
+from .game import BatchEpisodeResult, EpisodeResult, PrivacyGame
 from .trellis import (
     InfeasibleTrellisError,
     build_trellis_graph,
+    most_likely_trajectories,
     most_likely_trajectory,
     most_likely_trajectory_dijkstra,
     trajectory_cost,
@@ -23,6 +24,7 @@ from .strategies import (
     solve_optimal_offline,
 )
 from .eavesdropper import (
+    BatchDetectionOutcome,
     MaximumLikelihoodDetector,
     RandomGuessDetector,
     StrategyAwareDetector,
@@ -31,10 +33,12 @@ from .eavesdropper import (
 )
 
 __all__ = [
+    "BatchEpisodeResult",
     "EpisodeResult",
     "PrivacyGame",
     "InfeasibleTrellisError",
     "build_trellis_graph",
+    "most_likely_trajectories",
     "most_likely_trajectory",
     "most_likely_trajectory_dijkstra",
     "trajectory_cost",
@@ -50,6 +54,7 @@ __all__ = [
     "available_strategies",
     "get_strategy",
     "solve_optimal_offline",
+    "BatchDetectionOutcome",
     "MaximumLikelihoodDetector",
     "RandomGuessDetector",
     "StrategyAwareDetector",

@@ -1,6 +1,7 @@
 """Eavesdropper models: baseline ML detector and strategy-aware detector."""
 
 from .detector import (
+    BatchDetectionOutcome,
     DetectionOutcome,
     MaximumLikelihoodDetector,
     RandomGuessDetector,
@@ -8,9 +9,15 @@ from .detector import (
     trajectory_log_likelihoods,
 )
 from .advanced import StrategyAwareDetector
-from .online import BayesianPosteriorTracker, OnlineTrackingResult, PrefixMLTracker
+from .online import (
+    BayesianPosteriorTracker,
+    OnlineTrackingResult,
+    PrefixMLTracker,
+    prefix_log_likelihood_scores,
+)
 
 __all__ = [
+    "BatchDetectionOutcome",
     "DetectionOutcome",
     "MaximumLikelihoodDetector",
     "RandomGuessDetector",
@@ -20,4 +27,5 @@ __all__ = [
     "BayesianPosteriorTracker",
     "OnlineTrackingResult",
     "PrefixMLTracker",
+    "prefix_log_likelihood_scores",
 ]

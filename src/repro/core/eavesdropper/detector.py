@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -19,6 +20,7 @@ from ...mobility.markov import MarkovChain
 __all__ = [
     "TrajectoryDetector",
     "DetectionOutcome",
+    "BatchDetectionOutcome",
     "MaximumLikelihoodDetector",
     "RandomGuessDetector",
     "trajectory_log_likelihoods",
@@ -28,23 +30,19 @@ __all__ = [
 def trajectory_log_likelihoods(
     chain: MarkovChain, trajectories: np.ndarray
 ) -> np.ndarray:
-    """Log-likelihood of each row of ``trajectories`` under ``chain``.
+    """Log-likelihood of each trajectory in ``trajectories`` under ``chain``.
 
-    ``trajectories`` is an ``(N, T)`` integer array; returns a length-``N``
-    float array.  Vectorised so the trace-driven experiments (N = 174)
-    stay fast.
+    The time axis is last: an ``(N, T)`` array scores one episode's
+    observations and returns a length-``N`` float array, while an
+    ``(R, N, T)`` Monte-Carlo tensor returns an ``(R, N)`` score matrix —
+    the whole batch in one vectorised shot.
     """
     observed = np.asarray(trajectories, dtype=np.int64)
-    if observed.ndim != 2 or observed.size == 0:
-        raise ValueError("trajectories must be a non-empty (N, T) array")
+    if observed.ndim < 2 or observed.size == 0:
+        raise ValueError("trajectories must be a non-empty (..., N, T) array")
     if observed.min() < 0 or observed.max() >= chain.n_states:
         raise ValueError("trajectories contain out-of-range cells")
-    log_pi = chain.log_stationary
-    log_P = chain.log_transition_matrix
-    scores = log_pi[observed[:, 0]].astype(float)
-    if observed.shape[1] > 1:
-        scores = scores + log_P[observed[:, :-1], observed[:, 1:]].sum(axis=1)
-    return scores
+    return chain.log_likelihoods(observed)
 
 
 @dataclass(frozen=True)
@@ -66,6 +64,46 @@ class DetectionOutcome:
     chosen_index: int
     scores: np.ndarray
     candidate_indices: np.ndarray
+
+
+@dataclass(frozen=True)
+class BatchDetectionOutcome:
+    """Result of running a detector over a whole Monte-Carlo batch.
+
+    Attributes
+    ----------
+    chosen_indices:
+        Length-``R`` array: per run, the trajectory index attributed to
+        the user.
+    scores:
+        ``(R, N)`` decision-score matrix.
+    candidate_indices:
+        Per-run arrays of indices still in contention at decision time.
+    """
+
+    chosen_indices: np.ndarray
+    scores: np.ndarray
+    candidate_indices: tuple[np.ndarray, ...]
+
+    @property
+    def n_runs(self) -> int:
+        """Number of Monte-Carlo runs in the batch."""
+        return int(self.chosen_indices.size)
+
+    def outcome(self, run: int) -> DetectionOutcome:
+        """The per-episode :class:`DetectionOutcome` of one run."""
+        return DetectionOutcome(
+            chosen_index=int(self.chosen_indices[run]),
+            scores=self.scores[run],
+            candidate_indices=self.candidate_indices[run],
+        )
+
+
+def _validate_batch(trajectories: np.ndarray) -> np.ndarray:
+    observed = np.asarray(trajectories, dtype=np.int64)
+    if observed.ndim != 3 or observed.size == 0:
+        raise ValueError("trajectories must be a non-empty (R, N, T) array")
+    return observed
 
 
 class TrajectoryDetector(abc.ABC):
@@ -91,6 +129,37 @@ class TrajectoryDetector(abc.ABC):
         rng:
             Randomness source for tie breaking / guessing.
         """
+
+    def detect_batch(
+        self,
+        chain: MarkovChain,
+        trajectories: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> BatchDetectionOutcome:
+        """Run detection over an ``(R, N, T)`` Monte-Carlo batch.
+
+        The default implementation loops :meth:`detect` with each run's own
+        generator, so every detector works with the batched engine and
+        reproduces the looped engine's decisions exactly; vectorising
+        subclasses override this.
+        """
+        observed = _validate_batch(trajectories)
+        rngs = list(rngs)
+        if len(rngs) != observed.shape[0]:
+            raise ValueError("need exactly one generator per run")
+        outcomes = [
+            self.detect(chain, observed[run], rngs[run])
+            for run in range(observed.shape[0])
+        ]
+        return BatchDetectionOutcome(
+            chosen_indices=np.array(
+                [outcome.chosen_index for outcome in outcomes], dtype=np.int64
+            ),
+            scores=np.stack([outcome.scores for outcome in outcomes], axis=0),
+            candidate_indices=tuple(
+                outcome.candidate_indices for outcome in outcomes
+            ),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -125,6 +194,37 @@ class MaximumLikelihoodDetector(TrajectoryDetector):
             chosen_index=chosen, scores=scores, candidate_indices=candidates
         )
 
+    def detect_batch(
+        self,
+        chain: MarkovChain,
+        trajectories: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> BatchDetectionOutcome:
+        """Score the whole ``(R, N, T)`` tensor in one vectorised shot.
+
+        Only the per-run tie-break draw still touches each run's generator
+        (it must, to keep the random streams aligned with the looped
+        engine).
+        """
+        observed = _validate_batch(trajectories)
+        rngs = list(rngs)
+        n_runs = observed.shape[0]
+        if len(rngs) != n_runs:
+            raise ValueError("need exactly one generator per run")
+        scores = trajectory_log_likelihoods(chain, observed)
+        chosen = np.empty(n_runs, dtype=np.int64)
+        candidates_per_run: list[np.ndarray] = []
+        best = scores.max(axis=1)
+        for run in range(n_runs):
+            candidates = np.flatnonzero(scores[run] >= best[run] - self.tolerance)
+            chosen[run] = int(rngs[run].choice(candidates))
+            candidates_per_run.append(candidates)
+        return BatchDetectionOutcome(
+            chosen_indices=chosen,
+            scores=scores,
+            candidate_indices=tuple(candidates_per_run),
+        )
+
 
 class RandomGuessDetector(TrajectoryDetector):
     """An eavesdropper with no model: guesses uniformly among trajectories."""
@@ -146,4 +246,25 @@ class RandomGuessDetector(TrajectoryDetector):
             chosen_index=chosen,
             scores=np.full(n, np.nan),
             candidate_indices=np.arange(n),
+        )
+
+    def detect_batch(
+        self,
+        chain: MarkovChain,
+        trajectories: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> BatchDetectionOutcome:
+        """Guess uniformly per run; no scoring work to vectorise."""
+        observed = _validate_batch(trajectories)
+        rngs = list(rngs)
+        n_runs, n, _ = observed.shape
+        if len(rngs) != n_runs:
+            raise ValueError("need exactly one generator per run")
+        chosen = np.array(
+            [int(rng.integers(0, n)) for rng in rngs], dtype=np.int64
+        )
+        return BatchDetectionOutcome(
+            chosen_indices=chosen,
+            scores=np.full((n_runs, n), np.nan),
+            candidate_indices=tuple(np.arange(n) for _ in range(n_runs)),
         )

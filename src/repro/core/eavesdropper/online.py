@@ -22,12 +22,39 @@ detector used in the paper's figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ...mobility.markov import MarkovChain
 
-__all__ = ["OnlineTrackingResult", "PrefixMLTracker", "BayesianPosteriorTracker"]
+__all__ = [
+    "OnlineTrackingResult",
+    "PrefixMLTracker",
+    "BayesianPosteriorTracker",
+    "prefix_log_likelihood_scores",
+]
+
+
+def prefix_log_likelihood_scores(
+    chain: MarkovChain, observed: np.ndarray
+) -> np.ndarray:
+    """Cumulative prefix log-likelihoods of an ``(..., N, T)`` tensor.
+
+    Element ``[..., u, t]`` is the log-likelihood of trajectory ``u``'s
+    prefix ``x_u[0..t]`` under ``chain``.  Computed in one vectorised shot
+    (per-step log-probability indexing followed by a cumulative sum along
+    time), so a whole ``(R, N, T)`` Monte-Carlo batch costs a single numpy
+    pass instead of ``R * T`` Python iterations.
+    """
+    traj = np.asarray(observed, dtype=np.int64)
+    if traj.ndim < 2 or traj.size == 0:
+        raise ValueError("observed must be a non-empty (..., N, T) array")
+    steps = np.empty(traj.shape, dtype=float)
+    steps[..., 0] = chain.log_stationary[traj[..., 0]]
+    if traj.shape[-1] > 1:
+        steps[..., 1:] = chain.log_transition_matrix[traj[..., :-1], traj[..., 1:]]
+    return np.cumsum(steps, axis=-1)
 
 
 @dataclass(frozen=True)
@@ -71,6 +98,26 @@ def _validate(chain: MarkovChain, observed: np.ndarray, user: np.ndarray) -> tup
     return observed, user
 
 
+def _validate_batch(
+    chain: MarkovChain,
+    observed: np.ndarray,
+    user_trajectories: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+) -> tuple[np.ndarray, np.ndarray, list[np.random.Generator]]:
+    observed = np.asarray(observed, dtype=np.int64)
+    users = np.asarray(user_trajectories, dtype=np.int64)
+    if observed.ndim != 3 or observed.size == 0:
+        raise ValueError("observed trajectories must be a non-empty (R, N, T) array")
+    if users.shape != (observed.shape[0], observed.shape[2]):
+        raise ValueError("user trajectories must be (R, T) matching the observations")
+    if observed.min() < 0 or observed.max() >= chain.n_states:
+        raise ValueError("observed trajectories contain out-of-range cells")
+    rngs = list(rngs)
+    if len(rngs) != observed.shape[0]:
+        raise ValueError("need exactly one generator per run")
+    return observed, users, rngs
+
+
 class PrefixMLTracker:
     """Per-slot ML detection on trajectory prefixes."""
 
@@ -90,16 +137,42 @@ class PrefixMLTracker:
         likely one (ties broken uniformly at random).
         """
         observed, user = _validate(chain, observed, user_trajectory)
+        prefix_scores = prefix_log_likelihood_scores(chain, observed)
+        return self._decide(prefix_scores, observed, user, rng)
+
+    def track_batch(
+        self,
+        chain: MarkovChain,
+        observed: np.ndarray,
+        user_trajectories: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[OnlineTrackingResult]:
+        """Track a whole ``(R, N, T)`` batch, scoring the tensor in one shot.
+
+        Each run's tie-breaks consume that run's generator in the same
+        order as :meth:`track`, so batched and looped tracking agree run
+        for run.
+        """
+        observed, users, rngs = _validate_batch(chain, observed, user_trajectories, rngs)
+        prefix_scores = prefix_log_likelihood_scores(chain, observed)
+        return [
+            self._decide(prefix_scores[run], observed[run], users[run], rngs[run])
+            for run in range(observed.shape[0])
+        ]
+
+    def _decide(
+        self,
+        prefix_scores: np.ndarray,
+        observed: np.ndarray,
+        user: np.ndarray,
+        rng: np.random.Generator,
+    ) -> OnlineTrackingResult:
         n, horizon = observed.shape
-        log_pi = chain.log_stationary
-        log_P = chain.log_transition_matrix
-        scores = log_pi[observed[:, 0]].astype(float)
         estimated = np.empty(horizon, dtype=np.int64)
         chosen = np.empty(horizon, dtype=np.int64)
         posteriors = np.empty((horizon, n), dtype=float)
         for t in range(horizon):
-            if t > 0:
-                scores = scores + log_P[observed[:, t - 1], observed[:, t]]
+            scores = prefix_scores[:, t]
             best = scores.max()
             candidates = np.flatnonzero(scores >= best - 1e-9)
             pick = int(rng.choice(candidates))
@@ -136,16 +209,38 @@ class BayesianPosteriorTracker:
     ) -> OnlineTrackingResult:
         """Track the user slot by slot using the posterior cell mode."""
         observed, user = _validate(chain, observed, user_trajectory)
+        prefix_scores = prefix_log_likelihood_scores(chain, observed)
+        return self._decide(chain, prefix_scores, observed, user, rng)
+
+    def track_batch(
+        self,
+        chain: MarkovChain,
+        observed: np.ndarray,
+        user_trajectories: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[OnlineTrackingResult]:
+        """Track a whole ``(R, N, T)`` batch, scoring the tensor in one shot."""
+        observed, users, rngs = _validate_batch(chain, observed, user_trajectories, rngs)
+        prefix_scores = prefix_log_likelihood_scores(chain, observed)
+        return [
+            self._decide(chain, prefix_scores[run], observed[run], users[run], rngs[run])
+            for run in range(observed.shape[0])
+        ]
+
+    def _decide(
+        self,
+        chain: MarkovChain,
+        prefix_scores: np.ndarray,
+        observed: np.ndarray,
+        user: np.ndarray,
+        rng: np.random.Generator,
+    ) -> OnlineTrackingResult:
         n, horizon = observed.shape
-        log_pi = chain.log_stationary
-        log_P = chain.log_transition_matrix
-        log_posterior = log_pi[observed[:, 0]].astype(float)
         estimated = np.empty(horizon, dtype=np.int64)
         chosen = np.empty(horizon, dtype=np.int64)
         posteriors = np.empty((horizon, n), dtype=float)
         for t in range(horizon):
-            if t > 0:
-                log_posterior = log_posterior + log_P[observed[:, t - 1], observed[:, t]]
+            log_posterior = prefix_scores[:, t]
             weights = np.exp(log_posterior - log_posterior.max())
             weights = weights / weights.sum()
             posteriors[t] = weights

@@ -23,14 +23,19 @@ The paper's two performance measures fall out directly:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..mobility.markov import MarkovChain
-from .eavesdropper.detector import DetectionOutcome, TrajectoryDetector
+from .eavesdropper.detector import (
+    BatchDetectionOutcome,
+    DetectionOutcome,
+    TrajectoryDetector,
+)
 from .strategies.base import ChaffStrategy
 
-__all__ = ["EpisodeResult", "PrivacyGame"]
+__all__ = ["EpisodeResult", "BatchEpisodeResult", "PrivacyGame"]
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,57 @@ class EpisodeResult:
     def tracking_accuracy(self) -> float:
         """Time-average tracking accuracy over this episode."""
         return float(self.tracked_per_slot.mean())
+
+
+@dataclass(frozen=True)
+class BatchEpisodeResult:
+    """Outcome of ``R`` privacy-game episodes played as one array batch.
+
+    Everything carries a leading run axis: ``user_trajectories`` is
+    ``(R, T)``, ``chaff_trajectories`` ``(R, n_chaffs, T)``,
+    ``observed_trajectories`` ``(R, N, T)``, and the tracking indicators
+    ``(R, T)``.  :meth:`episodes` materialises the equivalent list of
+    per-run :class:`EpisodeResult` objects; :meth:`aggregate` produces the
+    same ``TrackingStatistics`` the looped harness computes.
+    """
+
+    user_trajectories: np.ndarray
+    chaff_trajectories: np.ndarray
+    observed_trajectories: np.ndarray
+    detection: BatchDetectionOutcome
+    tracked_per_slot: np.ndarray
+    detected_user: np.ndarray
+
+    @property
+    def n_runs(self) -> int:
+        """Number of episodes ``R`` in the batch."""
+        return int(self.user_trajectories.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        """Number of time slots ``T``."""
+        return int(self.user_trajectories.shape[1])
+
+    def episode(self, run: int) -> EpisodeResult:
+        """The per-run :class:`EpisodeResult` view of one episode."""
+        return EpisodeResult(
+            user_trajectory=self.user_trajectories[run],
+            chaff_trajectories=self.chaff_trajectories[run],
+            observed_trajectories=self.observed_trajectories[run],
+            detection=self.detection.outcome(run),
+            tracked_per_slot=self.tracked_per_slot[run],
+            detected_user=bool(self.detected_user[run]),
+        )
+
+    def episodes(self) -> list[EpisodeResult]:
+        """All episodes as a list (compatibility with looped consumers)."""
+        return [self.episode(run) for run in range(self.n_runs)]
+
+    def aggregate(self):
+        """Aggregate to :class:`~repro.analysis.metrics.TrackingStatistics`."""
+        from ..analysis.metrics import aggregate_batch
+
+        return aggregate_batch(self)
 
 
 class PrivacyGame:
@@ -164,4 +220,72 @@ class PrivacyGame:
             detection=detection,
             tracked_per_slot=tracked,
             detected_user=(detection.chosen_index == 0),
+        )
+
+    def run_batch(
+        self,
+        rngs: Sequence[np.random.Generator],
+        *,
+        horizon: int | None = None,
+        user_trajectories: np.ndarray | None = None,
+        background_trajectories: np.ndarray | None = None,
+    ) -> BatchEpisodeResult:
+        """Play one episode per generator, executed as whole-batch arrays.
+
+        ``rngs`` holds one independent generator per run (the Monte-Carlo
+        harness spawns them from a single ``SeedSequence``).  Exactly one
+        of ``horizon`` (sample every user from the mobility model) and
+        ``user_trajectories`` (an ``(R, T)`` array of externally supplied
+        trajectories) must be given; ``background_trajectories`` is an
+        optional ``(R, M, T)`` tensor of co-existing users.
+
+        Every stage — user sampling, chaff generation, detection — runs
+        vectorised over the run axis while consuming each run's generator
+        in the scalar order, so the result is bit-identical to looping
+        :meth:`run_episode` over the same generators.
+        """
+        rngs = list(rngs)
+        if not rngs:
+            raise ValueError("need at least one generator")
+        if (horizon is None) == (user_trajectories is None):
+            raise ValueError("provide exactly one of horizon or user_trajectories")
+        if user_trajectories is None:
+            users = self.chain.sample_trajectories_batch(int(horizon), rngs)
+        else:
+            users = np.asarray(user_trajectories, dtype=np.int64)
+            if users.ndim != 2 or users.size == 0:
+                raise ValueError("user_trajectories must be a non-empty (R, T) array")
+            if users.shape[0] != len(rngs):
+                raise ValueError("need exactly one generator per run")
+        n_runs, n_slots = users.shape
+
+        if self.strategy is not None and self.n_chaffs > 0:
+            chaffs = self.strategy.generate_batch(
+                self.chain, users, self.n_chaffs, rngs
+            )
+        else:
+            chaffs = np.empty((n_runs, 0, n_slots), dtype=np.int64)
+
+        pieces = [users[:, None, :], chaffs]
+        if background_trajectories is not None:
+            background = np.asarray(background_trajectories, dtype=np.int64)
+            if background.size:
+                if background.ndim != 3 or background.shape[::2] != (n_runs, n_slots):
+                    raise ValueError(
+                        "background trajectories must be (R, M, T) with matching "
+                        "runs and horizon"
+                    )
+                pieces.append(background)
+        observed = np.concatenate(pieces, axis=1)
+
+        detection = self.detector.detect_batch(self.chain, observed, rngs)
+        chosen = observed[np.arange(n_runs), detection.chosen_indices]
+        tracked = chosen == users
+        return BatchEpisodeResult(
+            user_trajectories=users,
+            chaff_trajectories=chaffs,
+            observed_trajectories=observed,
+            detection=detection,
+            tracked_per_slot=tracked,
+            detected_user=(detection.chosen_indices == 0),
         )

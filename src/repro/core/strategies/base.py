@@ -22,7 +22,7 @@ is asserted by dedicated causality tests.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Iterable, Type
+from typing import Callable, Dict, Iterable, Sequence, Type
 
 import numpy as np
 
@@ -96,6 +96,37 @@ class ChaffStrategy(abc.ABC):
             Integer array of shape ``(n_chaffs, T)``.
         """
 
+    def generate_batch(
+        self,
+        chain: MarkovChain,
+        user_trajectories: np.ndarray,
+        n_chaffs: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Generate chaffs for a whole ``(R, T)`` batch of user trajectories.
+
+        Run ``r`` consumes only ``rngs[r]``, and in exactly the order a
+        scalar :meth:`generate` call would, so the batched Monte-Carlo
+        engine reproduces the looped engine bit for bit.  This default
+        loops over runs; the ML/RML, IM, MO and CML families override it
+        with true vectorised implementations.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer array of shape ``(R, n_chaffs, T)``.
+        """
+        users, rngs = self._validate_batch_inputs(
+            chain, user_trajectories, n_chaffs, rngs
+        )
+        return np.stack(
+            [
+                self.generate(chain, users[run], n_chaffs, rngs[run])
+                for run in range(users.shape[0])
+            ],
+            axis=0,
+        )
+
     # ------------------------------------------------------------------
     def deterministic_map(
         self, chain: MarkovChain, user_trajectory: np.ndarray
@@ -125,6 +156,25 @@ class ChaffStrategy(abc.ABC):
         if n_chaffs < 1:
             raise ValueError("n_chaffs must be at least 1")
         return user
+
+    @staticmethod
+    def _validate_batch_inputs(
+        chain: MarkovChain,
+        user_trajectories: np.ndarray,
+        n_chaffs: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> tuple[np.ndarray, list[np.random.Generator]]:
+        users = np.asarray(user_trajectories, dtype=np.int64)
+        if users.ndim != 2 or users.size == 0:
+            raise ValueError("user trajectories must be a non-empty (R, T) array")
+        if users.min() < 0 or users.max() >= chain.n_states:
+            raise ValueError("user trajectories contain out-of-range cells")
+        if n_chaffs < 1:
+            raise ValueError("n_chaffs must be at least 1")
+        rngs = list(rngs)
+        if len(rngs) != users.shape[0]:
+            raise ValueError("need exactly one generator per run")
+        return users, rngs
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

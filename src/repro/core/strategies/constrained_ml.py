@@ -11,13 +11,45 @@ and is simulated in Figs. 5-6.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ...mobility.markov import MarkovChain
 from .base import ChaffStrategy, register_strategy
 
-__all__ = ["ConstrainedMLStrategy", "ConstrainedMLController"]
+__all__ = ["ConstrainedMLStrategy", "ConstrainedMLController", "run_constrained_ml_batch"]
+
+
+def run_constrained_ml_batch(
+    chain: MarkovChain, user_trajectories: np.ndarray
+) -> np.ndarray:
+    """Run the CML controller for every row of an ``(R, T)`` user batch.
+
+    Per slot the chaff moves to its most likely next cell unless that cell
+    is the user's, in which case it takes the second most likely — a pure
+    table lookup once the per-state top-two successors are precomputed.
+    Matches :class:`ConstrainedMLController` run per row exactly.
+    """
+    users = np.asarray(user_trajectories, dtype=np.int64)
+    if users.ndim != 2 or users.size == 0:
+        raise ValueError("user trajectories must be a non-empty (R, T) array")
+    if chain.n_states < 2:
+        raise ValueError("the CML controller needs at least 2 states")
+    n_runs, horizon = users.shape
+    top1_row, top2_row = chain.top_two_successors()
+    top1_pi, top2_pi = chain.top_two_stationary()
+
+    chaffs = np.empty((n_runs, horizon), dtype=np.int64)
+    user0 = users[:, 0]
+    chaff = np.where(user0 == top1_pi, top2_pi, top1_pi)
+    chaffs[:, 0] = chaff
+    for t in range(1, horizon):
+        user_t = users[:, t]
+        ml = top1_row[chaff]
+        chaff = np.where(ml == user_t, top2_row[chaff], ml)
+        chaffs[:, t] = chaff
+    return chaffs
 
 
 @dataclass
@@ -79,3 +111,19 @@ class ConstrainedMLStrategy(ChaffStrategy):
         # replicates the single constrained-greedy chaff.
         chaff = ConstrainedMLController(chain).run(user)
         return np.tile(chaff, (n_chaffs, 1))
+
+    def generate_batch(
+        self,
+        chain: MarkovChain,
+        user_trajectories: np.ndarray,
+        n_chaffs: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Vectorised batch: one constrained-greedy sweep over all runs."""
+        users, rngs = self._validate_batch_inputs(
+            chain, user_trajectories, n_chaffs, rngs
+        )
+        if chain.n_states < 2:
+            return super().generate_batch(chain, users, n_chaffs, rngs)
+        chaffs = run_constrained_ml_batch(chain, users)
+        return np.repeat(chaffs[:, None, :], n_chaffs, axis=1)

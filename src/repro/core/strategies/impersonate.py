@@ -10,6 +10,8 @@ tracking accuracy is bounded away from zero (Eq. 11).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ...mobility.markov import MarkovChain
@@ -36,3 +38,32 @@ class ImpersonatingStrategy(ChaffStrategy):
         user = self._validate_inputs(chain, user_trajectory, n_chaffs)
         horizon = user.size
         return chain.sample_trajectories(n_chaffs, horizon, rng)
+
+    def generate_batch(
+        self,
+        chain: MarkovChain,
+        user_trajectories: np.ndarray,
+        n_chaffs: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Vectorised batch: all ``R * n_chaffs`` chaffs evolve together.
+
+        Randomness is drawn per run in the scalar order (initial state,
+        then the uniform block, chaff by chaff), then the combined
+        ``(R * n_chaffs, T)`` ensemble takes each time step in one numpy
+        operation.
+        """
+        users, rngs = self._validate_batch_inputs(
+            chain, user_trajectories, n_chaffs, rngs
+        )
+        n_runs, horizon = users.shape
+        initial = np.empty(n_runs * n_chaffs, dtype=np.int64)
+        uniforms = np.empty((n_runs * n_chaffs, max(horizon - 1, 0)), dtype=float)
+        for run, rng in enumerate(rngs):
+            for chaff in range(n_chaffs):
+                row = run * n_chaffs + chaff
+                initial[row], uniforms[row] = chain.sample_trajectory_randomness(
+                    horizon, rng
+                )
+        flat = chain.evolve_from_uniforms(initial, uniforms)
+        return flat.reshape(n_runs, n_chaffs, horizon)

@@ -11,6 +11,8 @@ that the deterministic strategies cannot benefit from more chaffs.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ...mobility.markov import MarkovChain
@@ -43,6 +45,28 @@ class MaximumLikelihoodStrategy(ChaffStrategy):
         # strategies cannot benefit from more chaffs.
         chaff = self.most_likely(chain, horizon)
         return np.tile(chaff, (n_chaffs, 1))
+
+    def generate_batch(
+        self,
+        chain: MarkovChain,
+        user_trajectories: np.ndarray,
+        n_chaffs: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Vectorised batch: one Viterbi solve shared by every run.
+
+        The ML trajectory depends only on the model and the horizon (and
+        the strategy consumes no randomness), so the looped engine's
+        per-run recomputation collapses to a single solve broadcast over
+        the ``(R, n_chaffs, T)`` output.
+        """
+        users, rngs = self._validate_batch_inputs(
+            chain, user_trajectories, n_chaffs, rngs
+        )
+        chaff = self.most_likely(chain, users.shape[1])
+        return np.broadcast_to(
+            chaff, (users.shape[0], n_chaffs, users.shape[1])
+        ).copy()
 
     def most_likely(self, chain: MarkovChain, horizon: int) -> np.ndarray:
         """The precomputable ML trajectory used by the first chaff."""

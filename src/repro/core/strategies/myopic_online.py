@@ -22,13 +22,62 @@ user trajectory up to slot ``t``.  The state carried across slots is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ...mobility.markov import MarkovChain
 from .base import ChaffStrategy, register_strategy
 
-__all__ = ["MyopicOnlineStrategy", "MyopicOnlineController"]
+__all__ = ["MyopicOnlineStrategy", "MyopicOnlineController", "run_myopic_batch"]
+
+
+def run_myopic_batch(chain: MarkovChain, user_trajectories: np.ndarray) -> np.ndarray:
+    """Run Algorithm 2 for every row of an ``(R, T)`` user batch at once.
+
+    The controller state (the log-likelihood gap ``gamma``, the previous
+    chaff and user cells) becomes a vector over runs; every slot is a
+    handful of numpy gathers and ``where`` selections instead of ``R``
+    Python calls.  Produces exactly the trajectories of
+    :class:`MyopicOnlineController` run per row, including tie-breaking
+    and the floating-point order of the ``gamma`` recursion.
+    """
+    users = np.asarray(user_trajectories, dtype=np.int64)
+    if users.ndim != 2 or users.size == 0:
+        raise ValueError("user trajectories must be a non-empty (R, T) array")
+    if chain.n_states < 2:
+        raise ValueError("the myopic controller needs at least 2 states")
+    n_runs, horizon = users.shape
+    log_pi = chain.log_stationary
+    log_P = chain.log_transition_matrix
+    top1_row, top2_row = chain.top_two_successors()
+    top1_pi, top2_pi = chain.top_two_stationary()
+    pi = chain.stationary
+
+    chaffs = np.empty((n_runs, horizon), dtype=np.int64)
+    user0 = users[:, 0]
+    # Slot 0: best stationary cell unless it collides with the user and the
+    # second-best cell is at least as likely (Algorithm 2's opening move).
+    use_second = (user0 == top1_pi) & (pi[top2_pi] >= pi[user0])
+    chaff = np.where(use_second, top2_pi, top1_pi)
+    gamma = log_pi[user0] - log_pi[chaff]
+    chaffs[:, 0] = chaff
+    previous_chaff = chaff
+    previous_user = user0
+    for t in range(1, horizon):
+        user_t = users[:, t]
+        ml = top1_row[previous_chaff]
+        second = top2_row[previous_chaff]
+        user_step = log_P[previous_user, user_t]
+        second_step = log_P[previous_chaff, second]
+        use_second = (ml == user_t) & (gamma + user_step - second_step <= 0.0)
+        chaff = np.where(use_second, second, ml)
+        chaff_step = log_P[previous_chaff, chaff]
+        gamma = gamma + user_step - chaff_step
+        chaffs[:, t] = chaff
+        previous_chaff = chaff
+        previous_user = user_t
+    return chaffs
 
 
 @dataclass
@@ -136,3 +185,24 @@ class MyopicOnlineStrategy(ChaffStrategy):
         # benefit from more chaffs, Section VII-A2).
         chaff = MyopicOnlineController(chain).run(user)
         return np.tile(chaff, (n_chaffs, 1))
+
+    def generate_batch(
+        self,
+        chain: MarkovChain,
+        user_trajectories: np.ndarray,
+        n_chaffs: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Vectorised batch: one myopic controller sweep over all runs.
+
+        The strategy consumes no randomness, so only the controller
+        recursion needs batching; extra budget replicates the single chaff
+        as in the scalar path.
+        """
+        users, rngs = self._validate_batch_inputs(
+            chain, user_trajectories, n_chaffs, rngs
+        )
+        if chain.n_states < 2:
+            return super().generate_batch(chain, users, n_chaffs, rngs)
+        chaffs = run_myopic_batch(chain, users)
+        return np.repeat(chaffs[:, None, :], n_chaffs, axis=1)

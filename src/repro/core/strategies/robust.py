@@ -21,10 +21,16 @@ ML detector while defeating the strategy-aware detector (Figs. 7 and 10).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ...mobility.markov import MarkovChain
-from ..trellis import InfeasibleTrellisError, most_likely_trajectory
+from ..trellis import (
+    InfeasibleTrellisError,
+    most_likely_trajectories,
+    most_likely_trajectory,
+)
 from .base import ChaffStrategy, register_strategy
 from .constrained_ml import ConstrainedMLController
 from .myopic_online import MyopicOnlineController
@@ -106,6 +112,43 @@ class RobustMLStrategy(ChaffStrategy):
                 chaff = chain.sample_trajectory(horizon, rng)
             chaffs[index] = chaff
             trajectories.append(chaff)
+        return chaffs
+
+    def generate_batch(
+        self,
+        chain: MarkovChain,
+        user_trajectories: np.ndarray,
+        n_chaffs: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Vectorised batch: one masked Viterbi solve per chaff index.
+
+        Chaff ``u`` depends on the previous chaffs of its own run, so the
+        chaff axis stays sequential; within it, the exclusion masks of all
+        runs are sampled per run (preserving each run's random stream) and
+        the ``R`` masked shortest-path problems are solved as a single
+        batched DP.  Runs whose mask is infeasible fall back to sampling
+        the mobility model from their own generator, exactly like the
+        scalar path.
+        """
+        users, rngs = self._validate_batch_inputs(
+            chain, user_trajectories, n_chaffs, rngs
+        )
+        n_runs, horizon = users.shape
+        priors: list[list[np.ndarray]] = [[users[run]] for run in range(n_runs)]
+        chaffs = np.empty((n_runs, n_chaffs, horizon), dtype=np.int64)
+        masks = np.empty((n_runs, horizon, chain.n_states), dtype=bool)
+        for index in range(n_chaffs):
+            for run in range(n_runs):
+                masks[run] = sample_exclusion_mask(
+                    np.stack(priors[run]), chain.n_states, rngs[run]
+                )
+            batch, infeasible = most_likely_trajectories(chain, horizon, masks)
+            for run in np.flatnonzero(infeasible):
+                batch[run] = chain.sample_trajectory(horizon, rngs[run])
+            chaffs[:, index] = batch
+            for run in range(n_runs):
+                priors[run].append(batch[run])
         return chaffs
 
 

@@ -33,6 +33,7 @@ __all__ = [
     "trajectory_cost",
     "validate_allowed_mask",
     "most_likely_trajectory",
+    "most_likely_trajectories",
     "most_likely_trajectory_dijkstra",
     "build_trellis_graph",
 ]
@@ -106,6 +107,58 @@ def most_likely_trajectory(
     for t in range(horizon - 1, 0, -1):
         trajectory[t - 1] = backpointers[t, trajectory[t]]
     return trajectory
+
+
+def most_likely_trajectories(
+    chain: MarkovChain,
+    horizon: int,
+    allowed_batch: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched Viterbi: one masked most-likely trajectory per batch row.
+
+    ``allowed_batch`` has shape ``(R, horizon, L)``; the DP of
+    :func:`most_likely_trajectory` runs for all ``R`` masks simultaneously,
+    with identical tie-breaking (first argmin).  Returns ``(trajectories,
+    infeasible)`` where ``trajectories`` is ``(R, horizon)`` int64 and
+    ``infeasible`` a boolean vector marking rows with no feasible path
+    (those rows' trajectories are meaningless); batched callers handle
+    infeasible rows instead of raising, so one bad mask cannot abort a
+    whole Monte-Carlo batch.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    masks = np.asarray(allowed_batch, dtype=bool)
+    n_cells = chain.n_states
+    if masks.ndim != 3 or masks.shape[1:] != (horizon, n_cells):
+        raise ValueError(
+            f"allowed_batch must have shape (R, {horizon}, {n_cells}), "
+            f"got {masks.shape}"
+        )
+    n_batch = masks.shape[0]
+    if n_batch == 0:
+        raise ValueError("allowed_batch must contain at least one mask")
+    neg_log_pi = -chain.log_stationary
+    neg_log_P = -chain.log_transition_matrix
+
+    cost = np.where(masks[:, 0], neg_log_pi[None, :], _INF)
+    backpointers = np.zeros((n_batch, horizon, n_cells), dtype=np.int64)
+    for t in range(1, horizon):
+        candidate = cost[:, :, None] + neg_log_P[None, :, :]
+        best_prev = np.argmin(candidate, axis=1)
+        best_cost = np.take_along_axis(candidate, best_prev[:, None, :], axis=1)[
+            :, 0, :
+        ]
+        best_cost = np.where(masks[:, t], best_cost, _INF)
+        backpointers[:, t] = best_prev
+        cost = best_cost
+    final = np.argmin(cost, axis=1)
+    infeasible = ~np.isfinite(cost[np.arange(n_batch), final])
+    trajectories = np.empty((n_batch, horizon), dtype=np.int64)
+    trajectories[:, -1] = final
+    rows = np.arange(n_batch)
+    for t in range(horizon - 1, 0, -1):
+        trajectories[:, t - 1] = backpointers[rows, t, trajectories[:, t]]
+    return trajectories, infeasible
 
 
 def build_trellis_graph(

@@ -66,7 +66,9 @@ def run_chaff_budget_sweep(
         for n_services in budgets:
             game = PrivacyGame(chain, strategy, detector, n_services=n_services)
             runner = MonteCarloRunner(
-                n_runs=config.n_runs, seed=config.seed + 100 * model_index + n_services
+                n_runs=config.n_runs,
+                seed=config.seed + 100 * model_index + n_services,
+                engine=config.engine,
             )
             stats = runner.run(game, horizon=config.horizon)
             simulated.append(stats.tracking_accuracy)
@@ -241,7 +243,9 @@ def run_rollout_vs_myopic(
         for strategy_index, (name, strategy) in enumerate(strategies.items()):
             game = PrivacyGame(chain, strategy, detector, n_services=2)
             runner = MonteCarloRunner(
-                n_runs=runs, seed=config.seed + 100 * model_index + strategy_index
+                n_runs=runs,
+                seed=config.seed + 100 * model_index + strategy_index,
+                engine=config.engine,
             )
             stats = runner.run(game, horizon=config.horizon)
             series_list.append(

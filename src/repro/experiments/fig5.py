@@ -48,6 +48,7 @@ def run_fig5(config: SyntheticExperimentConfig | None = None) -> ExperimentResul
             n_runs=config.n_runs,
             seed=config.seed + 1000 * model_index,
             model_label=label,
+            engine=config.engine,
         )
         groups[label] = sweep.series()
         for series_label, stats in sweep.statistics.items():

@@ -57,6 +57,7 @@ def run_fig7(
                 n_runs=config.n_runs,
                 seed=config.seed + 1000 * model_index + 10 * strategy_index,
                 model_label=label,
+                engine=config.engine,
             )
             stats = sweep.statistics[series_label]
             series_list.extend(sweep.series())

@@ -21,6 +21,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..numerics import LOG_FLOOR, safe_log
+
 __all__ = [
     "MarkovChain",
     "StationaryDistributionError",
@@ -29,9 +31,6 @@ __all__ = [
     "is_ergodic",
     "total_variation_distance",
 ]
-
-#: Probabilities below this are treated as structurally zero when taking logs.
-_LOG_FLOOR = 1e-300
 
 
 class StationaryDistributionError(ValueError):
@@ -144,9 +143,8 @@ def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
     return 0.5 * float(np.abs(p - q).sum())
 
 
-def _safe_log(values: np.ndarray) -> np.ndarray:
-    """Elementwise natural log treating zeros as ``log(_LOG_FLOOR)``."""
-    return np.log(np.maximum(values, _LOG_FLOOR))
+#: Backwards-compatible alias for the shared helper.
+_safe_log = safe_log
 
 
 @dataclass
@@ -241,6 +239,25 @@ class MarkovChain:
                 self.n_states - 1)
         )
 
+    def sample_trajectory_randomness(
+        self, length: int, rng: np.random.Generator
+    ) -> tuple[int, np.ndarray]:
+        """Draw the randomness for one trajectory in the canonical order.
+
+        One initial-state draw followed by one block of ``length - 1``
+        uniforms.  Every sampling path — scalar and batched — draws
+        through this helper, which is what guarantees that batched
+        execution consumes each generator exactly like repeated scalar
+        calls (the bit-identity contract of the batch engine).
+        """
+        if length <= 0:
+            raise ValueError("trajectory length must be positive")
+        initial = self.sample_initial_state(rng)
+        uniforms = (
+            rng.random(length - 1) if length > 1 else np.empty(0, dtype=float)
+        )
+        return initial, uniforms
+
     def sample_trajectory(
         self,
         length: int,
@@ -264,12 +281,15 @@ class MarkovChain:
             raise ValueError("trajectory length must be positive")
         trajectory = np.empty(length, dtype=np.int64)
         if initial_state is None:
-            trajectory[0] = self.sample_initial_state(rng)
+            first, uniforms = self.sample_trajectory_randomness(length, rng)
+            trajectory[0] = first
         else:
             self._check_state(initial_state)
             trajectory[0] = initial_state
+            uniforms = (
+                rng.random(length - 1) if length > 1 else np.empty(0, dtype=float)
+            )
         if length > 1:
-            uniforms = rng.random(length - 1)
             cumulative = self._cumulative_transition
             last = self.n_states - 1
             state = int(trajectory[0])
@@ -286,12 +306,78 @@ class MarkovChain:
     def sample_trajectories(
         self, count: int, length: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Sample ``count`` independent trajectories as a ``(count, length)`` array."""
+        """Sample ``count`` independent trajectories as a ``(count, length)`` array.
+
+        Draws randomness in exactly the same per-trajectory order as
+        repeated :meth:`sample_trajectory` calls (initial-state draw, then
+        the uniform block), so the output is bit-identical to stacking
+        scalar samples — but the chain evolution itself is vectorised over
+        all trajectories, turning ``count * length`` Python iterations into
+        ``length`` numpy steps.
+        """
         if count <= 0:
             raise ValueError("count must be positive")
-        return np.stack(
-            [self.sample_trajectory(length, rng) for _ in range(count)], axis=0
-        )
+        if length <= 0:
+            raise ValueError("trajectory length must be positive")
+        initial = np.empty(count, dtype=np.int64)
+        uniforms = np.empty((count, max(length - 1, 0)), dtype=float)
+        for row in range(count):
+            initial[row], uniforms[row] = self.sample_trajectory_randomness(
+                length, rng
+            )
+        return self.evolve_from_uniforms(initial, uniforms)
+
+    def sample_trajectories_batch(
+        self, length: int, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Sample one trajectory per generator as an ``(len(rngs), length)`` array.
+
+        Each row consumes its generator exactly like a scalar
+        :meth:`sample_trajectory` call would, so the batched Monte-Carlo
+        engine reproduces the looped engine's trajectories run for run.
+        """
+        rngs = list(rngs)
+        if not rngs:
+            raise ValueError("need at least one generator")
+        if length <= 0:
+            raise ValueError("trajectory length must be positive")
+        initial = np.empty(len(rngs), dtype=np.int64)
+        uniforms = np.empty((len(rngs), max(length - 1, 0)), dtype=float)
+        for row, rng in enumerate(rngs):
+            initial[row], uniforms[row] = self.sample_trajectory_randomness(
+                length, rng
+            )
+        return self.evolve_from_uniforms(initial, uniforms)
+
+    def evolve_from_uniforms(
+        self, initial_states: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Evolve many trajectories from initial states and uniform draws.
+
+        ``initial_states`` has shape ``(R,)`` and ``uniforms`` shape
+        ``(R, T - 1)``; returns an ``(R, T)`` int64 array.  Each step is
+        the same inverse-CDF lookup as :meth:`sample_next_state` — counting
+        how many cumulative-row entries are ``<= u`` matches
+        ``searchsorted(..., side="right")`` exactly — applied to all rows
+        at once.
+        """
+        initial = np.asarray(initial_states, dtype=np.int64)
+        u = np.asarray(uniforms, dtype=float)
+        if initial.ndim != 1 or u.ndim != 2 or u.shape[0] != initial.size:
+            raise ValueError("initial_states must be (R,) and uniforms (R, T - 1)")
+        if initial.size and (initial.min() < 0 or initial.max() >= self.n_states):
+            raise ValueError("initial states out of range")
+        length = u.shape[1] + 1
+        trajectories = np.empty((initial.size, length), dtype=np.int64)
+        trajectories[:, 0] = initial
+        cumulative = self._cumulative_transition
+        last = self.n_states - 1
+        states = initial
+        for t in range(1, length):
+            rows = cumulative[states]
+            states = np.minimum((rows <= u[:, t - 1, None]).sum(axis=1), last)
+            trajectories[:, t] = states
+        return trajectories
 
     # ------------------------------------------------------------------
     # Likelihood
@@ -311,6 +397,26 @@ class MarkovChain:
         if traj.size > 1:
             value += float(self._log_transition[traj[:-1], traj[1:]].sum())
         return value
+
+    def log_likelihoods(self, trajectories: np.ndarray) -> np.ndarray:
+        """Log-likelihood of every trajectory in an ``(..., T)`` array.
+
+        The time axis is last; any number of leading batch axes is
+        supported (``(N, T)`` for one episode's observations, ``(R, N, T)``
+        for a whole Monte-Carlo batch).  Computed by vectorised
+        log-probability indexing, one shot for the entire tensor.
+        """
+        traj = np.asarray(trajectories, dtype=np.int64)
+        if traj.ndim < 1 or traj.size == 0:
+            raise ValueError("trajectories must be a non-empty array")
+        self._check_state(int(traj.min()))
+        self._check_state(int(traj.max()))
+        scores = self.log_stationary[traj[..., 0]].astype(float)
+        if traj.shape[-1] > 1:
+            scores = scores + self._log_transition[
+                traj[..., :-1], traj[..., 1:]
+            ].sum(axis=-1)
+        return scores
 
     def stepwise_log_likelihood(self, trajectory: Sequence[int] | np.ndarray) -> np.ndarray:
         """Per-slot log-likelihood contributions of a trajectory.
@@ -404,6 +510,31 @@ class MarkovChain:
     def _check_state(self, state: int) -> None:
         if not 0 <= state < self.n_states:
             raise ValueError(f"state {state} out of range [0, {self.n_states})")
+
+    def top_two_successors(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-state best and second-best successor cells.
+
+        ``top1[i]`` is ``restricted_argmax_row(i)`` and ``top2[i]`` is
+        ``restricted_argmax_row(i, {top1[i]})`` for every state at once —
+        the lookup tables the vectorised MO / CML controllers index
+        instead of recomputing argmaxes per slot.  Tie-breaking (first
+        maximum) matches the scalar helpers exactly.
+        """
+        P = self.transition_matrix
+        top1 = np.argmax(P, axis=1)
+        masked = P.copy()
+        masked[np.arange(self.n_states), top1] = -np.inf
+        top2 = np.argmax(masked, axis=1)
+        return top1, top2
+
+    def top_two_stationary(self) -> tuple[int, int]:
+        """Best and second-best stationary cells (same tie-breaking as
+        :meth:`restricted_argmax_stationary`)."""
+        top1 = int(np.argmax(self._stationary))
+        weights = self._stationary.copy()
+        weights[top1] = -np.inf
+        top2 = int(np.argmax(weights))
+        return top1, top2
 
     def restricted_argmax_row(self, state: int, excluded: Iterable[int] = ()) -> int:
         """Most likely next state from ``state`` excluding ``excluded`` cells.

@@ -1,0 +1,24 @@
+"""Shared numerical constants and helpers.
+
+Every module that takes logarithms of probabilities (the mobility chain,
+the trellis solvers, the detector scores, the analysis estimators) needs
+the same convention for ``log(0)``.  Historically each module carried its
+own epsilon; they are unified here so a single constant governs all
+log-domain computations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LOG_FLOOR", "safe_log"]
+
+#: Probabilities below this are treated as structurally zero when taking
+#: logs.  ``log(LOG_FLOOR)`` is about -690.8, large enough to dominate any
+#: feasible path cost while keeping every reduction finite.
+LOG_FLOOR = 1e-300
+
+
+def safe_log(values: np.ndarray) -> np.ndarray:
+    """Elementwise natural log treating values below ``LOG_FLOOR`` as it."""
+    return np.log(np.maximum(values, LOG_FLOOR))

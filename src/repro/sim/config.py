@@ -37,6 +37,9 @@ class SyntheticExperimentConfig:
         Mobility-model labels (keys of ``paper_synthetic_models``).
     seed:
         Master seed for all randomness.
+    engine:
+        Monte-Carlo execution engine (``"batch"`` or ``"loop"``); both
+        produce identical results for the same seed.
     """
 
     n_cells: int = 10
@@ -51,6 +54,7 @@ class SyntheticExperimentConfig:
         "spatially&temporally-skewed",
     )
     seed: int = 2017
+    engine: str = "batch"
 
     def __post_init__(self) -> None:
         if self.n_cells < 2:
@@ -65,6 +69,8 @@ class SyntheticExperimentConfig:
             raise ValueError("at least one strategy is required")
         if not self.mobility_models:
             raise ValueError("at least one mobility model is required")
+        if self.engine not in ("batch", "loop"):
+            raise ValueError("engine must be 'batch' or 'loop'")
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-serialisable)."""
@@ -93,6 +99,7 @@ class SyntheticExperimentConfig:
             strategies=tuple(self.strategies),
             mobility_models=tuple(self.mobility_models),
             seed=self.seed,
+            engine=self.engine,
         )
 
 
@@ -117,6 +124,9 @@ class TraceExperimentConfig:
         Strategy names to evaluate for the protected users.
     seed:
         Master seed.
+    engine:
+        Monte-Carlo execution engine for any synthetic sub-sweeps
+        (``"batch"`` or ``"loop"``).
     """
 
     n_nodes: int = 174
@@ -126,6 +136,7 @@ class TraceExperimentConfig:
     n_chaffs: int = 1
     strategies: Sequence[str] = ("IM", "MO", "ML", "OO")
     seed: int = 2017
+    engine: str = "batch"
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -141,6 +152,8 @@ class TraceExperimentConfig:
             raise ValueError("n_chaffs must be positive")
         if not self.strategies:
             raise ValueError("at least one strategy is required")
+        if self.engine not in ("batch", "loop"):
+            raise ValueError("engine must be 'batch' or 'loop'")
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-serialisable)."""
@@ -172,5 +185,6 @@ class TraceExperimentConfig:
             n_chaffs=self.n_chaffs,
             strategies=tuple(self.strategies),
             seed=self.seed,
+            engine=self.engine,
             extra=dict(self.extra),
         )

@@ -4,6 +4,17 @@ The paper averages its synthetic results over 1000 Monte-Carlo runs.  The
 harness here owns seeding (each run gets an independent child generator
 spawned from a single :class:`numpy.random.SeedSequence`) so experiments
 are reproducible run-for-run regardless of execution order.
+
+Two execution engines are provided:
+
+* ``"batch"`` (default) — all runs of a configuration are played as
+  ``(R, T)`` / ``(R, N, T)`` arrays through
+  :meth:`~repro.core.game.PrivacyGame.run_batch`.  Because every run keeps
+  its own child generator and the batched stages consume each generator in
+  the scalar order, the results are bit-identical to the looped engine for
+  the same master seed — just several times faster at paper scale.
+* ``"loop"`` — the original one-episode-at-a-time path, kept as an escape
+  hatch and as the reference for the golden-seed equivalence tests.
 """
 
 from __future__ import annotations
@@ -14,9 +25,15 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..analysis.metrics import TrackingStatistics, aggregate_episodes
-from ..core.game import EpisodeResult, PrivacyGame
+from ..core.game import BatchEpisodeResult, EpisodeResult, PrivacyGame
 
-__all__ = ["MonteCarloRunner", "run_game_monte_carlo"]
+__all__ = ["MonteCarloRunner", "run_game_monte_carlo", "ENGINES"]
+
+#: Valid execution engines for :class:`MonteCarloRunner`.
+ENGINES = ("batch", "loop")
+
+UserProvider = Callable[[int, np.random.Generator], np.ndarray]
+BackgroundProvider = Callable[[int, np.random.Generator], "np.ndarray | None"]
 
 
 @dataclass
@@ -29,24 +46,35 @@ class MonteCarloRunner:
         Number of independent episodes.
     seed:
         Master seed; per-run generators are spawned from it.
+    engine:
+        ``"batch"`` (default) plays all runs as one array batch;
+        ``"loop"`` plays them one at a time.  Both produce identical
+        results for the same seed.
     """
 
     n_runs: int
     seed: int = 0
+    engine: str = "batch"
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
             raise ValueError("n_runs must be positive")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+
+    # ------------------------------------------------------------------
+    def spawn_generators(self) -> list[np.random.Generator]:
+        """The per-run child generators derived from the master seed."""
+        children = np.random.SeedSequence(self.seed).spawn(self.n_runs)
+        return [np.random.default_rng(child) for child in children]
 
     def run(
         self,
         game: PrivacyGame,
         *,
         horizon: int | None = None,
-        user_trajectory_provider: Callable[[int, np.random.Generator], np.ndarray]
-        | None = None,
-        background_provider: Callable[[int, np.random.Generator], np.ndarray | None]
-        | None = None,
+        user_trajectory_provider: UserProvider | None = None,
+        background_provider: BackgroundProvider | None = None,
     ) -> TrackingStatistics:
         """Run ``n_runs`` episodes and aggregate them.
 
@@ -54,34 +82,97 @@ class MonteCarloRunner:
         or ``user_trajectory_provider`` (callable mapping run index and RNG
         to a fixed user trajectory, e.g. a taxi trace) must be supplied.
         """
-        episodes = self.run_episodes(
-            game,
-            horizon=horizon,
-            user_trajectory_provider=user_trajectory_provider,
-            background_provider=background_provider,
+        if self.engine == "loop":
+            episodes = self.run_episodes(
+                game,
+                horizon=horizon,
+                user_trajectory_provider=user_trajectory_provider,
+                background_provider=background_provider,
+            )
+            return aggregate_episodes(episodes)
+        _validate_sources(horizon, user_trajectory_provider)
+        rngs = self.spawn_generators()
+        users, backgrounds = self._gather_provider_outputs(
+            rngs, user_trajectory_provider, background_provider
         )
+        stacked_users = _try_stack(users)
+        stacked_backgrounds = _try_stack(backgrounds)
+        batchable = (users is None or stacked_users is not None) and (
+            backgrounds is None or stacked_backgrounds is not None
+        )
+        if batchable:
+            return game.run_batch(
+                rngs,
+                horizon=horizon if stacked_users is None else None,
+                user_trajectories=stacked_users,
+                background_trajectories=stacked_backgrounds,
+            ).aggregate()
+        # Provider outputs cannot be stacked into one batch (ragged shapes
+        # or a mix of arrays and None): finish with the looped game path,
+        # reusing the generators and outputs already drawn so providers are
+        # invoked exactly once and the random streams match a pure loop.
+        episodes = [
+            game.run_episode(
+                rng,
+                horizon=horizon if users is None else None,
+                user_trajectory=None if users is None else users[run],
+                background_trajectories=(
+                    None if backgrounds is None else backgrounds[run]
+                ),
+            )
+            for run, rng in enumerate(rngs)
+        ]
         return aggregate_episodes(episodes)
+
+    def run_batch(
+        self,
+        game: PrivacyGame,
+        *,
+        horizon: int | None = None,
+        user_trajectory_provider: UserProvider | None = None,
+        background_provider: BackgroundProvider | None = None,
+    ) -> BatchEpisodeResult:
+        """Run all episodes as one array batch and return the raw result.
+
+        Provider callables are invoked once per run with that run's
+        generator (preserving the looped engine's random streams) and
+        their outputs stacked into the batch tensors; outputs that cannot
+        be stacked (ragged shapes) raise ``ValueError`` — use :meth:`run`,
+        which falls back to the looped game path for that case.
+        """
+        _validate_sources(horizon, user_trajectory_provider)
+        rngs = self.spawn_generators()
+        users, backgrounds = self._gather_provider_outputs(
+            rngs, user_trajectory_provider, background_provider
+        )
+        stacked_users = _try_stack(users)
+        stacked_backgrounds = _try_stack(backgrounds)
+        if users is not None and stacked_users is None:
+            raise ValueError("user trajectories have inconsistent shapes")
+        if backgrounds is not None and stacked_backgrounds is None:
+            raise ValueError(
+                "background trajectories have inconsistent shapes or mix "
+                "arrays with None"
+            )
+        return game.run_batch(
+            rngs,
+            horizon=horizon if stacked_users is None else None,
+            user_trajectories=stacked_users,
+            background_trajectories=stacked_backgrounds,
+        )
 
     def run_episodes(
         self,
         game: PrivacyGame,
         *,
         horizon: int | None = None,
-        user_trajectory_provider: Callable[[int, np.random.Generator], np.ndarray]
-        | None = None,
-        background_provider: Callable[[int, np.random.Generator], np.ndarray | None]
-        | None = None,
+        user_trajectory_provider: UserProvider | None = None,
+        background_provider: BackgroundProvider | None = None,
     ) -> list[EpisodeResult]:
-        """Run the episodes and return them without aggregation."""
-        if (horizon is None) == (user_trajectory_provider is None):
-            raise ValueError(
-                "provide exactly one of horizon or user_trajectory_provider"
-            )
-        seed_sequence = np.random.SeedSequence(self.seed)
-        children = seed_sequence.spawn(self.n_runs)
+        """Run the episodes one at a time and return them without aggregation."""
+        _validate_sources(horizon, user_trajectory_provider)
         episodes: list[EpisodeResult] = []
-        for run_index, child in enumerate(children):
-            rng = np.random.default_rng(child)
+        for run_index, rng in enumerate(self.spawn_generators()):
             user_trajectory = None
             if user_trajectory_provider is not None:
                 user_trajectory = user_trajectory_provider(run_index, rng)
@@ -98,6 +189,51 @@ class MonteCarloRunner:
             )
         return episodes
 
+    # ------------------------------------------------------------------
+    def _gather_provider_outputs(
+        self,
+        rngs: Sequence[np.random.Generator],
+        user_trajectory_provider: UserProvider | None,
+        background_provider: BackgroundProvider | None,
+    ) -> tuple[list[np.ndarray] | None, list[np.ndarray | None] | None]:
+        """Invoke the providers once per run, in the looped engine's order.
+
+        Each run's generator sees its user draw before its background
+        draw, exactly as in :meth:`run_episodes`, so the collected outputs
+        are valid for either execution path.
+        """
+        users = None
+        if user_trajectory_provider is not None:
+            users = [
+                np.asarray(user_trajectory_provider(run, rngs[run]), dtype=np.int64)
+                for run in range(self.n_runs)
+            ]
+        backgrounds = None
+        if background_provider is not None:
+            backgrounds = [
+                background_provider(run, rngs[run]) for run in range(self.n_runs)
+            ]
+            if all(item is None for item in backgrounds):
+                backgrounds = None
+        return users, backgrounds
+
+
+def _validate_sources(horizon, user_trajectory_provider) -> None:
+    if (horizon is None) == (user_trajectory_provider is None):
+        raise ValueError("provide exactly one of horizon or user_trajectory_provider")
+
+
+def _try_stack(arrays: Sequence[np.ndarray | None] | None) -> np.ndarray | None:
+    """Stack per-run provider outputs, or ``None`` if they cannot batch."""
+    if arrays is None:
+        return None
+    if any(item is None for item in arrays):
+        return None
+    coerced = [np.asarray(item, dtype=np.int64) for item in arrays]
+    if len({item.shape for item in coerced}) != 1:
+        return None
+    return np.stack(coerced, axis=0)
+
 
 def run_game_monte_carlo(
     game: PrivacyGame,
@@ -105,7 +241,8 @@ def run_game_monte_carlo(
     n_runs: int,
     horizon: int,
     seed: int = 0,
+    engine: str = "batch",
 ) -> TrackingStatistics:
     """Convenience wrapper: sample-user episodes with default providers."""
-    runner = MonteCarloRunner(n_runs=n_runs, seed=seed)
+    runner = MonteCarloRunner(n_runs=n_runs, seed=seed, engine=engine)
     return runner.run(game, horizon=horizon)

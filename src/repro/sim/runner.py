@@ -55,6 +55,7 @@ def sweep_strategies(
     n_runs: int,
     seed: int,
     model_label: str = "model",
+    engine: str = "batch",
 ) -> StrategySweep:
     """Evaluate several (strategy, N) combinations against one model.
 
@@ -70,6 +71,9 @@ def sweep_strategies(
         as an instance.
     horizon, n_runs, seed:
         Monte-Carlo parameters.
+    engine:
+        Monte-Carlo execution engine (``"batch"`` or ``"loop"``); both
+        produce identical statistics for the same seed.
     """
     statistics: dict[str, TrackingStatistics] = {}
     for offset, (label, (strategy_spec, n_services)) in enumerate(
@@ -81,6 +85,6 @@ def sweep_strategies(
             else strategy_spec
         )
         game = PrivacyGame(chain, strategy, detector, n_services=n_services)
-        runner = MonteCarloRunner(n_runs=n_runs, seed=seed + offset)
+        runner = MonteCarloRunner(n_runs=n_runs, seed=seed + offset, engine=engine)
         statistics[label] = runner.run(game, horizon=horizon)
     return StrategySweep(model_label=model_label, statistics=statistics)
