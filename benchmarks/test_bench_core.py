@@ -91,12 +91,12 @@ def test_bench_trajectory_sampling(benchmark, chain_small):
     assert trajectory.shape == (1000,)
 
 
-def _paper_scale_monte_carlo(chain, engine: str):
+def _paper_scale_monte_carlo(chain, engine: str, workers: int = 1):
     """One full paper-scale point: IM (N = 2), 1000 runs, T = 100."""
     game = PrivacyGame(
         chain, get_strategy("IM"), MaximumLikelihoodDetector(), n_services=2
     )
-    runner = MonteCarloRunner(n_runs=1000, seed=0, engine=engine)
+    runner = MonteCarloRunner(n_runs=1000, seed=0, engine=engine, workers=workers)
     return runner.run(game, horizon=100)
 
 
@@ -113,3 +113,60 @@ def test_bench_monte_carlo_paper_scale(benchmark, chain_small, engine):
     )
     assert stats.n_episodes == 1000
     assert stats.horizon == 100
+
+
+def _paper_scale_sweep(chain, workers: int):
+    """One full model group of Fig. 5 (all six series) at paper scale."""
+    from repro.sim.runner import sweep_strategies
+
+    specs = {
+        "IM (N = 2)": ("IM", 2),
+        "ML (N = 2)": ("ML", 2),
+        "OO (N = 2)": ("OO", 2),
+        "MO (N = 2)": ("MO", 2),
+        "CML (N = 2)": ("CML", 2),
+        "IM (N = 10)": ("IM", 10),
+    }
+    return sweep_strategies(
+        chain,
+        MaximumLikelihoodDetector(),
+        specs,
+        horizon=100,
+        n_runs=1000,
+        seed=0,
+        workers=workers,
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_bench_sweep_serial_vs_parallel(benchmark, chain_small, workers):
+    """Serial vs process-pool execution of a paper-scale figure sweep.
+
+    The parallel layer is bit-identical to serial (pinned by
+    ``tests/test_parallel_engine.py``), so this benchmark isolates the
+    wall-clock effect of mapping the six independent series over a pool.
+    The speedup tracks the machine's core count; on a single-core runner
+    the pooled timing only shows the (small) process overhead.
+    """
+    sweep = benchmark.pedantic(
+        _paper_scale_sweep, args=(chain_small, workers), rounds=1, iterations=1
+    )
+    assert all(stats.n_episodes == 1000 for stats in sweep.statistics.values())
+
+
+def test_bench_experiment_cache_hit(benchmark, chain_small, tmp_path):
+    """A cache hit must return an ExperimentResult in milliseconds."""
+    from repro.experiments.registry import run_experiment
+    from repro.sim.cache import ResultCache
+    from repro.sim.config import SyntheticExperimentConfig
+
+    config = SyntheticExperimentConfig(n_runs=60, horizon=60)
+    cache = ResultCache(tmp_path)
+    run_experiment("fig5", config, cache=cache)  # warm the cache
+
+    def hit():
+        return run_experiment("fig5", config, cache=cache)
+
+    result = benchmark(hit)
+    assert result.experiment_id == "fig5"
+    assert cache.hits >= 1

@@ -5,10 +5,15 @@ Usage examples::
     repro-mec list
     repro-mec run fig4
     repro-mec run fig5 --runs 200 --horizon 100 --output results/fig5.json
+    repro-mec run fig5 --workers 0          # all cores, bit-identical result
     repro-mec run fig9 --nodes 60 --towers 80
+    repro-mec run fig5 --no-cache           # force a fresh simulation
 
 ``run`` prints a human-readable summary of the experiment result and can
-optionally persist the full result as JSON.
+optionally persist the full result as JSON.  Results are cached on disk
+(keyed by experiment id, config and package version) so repeat runs
+return immediately; ``--no-cache`` disables the cache and ``--cache-dir``
+relocates it.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import sys
 from typing import Sequence
 
 from .experiments.registry import available_experiments, run_experiment
+from .sim.cache import ResultCache, default_cache_dir
 from .sim.config import SyntheticExperimentConfig, TraceExperimentConfig
 
 __all__ = ["build_parser", "main"]
@@ -59,6 +65,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo execution engine (identical results, batch is faster)",
     )
     run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for independent points and run shards "
+        "(1 = serial, 0 = all cores; identical results)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    run_parser.add_argument(
         "--output", type=str, default=None, help="write the result JSON to this path"
     )
     return parser
@@ -67,8 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _build_config(args: argparse.Namespace):
     """Construct the appropriate config object for the chosen experiment."""
     engine = getattr(args, "engine", "batch")
+    workers = getattr(args, "workers", 1)
     if args.experiment in _TRACE_EXPERIMENTS:
-        config = TraceExperimentConfig(seed=args.seed, engine=engine)
+        config = TraceExperimentConfig(seed=args.seed, engine=engine, workers=workers)
         return config.scaled(
             n_nodes=args.nodes, n_towers=args.towers, horizon=args.horizon
         )
@@ -78,8 +103,16 @@ def _build_config(args: argparse.Namespace):
         n_runs=args.runs if args.runs is not None else 1000,
         horizon=args.horizon if args.horizon is not None else 100,
         engine=engine,
+        workers=workers,
     )
     return config
+
+
+def _build_cache(args: argparse.Namespace) -> ResultCache | None:
+    """The result cache for this invocation, or ``None`` with ``--no-cache``."""
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(getattr(args, "cache_dir", None))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -91,7 +124,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(experiment_id)
         return 0
     config = _build_config(args)
-    result = run_experiment(args.experiment, config)
+    cache = _build_cache(args)
+    result = run_experiment(args.experiment, config, cache=cache)
+    if cache is not None and cache.hits:
+        print(f"(cached result from {cache.cache_dir})")
     for line in result.summary_lines():
         print(line)
     if args.output:

@@ -136,16 +136,23 @@ class RolloutController:
         immediate = _per_slot_cost(gamma_after, user_cell, chaff_cell)
         if self.lookahead == 0:
             return immediate
+        # One base controller serves every rollout of this candidate; each
+        # rollout fully resets its state, so reuse is free of carry-over.
+        base = MyopicOnlineController(self.chain)
         total = 0.0
         for _ in range(self.n_rollouts):
-            total += self._rollout(gamma_after, user_cell, chaff_cell)
+            total += self._rollout(base, gamma_after, user_cell, chaff_cell)
         return immediate + total / self.n_rollouts
 
-    def _rollout(self, gamma: float, user_cell: int, chaff_cell: int) -> float:
+    def _rollout(
+        self,
+        base: MyopicOnlineController,
+        gamma: float,
+        user_cell: int,
+        chaff_cell: int,
+    ) -> float:
         """Simulate the future under the MO base policy and sum the costs."""
         chain = self.chain
-        log_P = chain.log_transition_matrix
-        base = MyopicOnlineController(chain)
         # Seed the base controller with the current state.
         base.gamma = gamma
         base.previous_chaff = chaff_cell
@@ -158,8 +165,6 @@ class RolloutController:
             next_chaff = base.step(next_user)
             cost += _per_slot_cost(base.gamma, next_user, next_chaff)
             current_user = next_user
-        # Silence unused-variable linters; gamma evolution handled by base.
-        del log_P
         return cost
 
 

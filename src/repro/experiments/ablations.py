@@ -12,6 +12,12 @@ extensions the paper defers to future work:
 * **migration-policy comparison** — cost and user/service co-location of
   the always-follow policy against lazy and MDP-based cost-optimal
   baselines from the related service-migration literature.
+
+All randomness derives from children spawned off the config's master
+:class:`~numpy.random.SeedSequence` (no ``seed + offset`` arithmetic, so
+streams never overlap across points or across experiments), and the
+independent (strategy, model, budget) points are mapped over a process
+pool when ``config.workers`` asks for one.
 """
 
 from __future__ import annotations
@@ -36,7 +42,9 @@ from ..mec.topology import MECTopology
 from ..mobility.models import paper_synthetic_models
 from ..sim.config import SyntheticExperimentConfig
 from ..sim.monte_carlo import MonteCarloRunner
+from ..sim.parallel import parallel_map
 from ..sim.results import ExperimentResult, SeriesResult
+from ..sim.seeding import spawn_generators, spawn_sequences
 
 __all__ = [
     "run_chaff_budget_sweep",
@@ -47,6 +55,17 @@ __all__ = [
 ]
 
 
+def _monte_carlo_point(task):
+    """One (chain, strategy, N) Monte-Carlo point; module-level for pools."""
+    chain, strategy, n_services, n_runs, horizon, child, engine = task
+    game = PrivacyGame(
+        chain, strategy, MaximumLikelihoodDetector(), n_services=n_services
+    )
+    runner = MonteCarloRunner(n_runs=n_runs, seed=child, engine=engine)
+    stats = runner.run(game, horizon=horizon)
+    return stats
+
+
 def run_chaff_budget_sweep(
     config: SyntheticExperimentConfig | None = None,
     *,
@@ -55,24 +74,39 @@ def run_chaff_budget_sweep(
     """IM tracking accuracy versus ``N``, simulated and closed form (Eq. 11)."""
     config = config or SyntheticExperimentConfig()
     models = paper_synthetic_models(config.n_cells, seed=config.seed)
-    detector = MaximumLikelihoodDetector()
     strategy = get_strategy("IM")
+    labels = list(config.mobility_models)
+    children = spawn_sequences(
+        config.seed, len(labels) * len(budgets), key="ablation-chaff-budget"
+    )
+    tasks = []
+    for model_index, label in enumerate(labels):
+        chain = models[label]
+        for budget_index, n_services in enumerate(budgets):
+            child = children[model_index * len(budgets) + budget_index]
+            tasks.append(
+                (
+                    chain,
+                    strategy,
+                    n_services,
+                    config.n_runs,
+                    config.horizon,
+                    child,
+                    config.engine,
+                )
+            )
+    all_stats = parallel_map(_monte_carlo_point, tasks, workers=config.workers)
     groups: dict[str, list[SeriesResult]] = {}
     scalars: dict[str, float] = {}
-    for model_index, label in enumerate(config.mobility_models):
+    for model_index, label in enumerate(labels):
         chain = models[label]
-        simulated = []
-        analytic = []
-        for n_services in budgets:
-            game = PrivacyGame(chain, strategy, detector, n_services=n_services)
-            runner = MonteCarloRunner(
-                n_runs=config.n_runs,
-                seed=config.seed + 100 * model_index + n_services,
-                engine=config.engine,
-            )
-            stats = runner.run(game, horizon=config.horizon)
-            simulated.append(stats.tracking_accuracy)
-            analytic.append(im_tracking_accuracy(chain, n_services))
+        point_stats = all_stats[
+            model_index * len(budgets) : (model_index + 1) * len(budgets)
+        ]
+        simulated = [stats.tracking_accuracy for stats in point_stats]
+        analytic = [
+            im_tracking_accuracy(chain, n_services) for n_services in budgets
+        ]
         groups[label] = [
             SeriesResult.from_array("simulated", simulated, index=list(budgets)),
             SeriesResult.from_array("eq11", analytic, index=list(budgets)),
@@ -85,6 +119,20 @@ def run_chaff_budget_sweep(
         scalars=scalars,
         config=config.to_dict(),
     )
+
+
+def _cost_privacy_point(task) -> tuple[float, float]:
+    """Mean (tracking accuracy, total cost) for one chaff budget."""
+    simulation, chain, n_runs, child = task
+    detector = MaximumLikelihoodDetector()
+    accuracies = []
+    costs = []
+    for rng in spawn_generators(child, n_runs):
+        report = simulation.run(rng)
+        outcome = report.evaluate(chain, detector, rng)
+        accuracies.append(outcome["tracking_accuracy"])
+        costs.append(outcome["total_cost"])
+    return float(np.mean(accuracies)), float(np.mean(costs))
 
 
 def run_cost_privacy_tradeoff(
@@ -100,10 +148,11 @@ def run_cost_privacy_tradeoff(
     label = config.mobility_models[0]
     chain = models[label]
     topology = MECTopology.ring(config.n_cells)
-    detector = MaximumLikelihoodDetector()
-    accuracy_series = []
-    cost_series = []
-    for n_chaffs in chaff_counts:
+    children = spawn_sequences(
+        config.seed, len(chaff_counts), key="ablation-cost-privacy"
+    )
+    tasks = []
+    for child, n_chaffs in zip(children, chaff_counts):
         strategy = get_strategy(strategy_name) if n_chaffs > 0 else None
         simulation = MECSimulation(
             topology,
@@ -111,16 +160,10 @@ def run_cost_privacy_tradeoff(
             strategy=strategy,
             config=MECSimulationConfig(horizon=config.horizon, n_chaffs=n_chaffs),
         )
-        accuracies = []
-        costs = []
-        for run_index in range(n_runs):
-            rng = np.random.default_rng(config.seed + 31 * run_index + n_chaffs)
-            report = simulation.run(rng)
-            outcome = report.evaluate(chain, detector, rng)
-            accuracies.append(outcome["tracking_accuracy"])
-            costs.append(outcome["total_cost"])
-        accuracy_series.append(float(np.mean(accuracies)))
-        cost_series.append(float(np.mean(costs)))
+        tasks.append((simulation, chain, n_runs, child))
+    points = parallel_map(_cost_privacy_point, tasks, workers=config.workers)
+    accuracy_series = [accuracy for accuracy, _ in points]
+    cost_series = [cost for _, cost in points]
     groups = {
         label: [
             SeriesResult.from_array(
@@ -144,6 +187,22 @@ def run_cost_privacy_tradeoff(
     )
 
 
+def _migration_policy_point(task) -> tuple[float, float]:
+    """Mean (total cost, co-location fraction) of one migration policy."""
+    simulation, children = task
+    costs = []
+    colocations = []
+    # Every policy replays the same per-run children (paired comparison);
+    # ``default_rng`` derives a fresh generator without consuming the child.
+    for child in children:
+        rng = np.random.default_rng(child)
+        report = simulation.run(rng)
+        costs.append(report.total_cost)
+        service_cells = np.asarray(report.real_service.location_history)
+        colocations.append(float(np.mean(service_cells == report.user_trajectory)))
+    return float(np.mean(costs)), float(np.mean(colocations))
+
+
 def run_migration_policy_comparison(
     config: SyntheticExperimentConfig | None = None, *, n_runs: int = 20
 ) -> ExperimentResult:
@@ -160,9 +219,11 @@ def run_migration_policy_comparison(
         "threshold-1": DistanceThresholdPolicy(threshold=1),
         "mdp": MDPMigrationPolicy(topology, chain, cost_model),
     }
-    cost_values = []
-    colocation_values = []
     policy_names = list(policies)
+    run_children = spawn_sequences(
+        config.seed, n_runs, key="ablation-migration-policies"
+    )
+    tasks = []
     for policy_name in policy_names:
         simulation = MECSimulation(
             topology,
@@ -172,16 +233,10 @@ def run_migration_policy_comparison(
             cost_model=cost_model,
             config=MECSimulationConfig(horizon=config.horizon, n_chaffs=0),
         )
-        costs = []
-        colocations = []
-        for run_index in range(n_runs):
-            rng = np.random.default_rng(config.seed + 7 * run_index)
-            report = simulation.run(rng)
-            costs.append(report.total_cost)
-            service_cells = np.asarray(report.real_service.location_history)
-            colocations.append(float(np.mean(service_cells == report.user_trajectory)))
-        cost_values.append(float(np.mean(costs)))
-        colocation_values.append(float(np.mean(colocations)))
+        tasks.append((simulation, run_children))
+    points = parallel_map(_migration_policy_point, tasks, workers=config.workers)
+    cost_values = [cost for cost, _ in points]
+    colocation_values = [colocation for _, colocation in points]
     groups = {
         label: [
             SeriesResult.from_array(
@@ -226,7 +281,6 @@ def run_rollout_vs_myopic(
     """
     config = config or SyntheticExperimentConfig()
     models = paper_synthetic_models(config.n_cells, seed=config.seed)
-    detector = MaximumLikelihoodDetector()
     strategies = {
         "MO": get_strategy("MO"),
         "ROLLOUT": RolloutOnlineStrategy(
@@ -234,20 +288,27 @@ def run_rollout_vs_myopic(
         ),
         "OO": get_strategy("OO"),
     }
+    runs = min(config.n_runs, n_runs)
+    labels = list(config.mobility_models)
+    strategy_items = list(strategies.items())
+    children = spawn_sequences(
+        config.seed, len(labels) * len(strategy_items), key="ablation-rollout"
+    )
+    tasks = []
+    for model_index, label in enumerate(labels):
+        chain = models[label]
+        for strategy_index, (_, strategy) in enumerate(strategy_items):
+            child = children[model_index * len(strategy_items) + strategy_index]
+            tasks.append(
+                (chain, strategy, 2, runs, config.horizon, child, config.engine)
+            )
+    all_stats = parallel_map(_monte_carlo_point, tasks, workers=config.workers)
     groups: dict[str, list[SeriesResult]] = {}
     scalars: dict[str, float] = {}
-    runs = min(config.n_runs, n_runs)
-    for model_index, label in enumerate(config.mobility_models):
-        chain = models[label]
+    for model_index, label in enumerate(labels):
         series_list = []
-        for strategy_index, (name, strategy) in enumerate(strategies.items()):
-            game = PrivacyGame(chain, strategy, detector, n_services=2)
-            runner = MonteCarloRunner(
-                n_runs=runs,
-                seed=config.seed + 100 * model_index + strategy_index,
-                engine=config.engine,
-            )
-            stats = runner.run(game, horizon=config.horizon)
+        for strategy_index, (name, _) in enumerate(strategy_items):
+            stats = all_stats[model_index * len(strategy_items) + strategy_index]
             series_list.append(
                 SeriesResult.from_array(
                     name,
@@ -267,6 +328,30 @@ def run_rollout_vs_myopic(
     )
 
 
+def _online_eavesdropper_point(task) -> dict[str, float]:
+    """Offline-ML vs online-tracker scores for one mobility model."""
+    chain, strategy, horizon, runs, child = task
+    offline_detector = MaximumLikelihoodDetector()
+    trackers = {"prefix-ml": PrefixMLTracker(), "bayesian": BayesianPosteriorTracker()}
+    offline_scores = []
+    tracker_scores: dict[str, list[float]] = {name: [] for name in trackers}
+    for rng in spawn_generators(child, runs):
+        user = chain.sample_trajectory(horizon, rng)
+        chaffs = strategy.generate(chain, user, 1, rng)
+        observed = np.concatenate([user[None, :], chaffs], axis=0)
+        outcome = offline_detector.detect(chain, observed, rng)
+        offline_scores.append(
+            float(np.mean(observed[outcome.chosen_index] == user))
+        )
+        for name, tracker in trackers.items():
+            result = tracker.track(chain, observed, user, rng)
+            tracker_scores[name].append(result.tracking_accuracy)
+    return {
+        "offline-ml": float(np.mean(offline_scores)),
+        **{name: float(np.mean(scores)) for name, scores in tracker_scores.items()},
+    }
+
+
 def run_online_eavesdropper_comparison(
     config: SyntheticExperimentConfig | None = None,
     *,
@@ -281,31 +366,19 @@ def run_online_eavesdropper_comparison(
     config = config or SyntheticExperimentConfig()
     models = paper_synthetic_models(config.n_cells, seed=config.seed)
     strategy = get_strategy(strategy_name)
-    offline_detector = MaximumLikelihoodDetector()
-    trackers = {"prefix-ml": PrefixMLTracker(), "bayesian": BayesianPosteriorTracker()}
+    runs = min(config.n_runs, n_runs)
+    labels = list(config.mobility_models)
+    children = spawn_sequences(
+        config.seed, len(labels), key="ablation-online-eavesdropper"
+    )
+    tasks = [
+        (models[label], strategy, config.horizon, runs, child)
+        for label, child in zip(labels, children)
+    ]
+    points = parallel_map(_online_eavesdropper_point, tasks, workers=config.workers)
     groups: dict[str, list[SeriesResult]] = {}
     scalars: dict[str, float] = {}
-    runs = min(config.n_runs, n_runs)
-    for model_index, label in enumerate(config.mobility_models):
-        chain = models[label]
-        offline_scores = []
-        tracker_scores = {name: [] for name in trackers}
-        for run_index in range(runs):
-            rng = np.random.default_rng(config.seed + 1000 * model_index + run_index)
-            user = chain.sample_trajectory(config.horizon, rng)
-            chaffs = strategy.generate(chain, user, 1, rng)
-            observed = np.concatenate([user[None, :], chaffs], axis=0)
-            outcome = offline_detector.detect(chain, observed, rng)
-            offline_scores.append(
-                float(np.mean(observed[outcome.chosen_index] == user))
-            )
-            for name, tracker in trackers.items():
-                result = tracker.track(chain, observed, user, rng)
-                tracker_scores[name].append(result.tracking_accuracy)
-        values = {
-            "offline-ml": float(np.mean(offline_scores)),
-            **{name: float(np.mean(scores)) for name, scores in tracker_scores.items()},
-        }
+    for label, values in zip(labels, points):
         groups[label] = [
             SeriesResult.from_array(name, [value]) for name, value in values.items()
         ]

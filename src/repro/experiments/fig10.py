@@ -12,7 +12,9 @@ from __future__ import annotations
 from ..core.eavesdropper.advanced import StrategyAwareDetector
 from ..core.strategies.base import get_strategy
 from ..sim.config import TraceExperimentConfig
+from ..sim.parallel import parallel_map
 from ..sim.results import ExperimentResult, SeriesResult
+from ..sim.seeding import spawn_sequences
 from .trace_common import (
     build_taxi_dataset,
     protected_user_accuracy,
@@ -20,6 +22,29 @@ from .trace_common import (
 )
 
 __all__ = ["run_fig10", "FIG10_STRATEGIES"]
+
+
+def _advanced_user_point(task) -> list[float]:
+    """All Fig. 10 bars for one protected user; module-level for pools.
+
+    The detectors dict is shared between tasks: run serially (in-process)
+    their deterministic-map caches accumulate across users, while a
+    process pool ships each worker its own copy.
+    """
+    dataset, user_row, detectors, n_chaffs, child = task
+    values = []
+    for _, employed, assumed in FIG10_STRATEGIES:
+        values.append(
+            protected_user_accuracy(
+                dataset,
+                user_row,
+                get_strategy(employed),
+                detectors[assumed],
+                n_chaffs=n_chaffs,
+                seed=child,
+            )
+        )
+    return values
 
 #: (bar label, employed strategy, strategy assumed by the eavesdropper).
 FIG10_STRATEGIES: tuple[tuple[str, str, str], ...] = (
@@ -52,20 +77,17 @@ def run_fig10(
         assumed: StrategyAwareDetector(get_strategy(assumed))
         for _, _, assumed in FIG10_STRATEGIES
     }
-    for rank, user_row in enumerate(top_users, start=1):
-        values = []
-        for label, employed, assumed in FIG10_STRATEGIES:
-            detector = detectors[assumed]
-            strategy = get_strategy(employed)
-            accuracy = protected_user_accuracy(
-                dataset,
-                user_row,
-                strategy,
-                detector,
-                n_chaffs=n_chaffs,
-                seed=config.seed + 100 * rank,
-            )
-            values.append(accuracy)
+    user_children = spawn_sequences(config.seed, len(top_users), key="fig10")
+    user_points = parallel_map(
+        _advanced_user_point,
+        [
+            (dataset, user_row, detectors, n_chaffs, child)
+            for user_row, child in zip(top_users, user_children)
+        ],
+        workers=config.workers,
+    )
+    for rank, (user_row, values) in enumerate(zip(top_users, user_points), start=1):
+        for label, accuracy in zip(bar_labels, values):
             scalars[f"user{rank}/{label}"] = accuracy
         groups["two-chaffs"].append(
             SeriesResult.from_array(

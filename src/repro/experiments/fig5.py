@@ -13,6 +13,7 @@ from ..mobility.models import paper_synthetic_models
 from ..sim.config import SyntheticExperimentConfig
 from ..sim.results import ExperimentResult, SeriesResult
 from ..sim.runner import sweep_strategies
+from ..sim.seeding import spawn_sequences
 
 __all__ = ["run_fig5", "FIG5_SERIES"]
 
@@ -34,7 +35,10 @@ def run_fig5(config: SyntheticExperimentConfig | None = None) -> ExperimentResul
     detector = MaximumLikelihoodDetector()
     groups: dict[str, list[SeriesResult]] = {}
     scalars: dict[str, float] = {}
-    for model_index, label in enumerate(config.mobility_models):
+    model_children = spawn_sequences(
+        config.seed, len(config.mobility_models), key="fig5"
+    )
+    for model_child, label in zip(model_children, config.mobility_models):
         chain = models[label]
         specs = {
             series_label: (strategy_name, n_services)
@@ -46,9 +50,10 @@ def run_fig5(config: SyntheticExperimentConfig | None = None) -> ExperimentResul
             specs,
             horizon=config.horizon,
             n_runs=config.n_runs,
-            seed=config.seed + 1000 * model_index,
+            seed=model_child,
             model_label=label,
             engine=config.engine,
+            workers=config.workers,
         )
         groups[label] = sweep.series()
         for series_label, stats in sweep.statistics.items():

@@ -14,6 +14,7 @@ from ..analysis.loglik import simulate_ct_samples
 from ..mobility.models import paper_synthetic_models
 from ..sim.config import SyntheticExperimentConfig
 from ..sim.results import ExperimentResult, SeriesResult
+from ..sim.seeding import spawn_sequences
 
 __all__ = ["run_fig6"]
 
@@ -34,12 +35,16 @@ def run_fig6(
     # Fig. 6 pools c_t over runs; far fewer runs than Fig. 5 are needed for
     # a stable CDF, so cap the simulation effort.
     n_runs = min(config.n_runs, 100)
+    n_models = len(config.mobility_models)
+    children = spawn_sequences(
+        config.seed, n_models * len(_STRATEGIES), key="fig6"
+    )
     for model_index, label in enumerate(config.mobility_models):
         chain = models[label]
         series_list = []
         for strategy_index, strategy_name in enumerate(_STRATEGIES):
             rng = np.random.default_rng(
-                config.seed + 10_000 * model_index + strategy_index
+                children[model_index * len(_STRATEGIES) + strategy_index]
             )
             samples = simulate_ct_samples(
                 chain, strategy_name, config.horizon, n_runs, rng

@@ -20,6 +20,7 @@ from ..mobility.models import paper_synthetic_models
 from ..sim.config import SyntheticExperimentConfig
 from ..sim.results import ExperimentResult, SeriesResult
 from ..sim.runner import sweep_strategies
+from ..sim.seeding import spawn_sequences
 
 __all__ = ["run_fig7", "FIG7_STRATEGIES"]
 
@@ -42,6 +43,10 @@ def run_fig7(
     models = paper_synthetic_models(config.n_cells, seed=config.seed)
     groups: dict[str, list[SeriesResult]] = {}
     scalars: dict[str, float] = {}
+    n_models = len(config.mobility_models)
+    children = spawn_sequences(
+        config.seed, n_models * len(FIG7_STRATEGIES), key="fig7"
+    )
     for model_index, label in enumerate(config.mobility_models):
         chain = models[label]
         series_list = []
@@ -55,9 +60,12 @@ def run_fig7(
                 {series_label: (employed, n_services)},
                 horizon=config.horizon,
                 n_runs=config.n_runs,
-                seed=config.seed + 1000 * model_index + 10 * strategy_index,
+                seed=children[
+                    model_index * len(FIG7_STRATEGIES) + strategy_index
+                ],
                 model_label=label,
                 engine=config.engine,
+                workers=config.workers,
             )
             stats = sweep.statistics[series_label]
             series_list.extend(sweep.series())

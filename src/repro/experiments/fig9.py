@@ -15,7 +15,9 @@ import numpy as np
 from ..core.eavesdropper.detector import MaximumLikelihoodDetector
 from ..core.strategies.base import get_strategy
 from ..sim.config import TraceExperimentConfig
+from ..sim.parallel import parallel_map
 from ..sim.results import ExperimentResult, SeriesResult
+from ..sim.seeding import spawn_sequences
 from .trace_common import (
     build_taxi_dataset,
     per_user_tracking_accuracy,
@@ -26,12 +28,30 @@ from .trace_common import (
 __all__ = ["run_fig9"]
 
 
+def _protected_user_point(task) -> list[float]:
+    """All panel-(b) bars for one protected user; module-level for pools."""
+    dataset, user_row, bar_labels, n_chaffs, child = task
+    detector = MaximumLikelihoodDetector()
+    values = []
+    for label in bar_labels:
+        strategy = None if label == "no chaff" else get_strategy(label)
+        values.append(
+            protected_user_accuracy(
+                dataset,
+                user_row,
+                strategy,
+                detector,
+                n_chaffs=n_chaffs,
+                seed=child,
+            )
+        )
+    return values
+
+
 def run_fig9(config: TraceExperimentConfig | None = None) -> ExperimentResult:
     """Run both panels of Fig. 9 on the synthetic taxi dataset."""
     config = config or TraceExperimentConfig()
     dataset = build_taxi_dataset(config)
-    detector = MaximumLikelihoodDetector()
-
     # Panel (a): per-user accuracy without chaffs, sorted descending.
     accuracies = per_user_tracking_accuracy(dataset, seed=config.seed)
     order = np.argsort(-accuracies, kind="stable")
@@ -61,19 +81,17 @@ def run_fig9(config: TraceExperimentConfig | None = None) -> ExperimentResult:
         ),
     }
     bar_labels = ["no chaff", *config.strategies]
-    for rank, user_row in enumerate(top_users, start=1):
-        values = []
-        for label in bar_labels:
-            strategy = None if label == "no chaff" else get_strategy(label)
-            accuracy = protected_user_accuracy(
-                dataset,
-                user_row,
-                strategy,
-                detector,
-                n_chaffs=config.n_chaffs,
-                seed=config.seed + rank,
-            )
-            values.append(accuracy)
+    user_children = spawn_sequences(config.seed, len(top_users), key="fig9")
+    user_points = parallel_map(
+        _protected_user_point,
+        [
+            (dataset, user_row, bar_labels, config.n_chaffs, child)
+            for user_row, child in zip(top_users, user_children)
+        ],
+        workers=config.workers,
+    )
+    for rank, (user_row, values) in enumerate(zip(top_users, user_points), start=1):
+        for label, accuracy in zip(bar_labels, values):
             scalars[f"user{rank}/{label}"] = accuracy
         panel_b.append(
             SeriesResult.from_array(

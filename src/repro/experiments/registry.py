@@ -3,12 +3,19 @@
 Used by the CLI (``python -m repro.cli run fig5``) and by the benchmark
 harness, which iterates over every registered experiment so each table
 and figure of the paper has a regeneration target.
+
+``run_experiment`` optionally consults a content-addressed on-disk cache
+(:mod:`repro.sim.cache`): the result of a previous run with the same
+(experiment id, config, package version) key is returned without any
+simulation, and fresh results are stored on the way out.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable
 
+from ..sim.cache import ResultCache, experiment_cache_key
 from ..sim.results import ExperimentResult
 from .ablations import (
     run_chaff_budget_sweep,
@@ -49,10 +56,58 @@ def available_experiments() -> list[str]:
     return sorted(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str, *args, **kwargs) -> ExperimentResult:
-    """Run a registered experiment by id."""
+def _invocation_cache_key(experiment_id: str, args, kwargs) -> str | None:
+    """Cache key for one ``run_experiment`` call, or ``None`` if uncacheable.
+
+    Cacheable calls pass at most one positional argument (the config
+    object, whose ``to_dict`` form enters the key) plus JSON-serialisable
+    keyword arguments.  Anything else — multiple positionals, a config
+    without ``to_dict``, non-JSON kwargs — bypasses the cache rather than
+    risking a wrong hit.
+    """
+    if len(args) > 1:
+        return None
+    config_dict: dict = {}
+    if args and args[0] is not None:
+        config = args[0]
+        if not hasattr(config, "to_dict"):
+            return None
+        config_dict = config.to_dict()
+    return experiment_cache_key(experiment_id, config_dict, extra=kwargs)
+
+
+def run_experiment(
+    experiment_id: str,
+    *args,
+    cache: "ResultCache | str | Path | None" = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Run a registered experiment by id.
+
+    Parameters
+    ----------
+    cache:
+        Optional result cache — a :class:`~repro.sim.cache.ResultCache`
+        or a directory path.  On a key hit the stored result is returned
+        without running anything; on a miss the experiment runs and its
+        result is stored.  Execution-only config fields (``engine``,
+        ``workers``) are excluded from the key, so cached results are
+        shared across serial and parallel invocations.
+    """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {available_experiments()}"
         )
-    return EXPERIMENTS[experiment_id](*args, **kwargs)
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    key = None
+    if cache is not None:
+        key = _invocation_cache_key(experiment_id, args, kwargs)
+        if key is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+    result = EXPERIMENTS[experiment_id](*args, **kwargs)
+    if cache is not None and key is not None:
+        cache.put(key, result)
+    return result

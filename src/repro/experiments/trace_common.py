@@ -17,6 +17,7 @@ from ..core.strategies.base import ChaffStrategy
 from ..geo.towers import TowerPlacementConfig, generate_towers
 from ..geo.voronoi import VoronoiQuantizer
 from ..sim.config import TraceExperimentConfig
+from ..sim.seeding import spawn_generators, spawn_sequences
 from ..traces.preprocess import CellTrajectoryDataset, TracePipeline
 from ..traces.taxi import TaxiFleetConfig, TaxiFleetGenerator
 
@@ -57,7 +58,7 @@ def per_user_tracking_accuracy(
     dataset: CellTrajectoryDataset,
     *,
     n_detection_seeds: int = 20,
-    seed: int = 0,
+    seed: "int | np.random.SeedSequence" = 0,
 ) -> np.ndarray:
     """Fig. 9(a): per-user tracking accuracy without chaffs.
 
@@ -67,7 +68,9 @@ def per_user_tracking_accuracy(
     with user ``u``'s cell.  Ties between equally likely trajectories (a
     real phenomenon when several nodes park at a popular cell) are broken
     uniformly at random, so the detection is averaged over
-    ``n_detection_seeds`` independent tie-breaks.
+    ``n_detection_seeds`` independent tie-breaks (one spawned child
+    generator each, so tie-break streams never overlap across ``seed``
+    values).
     """
     if n_detection_seeds < 1:
         raise ValueError("n_detection_seeds must be positive")
@@ -75,8 +78,7 @@ def per_user_tracking_accuracy(
     trajectories = dataset.trajectories
     chain = dataset.mobility_model
     accuracies = np.zeros(dataset.n_nodes, dtype=float)
-    for detection_seed in range(n_detection_seeds):
-        rng = np.random.default_rng(seed + detection_seed)
+    for rng in spawn_generators(seed, n_detection_seeds):
         outcome = detector.detect(chain, trajectories, rng)
         chosen = trajectories[outcome.chosen_index]
         matches = (trajectories == chosen[None, :]).mean(axis=1)
@@ -103,7 +105,7 @@ def protected_user_accuracy(
     *,
     n_chaffs: int = 1,
     n_detection_seeds: int = 10,
-    seed: int = 0,
+    seed: "int | np.random.SeedSequence" = 0,
 ) -> float:
     """Tracking accuracy for one protected user (Figs. 9(b) and 10).
 
@@ -121,15 +123,18 @@ def protected_user_accuracy(
     chain = dataset.mobility_model
     user = trajectories[user_row]
     total = 0.0
+    # Children: one per detection tie-break plus a dedicated one for the
+    # deterministic-chaff precomputation (spawned, never seed arithmetic).
+    children = spawn_sequences(seed, n_detection_seeds + 1)
     fixed_chaffs = None
     if strategy is not None and n_chaffs > 0 and strategy.is_deterministic:
         # Deterministic strategies produce the same chaffs regardless of the
         # detection tie-break seed; compute them once.
         fixed_chaffs = strategy.generate(
-            chain, user, n_chaffs, np.random.default_rng(seed)
+            chain, user, n_chaffs, np.random.default_rng(children[-1])
         )
-    for detection_seed in range(n_detection_seeds):
-        rng = np.random.default_rng(seed + detection_seed)
+    for child in children[:n_detection_seeds]:
+        rng = np.random.default_rng(child)
         if strategy is not None and n_chaffs > 0:
             chaffs = (
                 fixed_chaffs

@@ -132,6 +132,13 @@ class MECSimulation:
             user = np.asarray(user_trajectory, dtype=np.int64)
             if user.ndim != 1 or user.size == 0:
                 raise ValueError("user_trajectory must be a non-empty 1-D array")
+            if user.min() < 0 or user.max() >= self.topology.n_cells:
+                raise ValueError(
+                    "user_trajectory contains cells outside the topology: "
+                    f"cells must lie in [0, {self.topology.n_cells}) "
+                    f"(= mobility model states), got values in "
+                    f"[{int(user.min())}, {int(user.max())}]"
+                )
         horizon = user.size
 
         engine = MigrationEngine(

@@ -1,9 +1,18 @@
-"""Simulation harness: configs, Monte-Carlo runner and result containers."""
+"""Simulation harness: configs, Monte-Carlo runner, parallel execution,
+result containers and the on-disk result cache."""
 
+from .cache import ResultCache, default_cache_dir, experiment_cache_key
 from .config import SyntheticExperimentConfig, TraceExperimentConfig
 from .monte_carlo import MonteCarloRunner, run_game_monte_carlo
+from .parallel import parallel_map, resolve_workers, shard_slices
 from .results import ExperimentResult, SeriesResult, to_jsonable
 from .runner import StrategySweep, sweep_strategies
+from .seeding import (
+    as_seed_sequence,
+    spawn_generators,
+    spawn_sequences,
+    spawn_sequences_range,
+)
 
 __all__ = [
     "SyntheticExperimentConfig",
@@ -15,4 +24,14 @@ __all__ = [
     "to_jsonable",
     "StrategySweep",
     "sweep_strategies",
+    "ResultCache",
+    "default_cache_dir",
+    "experiment_cache_key",
+    "parallel_map",
+    "resolve_workers",
+    "shard_slices",
+    "as_seed_sequence",
+    "spawn_generators",
+    "spawn_sequences",
+    "spawn_sequences_range",
 ]

@@ -1,0 +1,160 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A full figure regeneration runs thousands of Monte-Carlo episodes; the
+result, however, is a small JSON document that is a pure function of
+*(experiment id, configuration, package version)*.  The cache stores each
+:class:`~repro.sim.results.ExperimentResult` under the SHA-256 of that
+key so repeat invocations (CLI re-runs, benchmark warm-ups, notebook
+restarts) return in milliseconds instead of minutes.
+
+Keying rules:
+
+* the configuration enters the key as its canonical JSON form (sorted
+  keys, no whitespace);
+* execution-only settings that are proven not to affect the numbers —
+  the ``engine`` choice and the ``workers`` count, both bit-identical by
+  construction — are stripped first, so a cached serial result satisfies
+  a parallel re-run and vice versa;
+* the package version is included, so upgrading the code invalidates
+  every stale entry at once;
+* anything that cannot be serialised deterministically (non-JSON keyword
+  arguments) makes the call uncacheable rather than silently wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+from .results import ExperimentResult
+
+__all__ = [
+    "EXECUTION_ONLY_KEYS",
+    "default_cache_dir",
+    "experiment_cache_key",
+    "ResultCache",
+]
+
+#: Config keys that change how an experiment executes but never what it
+#: computes (pinned by the engine/worker equivalence test suites).
+EXECUTION_ONLY_KEYS = ("engine", "workers")
+
+
+def default_cache_dir() -> Path:
+    """Default cache location (``$REPRO_MEC_CACHE`` overrides it)."""
+    override = os.environ.get("REPRO_MEC_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-mec" / "results"
+
+
+def _package_version() -> str:
+    # Imported lazily: ``repro/__init__`` imports the experiment registry,
+    # which imports this module, so a top-level import would be circular.
+    from .. import __version__
+
+    return __version__
+
+
+def experiment_cache_key(
+    experiment_id: str,
+    config: Mapping[str, Any] | None = None,
+    *,
+    extra: Mapping[str, Any] | None = None,
+    version: str | None = None,
+) -> str | None:
+    """Stable content hash for one experiment invocation.
+
+    Returns ``None`` when the invocation is not cacheable (some argument
+    has no deterministic JSON form).
+    """
+    if not experiment_id:
+        raise ValueError("experiment_id must be non-empty")
+    payload = {
+        "experiment_id": experiment_id,
+        "config": {
+            key: value
+            for key, value in dict(config or {}).items()
+            if key not in EXECUTION_ONLY_KEYS
+        },
+        "extra": dict(extra or {}),
+        "version": version if version is not None else _package_version(),
+    }
+    try:
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError):
+        return None
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` files holding experiment results.
+
+    The cache is safe against concurrent writers (entries are written to
+    a temporary file and atomically renamed into place) and against
+    corrupt entries (unreadable files count as misses and are rewritten).
+    ``hits`` / ``misses`` counters let callers report cache behaviour.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """The on-disk path of a cache entry."""
+        if not key:
+            raise ValueError("key must be non-empty")
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> ExperimentResult | None:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            result = ExperimentResult.load(path)
+        except OSError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Unreadable or wrong-shape entry (truncated write, foreign
+            # file, older schema): a miss, so the caller recomputes and
+            # overwrites it rather than crashing on stale on-disk state.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: ExperimentResult) -> Path:
+        """Store ``result`` under ``key`` and return the entry path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(blob)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for entry in self.cache_dir.glob("*.json"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed

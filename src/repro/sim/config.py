@@ -40,6 +40,11 @@ class SyntheticExperimentConfig:
     engine:
         Monte-Carlo execution engine (``"batch"`` or ``"loop"``); both
         produce identical results for the same seed.
+    workers:
+        Worker processes for the experiment's independent points and run
+        shards (``1`` = serial, ``0`` = all CPU cores).  Results are
+        bit-identical for any value, so ``workers`` never enters the
+        result-cache key.
     """
 
     n_cells: int = 10
@@ -55,6 +60,7 @@ class SyntheticExperimentConfig:
     )
     seed: int = 2017
     engine: str = "batch"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_cells < 2:
@@ -71,6 +77,8 @@ class SyntheticExperimentConfig:
             raise ValueError("at least one mobility model is required")
         if self.engine not in ("batch", "loop"):
             raise ValueError("engine must be 'batch' or 'loop'")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative (0 = all cores)")
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-serialisable)."""
@@ -100,6 +108,7 @@ class SyntheticExperimentConfig:
             mobility_models=tuple(self.mobility_models),
             seed=self.seed,
             engine=self.engine,
+            workers=self.workers,
         )
 
 
@@ -127,6 +136,9 @@ class TraceExperimentConfig:
     engine:
         Monte-Carlo execution engine for any synthetic sub-sweeps
         (``"batch"`` or ``"loop"``).
+    workers:
+        Worker processes for independent experiment points (``1`` =
+        serial, ``0`` = all CPU cores); never affects the numbers.
     """
 
     n_nodes: int = 174
@@ -137,6 +149,7 @@ class TraceExperimentConfig:
     strategies: Sequence[str] = ("IM", "MO", "ML", "OO")
     seed: int = 2017
     engine: str = "batch"
+    workers: int = 1
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -154,6 +167,8 @@ class TraceExperimentConfig:
             raise ValueError("at least one strategy is required")
         if self.engine not in ("batch", "loop"):
             raise ValueError("engine must be 'batch' or 'loop'")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative (0 = all cores)")
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-serialisable)."""
@@ -186,5 +201,6 @@ class TraceExperimentConfig:
             strategies=tuple(self.strategies),
             seed=self.seed,
             engine=self.engine,
+            workers=self.workers,
             extra=dict(self.extra),
         )

@@ -15,6 +15,12 @@ Two execution engines are provided:
   the same master seed — just several times faster at paper scale.
 * ``"loop"`` — the original one-episode-at-a-time path, kept as an escape
   hatch and as the reference for the golden-seed equivalence tests.
+
+Orthogonally to the engine choice, ``workers=N`` shards the runs over a
+process pool (see :mod:`repro.sim.parallel`): every worker respawns the
+per-run child generators by index from the master seed and replays its
+contiguous slice, so the concatenated result is independent of the worker
+count — and therefore bit-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import numpy as np
 
 from ..analysis.metrics import TrackingStatistics, aggregate_episodes
 from ..core.game import BatchEpisodeResult, EpisodeResult, PrivacyGame
+from .seeding import spawn_generators
 
 __all__ = ["MonteCarloRunner", "run_game_monte_carlo", "ENGINES"]
 
@@ -45,28 +52,42 @@ class MonteCarloRunner:
     n_runs:
         Number of independent episodes.
     seed:
-        Master seed; per-run generators are spawned from it.
+        Master seed (an integer or a :class:`~numpy.random.SeedSequence`
+        child spawned by a higher layer); per-run generators are spawned
+        from it.
     engine:
         ``"batch"`` (default) plays all runs as one array batch;
         ``"loop"`` plays them one at a time.  Both produce identical
         results for the same seed.
+    workers:
+        Number of worker processes the runs are sharded over.  ``1``
+        (default) keeps the current serial path, ``0`` uses all CPU
+        cores.  Any value produces bit-identical results.
     """
 
     n_runs: int
-    seed: int = 0
+    seed: "int | np.random.SeedSequence" = 0
     engine: str = "batch"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
             raise ValueError("n_runs must be positive")
         if self.engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative (0 = all cores)")
 
     # ------------------------------------------------------------------
     def spawn_generators(self) -> list[np.random.Generator]:
         """The per-run child generators derived from the master seed."""
-        children = np.random.SeedSequence(self.seed).spawn(self.n_runs)
-        return [np.random.default_rng(child) for child in children]
+        return spawn_generators(self.seed, self.n_runs)
+
+    def _effective_workers(self) -> int:
+        """The resolved worker count, clamped to the number of runs."""
+        from .parallel import resolve_workers
+
+        return min(resolve_workers(self.workers), self.n_runs)
 
     def run(
         self,
@@ -82,15 +103,32 @@ class MonteCarloRunner:
         or ``user_trajectory_provider`` (callable mapping run index and RNG
         to a fixed user trajectory, e.g. a taxi trace) must be supplied.
         """
+        workers = self._effective_workers()
         if self.engine == "loop":
-            episodes = self.run_episodes(
-                game,
-                horizon=horizon,
-                user_trajectory_provider=user_trajectory_provider,
-                background_provider=background_provider,
-            )
+            if workers == 1:
+                episodes = self.run_episodes(
+                    game,
+                    horizon=horizon,
+                    user_trajectory_provider=user_trajectory_provider,
+                    background_provider=background_provider,
+                )
+            else:
+                episodes = self._episodes_parallel(
+                    game,
+                    workers,
+                    horizon=horizon,
+                    user_trajectory_provider=user_trajectory_provider,
+                    background_provider=background_provider,
+                )
             return aggregate_episodes(episodes)
         _validate_sources(horizon, user_trajectory_provider)
+        providers_used = (
+            user_trajectory_provider is not None or background_provider is not None
+        )
+        if not providers_used:
+            return self._dispatch_batch(
+                game, workers, None, horizon=horizon
+            ).aggregate()
         rngs = self.spawn_generators()
         users, backgrounds = self._gather_provider_outputs(
             rngs, user_trajectory_provider, background_provider
@@ -101,7 +139,9 @@ class MonteCarloRunner:
             backgrounds is None or stacked_backgrounds is not None
         )
         if batchable:
-            return game.run_batch(
+            return self._dispatch_batch(
+                game,
+                workers,
                 rngs,
                 horizon=horizon if stacked_users is None else None,
                 user_trajectories=stacked_users,
@@ -111,6 +151,20 @@ class MonteCarloRunner:
         # or a mix of arrays and None): finish with the looped game path,
         # reusing the generators and outputs already drawn so providers are
         # invoked exactly once and the random streams match a pure loop.
+        if workers > 1:
+            from .parallel import run_episodes_sharded
+
+            episodes = run_episodes_sharded(
+                game,
+                self.seed,
+                self.n_runs,
+                workers,
+                rngs=rngs,
+                horizon=horizon if users is None else None,
+                user_trajectories=users,
+                background_trajectories=backgrounds,
+            )
+            return aggregate_episodes(episodes)
         episodes = [
             game.run_episode(
                 rng,
@@ -141,6 +195,12 @@ class MonteCarloRunner:
         which falls back to the looped game path for that case.
         """
         _validate_sources(horizon, user_trajectory_provider)
+        providers_used = (
+            user_trajectory_provider is not None or background_provider is not None
+        )
+        workers = self._effective_workers()
+        if not providers_used:
+            return self._dispatch_batch(game, workers, None, horizon=horizon)
         rngs = self.spawn_generators()
         users, backgrounds = self._gather_provider_outputs(
             rngs, user_trajectory_provider, background_provider
@@ -154,11 +214,52 @@ class MonteCarloRunner:
                 "background trajectories have inconsistent shapes or mix "
                 "arrays with None"
             )
-        return game.run_batch(
+        return self._dispatch_batch(
+            game,
+            workers,
             rngs,
             horizon=horizon if stacked_users is None else None,
             user_trajectories=stacked_users,
             background_trajectories=stacked_backgrounds,
+        )
+
+    def _dispatch_batch(
+        self,
+        game: PrivacyGame,
+        workers: int,
+        rngs: "list[np.random.Generator] | None",
+        *,
+        horizon: int | None,
+        user_trajectories: np.ndarray | None = None,
+        background_trajectories: np.ndarray | None = None,
+    ) -> BatchEpisodeResult:
+        """The single dispatch point for batch execution, sharded or not.
+
+        ``rngs`` is ``None`` when no provider touched the generators:
+        workers then derive their shard's children by index from the
+        master seed (the serial path spawns them here); otherwise the
+        provider-consumed generator states are shipped as-is.
+        """
+        if workers > 1:
+            from .parallel import run_batch_sharded
+
+            return run_batch_sharded(
+                game,
+                self.seed,
+                self.n_runs,
+                workers,
+                rngs=rngs,
+                horizon=horizon,
+                user_trajectories=user_trajectories,
+                background_trajectories=background_trajectories,
+            )
+        if rngs is None:
+            rngs = self.spawn_generators()
+        return game.run_batch(
+            rngs,
+            horizon=horizon,
+            user_trajectories=user_trajectories,
+            background_trajectories=background_trajectories,
         )
 
     def run_episodes(
@@ -190,6 +291,41 @@ class MonteCarloRunner:
         return episodes
 
     # ------------------------------------------------------------------
+    def _episodes_parallel(
+        self,
+        game: PrivacyGame,
+        workers: int,
+        *,
+        horizon: int | None,
+        user_trajectory_provider: UserProvider | None,
+        background_provider: BackgroundProvider | None,
+    ) -> list[EpisodeResult]:
+        """The looped engine sharded over a process pool, in run order."""
+        from .parallel import run_episodes_sharded
+
+        _validate_sources(horizon, user_trajectory_provider)
+        providers_used = (
+            user_trajectory_provider is not None or background_provider is not None
+        )
+        if not providers_used:
+            return run_episodes_sharded(
+                game, self.seed, self.n_runs, workers, horizon=horizon
+            )
+        rngs = self.spawn_generators()
+        users, backgrounds = self._gather_provider_outputs(
+            rngs, user_trajectory_provider, background_provider
+        )
+        return run_episodes_sharded(
+            game,
+            self.seed,
+            self.n_runs,
+            workers,
+            rngs=rngs,
+            horizon=horizon if users is None else None,
+            user_trajectories=users,
+            background_trajectories=backgrounds,
+        )
+
     def _gather_provider_outputs(
         self,
         rngs: Sequence[np.random.Generator],
@@ -242,7 +378,8 @@ def run_game_monte_carlo(
     horizon: int,
     seed: int = 0,
     engine: str = "batch",
+    workers: int = 1,
 ) -> TrackingStatistics:
     """Convenience wrapper: sample-user episodes with default providers."""
-    runner = MonteCarloRunner(n_runs=n_runs, seed=seed, engine=engine)
+    runner = MonteCarloRunner(n_runs=n_runs, seed=seed, engine=engine, workers=workers)
     return runner.run(game, horizon=horizon)

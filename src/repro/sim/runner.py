@@ -4,6 +4,11 @@ The experiment modules (one per paper figure) compose this runner with the
 appropriate mobility models, detectors and chaff budgets; it factors out
 the common "for each strategy, Monte-Carlo the game and collect the
 per-slot accuracy curve" loop of Figs. 5 and 7.
+
+Each series gets its own child :class:`~numpy.random.SeedSequence`
+spawned from the sweep's master seed (never ``seed + offset`` arithmetic,
+which would overlap streams across sweeps), and the independent series
+points can be mapped over a process pool with ``workers``.
 """
 
 from __future__ import annotations
@@ -11,13 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from ..analysis.metrics import TrackingStatistics
 from ..core.eavesdropper.detector import TrajectoryDetector
 from ..core.game import PrivacyGame
 from ..core.strategies.base import ChaffStrategy, get_strategy
-from ..mobility.markov import MarkovChain
 from .monte_carlo import MonteCarloRunner
+from .parallel import parallel_map
 from .results import SeriesResult
+from .seeding import spawn_sequences
 
 __all__ = ["StrategySweep", "sweep_strategies"]
 
@@ -46,16 +54,29 @@ class StrategySweep:
         return out
 
 
+def _sweep_point(task) -> TrackingStatistics:
+    """Evaluate one (strategy, N) series; module-level so pools can pickle it."""
+    chain, detector, strategy, n_services, horizon, n_runs, child, engine, workers = (
+        task
+    )
+    game = PrivacyGame(chain, strategy, detector, n_services=n_services)
+    runner = MonteCarloRunner(
+        n_runs=n_runs, seed=child, engine=engine, workers=workers
+    )
+    return runner.run(game, horizon=horizon)
+
+
 def sweep_strategies(
-    chain: MarkovChain,
+    chain,
     detector: TrajectoryDetector,
     strategy_specs: Mapping[str, tuple[ChaffStrategy | str, int]],
     *,
     horizon: int,
     n_runs: int,
-    seed: int,
+    seed: int | np.random.SeedSequence,
     model_label: str = "model",
     engine: str = "batch",
+    workers: int = 1,
 ) -> StrategySweep:
     """Evaluate several (strategy, N) combinations against one model.
 
@@ -70,21 +91,48 @@ def sweep_strategies(
         strategy may be given by name (resolved through the registry) or
         as an instance.
     horizon, n_runs, seed:
-        Monte-Carlo parameters.
+        Monte-Carlo parameters.  Each series runs on its own child
+        sequence spawned from ``seed``, so series streams never overlap —
+        within this sweep or with any other experiment.
     engine:
         Monte-Carlo execution engine (``"batch"`` or ``"loop"``); both
         produce identical statistics for the same seed.
+    workers:
+        Worker processes (``0`` = all cores).  With several series the
+        independent points are mapped over the pool; a single series is
+        instead sharded run-wise inside its Monte-Carlo runner.  Results
+        are bit-identical for any value.
     """
-    statistics: dict[str, TrackingStatistics] = {}
-    for offset, (label, (strategy_spec, n_services)) in enumerate(
-        strategy_specs.items()
+    labels = list(strategy_specs)
+    children = spawn_sequences(seed, len(labels))
+    # One series cannot use grid parallelism, so hand the workers to the
+    # run-sharding layer instead; with several series the grid pool owns
+    # the processes and every point stays serial inside.
+    point_workers = workers if len(labels) == 1 else 1
+    tasks = []
+    for child, (label, (strategy_spec, n_services)) in zip(
+        children, strategy_specs.items()
     ):
         strategy = (
             get_strategy(strategy_spec)
             if isinstance(strategy_spec, str)
             else strategy_spec
         )
-        game = PrivacyGame(chain, strategy, detector, n_services=n_services)
-        runner = MonteCarloRunner(n_runs=n_runs, seed=seed + offset, engine=engine)
-        statistics[label] = runner.run(game, horizon=horizon)
+        tasks.append(
+            (
+                chain,
+                detector,
+                strategy,
+                n_services,
+                horizon,
+                n_runs,
+                child,
+                engine,
+                point_workers,
+            )
+        )
+    results = parallel_map(
+        _sweep_point, tasks, workers=1 if len(labels) == 1 else workers
+    )
+    statistics = dict(zip(labels, results))
     return StrategySweep(model_label=model_label, statistics=statistics)

@@ -201,6 +201,22 @@ class TestMECSimulation:
         assert report.horizon == 12
         assert np.array_equal(report.user_trajectory, user)
 
+    def test_rejects_out_of_range_user_trajectory(self, random_chain, rng):
+        """Cells outside the topology must fail up front with a clear
+        message, not deep inside detection."""
+        topology = MECTopology.complete(random_chain.n_states)
+        simulation = MECSimulation(
+            topology,
+            random_chain,
+            config=MECSimulationConfig(horizon=10, n_chaffs=0),
+        )
+        too_large = np.array([0, 1, random_chain.n_states], dtype=np.int64)
+        with pytest.raises(ValueError, match="outside the topology"):
+            simulation.run(rng, user_trajectory=too_large)
+        negative = np.array([0, -1, 1], dtype=np.int64)
+        with pytest.raises(ValueError, match="outside the topology"):
+            simulation.run(rng, user_trajectory=negative)
+
     def test_requires_strategy_for_chaffs(self, random_chain):
         topology = MECTopology.complete(random_chain.n_states)
         with pytest.raises(ValueError):
