@@ -8,6 +8,7 @@ Usage examples::
     repro-mec run fig5 --workers 0          # all cores, bit-identical result
     repro-mec run fig9 --nodes 60 --towers 80
     repro-mec run fig5 --no-cache           # force a fresh simulation
+    repro-mec fleet --users 50 --capacity 8 --workers 0
 
 ``run`` prints a human-readable summary of the experiment result and can
 optionally persist the full result as JSON.  Results are cached on disk
@@ -24,7 +25,11 @@ from typing import Sequence
 
 from .experiments.registry import available_experiments, run_experiment
 from .sim.cache import ResultCache, default_cache_dir
-from .sim.config import SyntheticExperimentConfig, TraceExperimentConfig
+from .sim.config import (
+    FleetExperimentConfig,
+    SyntheticExperimentConfig,
+    TraceExperimentConfig,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -85,14 +90,84 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--output", type=str, default=None, help="write the result JSON to this path"
     )
+
+    fleet_parser = subparsers.add_parser(
+        "fleet",
+        help="run the multi-user capacity-aware fleet experiment",
+    )
+    fleet_parser.add_argument(
+        "--users", type=int, default=50, help="fleet population M"
+    )
+    fleet_parser.add_argument(
+        "--capacity", type=int, default=8, help="service slots per edge site"
+    )
+    fleet_parser.add_argument(
+        "--cells", type=int, default=25, help="number of cells (grid deployment)"
+    )
+    fleet_parser.add_argument(
+        "--chaffs", type=int, default=1, help="chaffs per user"
+    )
+    fleet_parser.add_argument(
+        "--strategy", type=str, default="IM", help="chaff strategy name"
+    )
+    fleet_parser.add_argument(
+        "--runs", type=int, default=20, help="Monte-Carlo fleet runs per point"
+    )
+    fleet_parser.add_argument(
+        "--horizon", type=int, default=100, help="slots per run"
+    )
+    fleet_parser.add_argument("--seed", type=int, default=2017, help="master seed")
+    fleet_parser.add_argument(
+        "--engine",
+        choices=("batch", "loop"),
+        default="batch",
+        help="fleet execution engine (identical results, batch is faster)",
+    )
+    fleet_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep points and run shards "
+        "(1 = serial, 0 = all cores; identical results)",
+    )
+    fleet_parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
+    fleet_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    fleet_parser.add_argument(
+        "--output", type=str, default=None, help="write the result JSON to this path"
+    )
     return parser
 
 
-def _build_config(args: argparse.Namespace):
+def _build_config(args: argparse.Namespace, experiment_id: str):
     """Construct the appropriate config object for the chosen experiment."""
     engine = getattr(args, "engine", "batch")
     workers = getattr(args, "workers", 1)
-    if args.experiment in _TRACE_EXPERIMENTS:
+    if experiment_id == "fleet":
+        # Single construction site for both entry points: the ``fleet``
+        # subcommand supplies the fleet-specific flags, the generic
+        # ``run fleet`` path falls back to their defaults.
+        return FleetExperimentConfig(
+            n_users=getattr(args, "users", 50),
+            n_cells=args.cells if args.cells is not None else 25,
+            site_capacity=getattr(args, "capacity", 8),
+            horizon=args.horizon if args.horizon is not None else 100,
+            n_runs=args.runs if args.runs is not None else 20,
+            n_chaffs=getattr(args, "chaffs", 1),
+            strategy=getattr(args, "strategy", "IM"),
+            seed=args.seed,
+            engine=engine,
+            workers=workers,
+        )
+    if experiment_id in _TRACE_EXPERIMENTS:
         config = TraceExperimentConfig(seed=args.seed, engine=engine, workers=workers)
         return config.scaled(
             n_nodes=args.nodes, n_towers=args.towers, horizon=args.horizon
@@ -123,9 +198,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         for experiment_id in available_experiments():
             print(experiment_id)
         return 0
-    config = _build_config(args)
+    experiment_id = "fleet" if args.command == "fleet" else args.experiment
+    config = _build_config(args, experiment_id)
     cache = _build_cache(args)
-    result = run_experiment(args.experiment, config, cache=cache)
+    result = run_experiment(experiment_id, config, cache=cache)
     if cache is not None and cache.hits:
         print(f"(cached result from {cache.cache_dir})")
     for line in result.summary_lines():

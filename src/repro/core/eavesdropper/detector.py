@@ -161,6 +161,34 @@ class TrajectoryDetector(abc.ABC):
             ),
         )
 
+    def detect_crowd(
+        self,
+        chain: MarkovChain,
+        trajectories: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Many independent decisions over *one* ``(N, T)`` observation set.
+
+        Used by the fleet layer: every user's eavesdropper sees the same
+        merged crowd, so only the per-decision randomness (tie breaking,
+        guessing) differs.  Decision ``k`` consumes exactly the draws a
+        scalar :meth:`detect` call with ``rngs[k]`` would, so overriding
+        implementations stay bit-identical to this default — which
+        broadcasts the crowd into :meth:`detect_batch` (a zero-copy view,
+        but detectors that score trajectories recompute the identical
+        scores per decision; those subclasses override to score once).
+
+        Returns the length-``len(rngs)`` array of chosen row indices.
+        """
+        observed = np.asarray(trajectories, dtype=np.int64)
+        if observed.ndim != 2 or observed.size == 0:
+            raise ValueError("trajectories must be a non-empty (N, T) array")
+        rngs = list(rngs)
+        if not rngs:
+            raise ValueError("need at least one generator")
+        crowd = np.broadcast_to(observed, (len(rngs), *observed.shape))
+        return self.detect_batch(chain, crowd, rngs).chosen_indices
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -223,6 +251,29 @@ class MaximumLikelihoodDetector(TrajectoryDetector):
             chosen_indices=chosen,
             scores=scores,
             candidate_indices=tuple(candidates_per_run),
+        )
+
+    def detect_crowd(
+        self,
+        chain: MarkovChain,
+        trajectories: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Score the shared crowd once; only tie-breaks differ per decision.
+
+        The scores (and hence the candidate set) are identical for every
+        decision, so broadcasting them through :meth:`detect_batch` would
+        recompute the same log-likelihoods ``len(rngs)`` times.  Each
+        generator still makes exactly its one tie-break draw, keeping the
+        choices bit-identical to the broadcast path.
+        """
+        observed = np.asarray(trajectories, dtype=np.int64)
+        if observed.ndim != 2 or observed.size == 0:
+            raise ValueError("trajectories must be a non-empty (N, T) array")
+        scores = trajectory_log_likelihoods(chain, observed)
+        candidates = np.flatnonzero(scores >= float(scores.max()) - self.tolerance)
+        return np.array(
+            [int(rng.choice(candidates)) for rng in rngs], dtype=np.int64
         )
 
 

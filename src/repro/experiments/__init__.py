@@ -14,6 +14,7 @@ from .ablations import (
     run_online_eavesdropper_comparison,
     run_rollout_vs_myopic,
 )
+from .fleet import run_fleet_experiment
 from .registry import EXPERIMENTS, available_experiments, run_experiment
 from .trace_common import (
     build_taxi_dataset,
@@ -35,6 +36,7 @@ __all__ = [
     "run_migration_policy_comparison",
     "run_online_eavesdropper_comparison",
     "run_rollout_vs_myopic",
+    "run_fleet_experiment",
     "EXPERIMENTS",
     "available_experiments",
     "run_experiment",

@@ -24,6 +24,7 @@ from .ablations import (
     run_online_eavesdropper_comparison,
     run_rollout_vs_myopic,
 )
+from .fleet import run_fleet_experiment
 from .fig4 import run_fig4
 from .fig5 import run_fig5
 from .fig6 import run_fig6
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-migration-policies": run_migration_policy_comparison,
     "ablation-rollout": run_rollout_vs_myopic,
     "ablation-online-eavesdropper": run_online_eavesdropper_comparison,
+    "fleet": run_fleet_experiment,
 }
 
 

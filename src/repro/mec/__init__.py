@@ -1,7 +1,7 @@
 """MEC substrate: topology, services, migration, costs and the observer."""
 
 from .topology import EdgeSite, MECTopology
-from .service import ServiceInstance, ServiceKind
+from .service import ServiceIdAllocator, ServiceInstance, ServiceKind
 from .costs import CostLedger, CostModel
 from .policies import (
     AlwaysFollowPolicy,
@@ -13,11 +13,22 @@ from .policies import (
 from .migration import MigrationEngine, MigrationEvent
 from .observer import EavesdropperObserver, ObservationMatrix
 from .orchestrator import ChaffOrchestrator, ChaffPlan
+from .placement import PlacementEngine, PlacementStats
 from .simulator import MECSimulation, MECSimulationConfig, MECSimulationReport
+from .fleet import (
+    FleetEvaluation,
+    FleetObservationPlane,
+    FleetReport,
+    FleetSimulation,
+    FleetSimulationConfig,
+    FleetStatistics,
+    run_fleet_monte_carlo,
+)
 
 __all__ = [
     "EdgeSite",
     "MECTopology",
+    "ServiceIdAllocator",
     "ServiceInstance",
     "ServiceKind",
     "CostLedger",
@@ -33,7 +44,16 @@ __all__ = [
     "ObservationMatrix",
     "ChaffOrchestrator",
     "ChaffPlan",
+    "PlacementEngine",
+    "PlacementStats",
     "MECSimulation",
     "MECSimulationConfig",
     "MECSimulationReport",
+    "FleetEvaluation",
+    "FleetObservationPlane",
+    "FleetReport",
+    "FleetSimulation",
+    "FleetSimulationConfig",
+    "FleetStatistics",
+    "run_fleet_monte_carlo",
 ]

@@ -75,12 +75,22 @@ class CostLedger:
     _per_slot: list[float] = field(default_factory=list)
 
     def charge_migration(self, amount: float) -> None:
-        """Record a migration cost (ignores zero-cost non-migrations)."""
+        """Record a migration cost.
+
+        Cost accounting only: whether a migration *happened* is decided by
+        the migration engine from the actual service move and recorded via
+        :meth:`count_migration` — under a zero-cost model a real migration
+        charges nothing but must still be counted.
+        """
         if amount < 0:
             raise ValueError("cost must be non-negative")
-        if amount > 0:
-            self.migration_total += amount
-            self.migrations += 1
+        self.migration_total += amount
+
+    def count_migration(self, n: int = 1) -> None:
+        """Record that ``n`` migrations actually happened (cost-independent)."""
+        if n < 0:
+            raise ValueError("migration count must be non-negative")
+        self.migrations += n
 
     def charge_communication(self, amount: float) -> None:
         """Record one slot's communication cost for the real service."""

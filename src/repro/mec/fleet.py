@@ -1,0 +1,816 @@
+"""Multi-user, capacity-aware MEC fleet simulation.
+
+The single-user :class:`~repro.mec.simulator.MECSimulation` plays one user
+against an eavesdropper that only ever sees that user's services.  The
+paper's threat model, however, lives in a *shared* deployment: many users'
+services co-hosted on the same edge sites, competing for site capacity,
+and all visible on one observation plane.  This module simulates that
+regime:
+
+* ``M`` users with heterogeneous chaff budgets (and optionally per-user
+  strategies and start cells) share one :class:`~repro.mec.topology.MECTopology`;
+* every instantiation and migration is resolved by the capacity-enforcing
+  :class:`~repro.mec.placement.PlacementEngine` (admit / spill to the
+  nearest free site / reject);
+* the eavesdropper observes the union of all ``N = sum(1 + n_chaffs_u)``
+  service trajectories and is scored *per user* against that crowd —
+  crowd-blending, a privacy scenario the single-user game cannot express;
+* per-user :class:`~repro.mec.costs.CostLedger`\\ s keep the cost-privacy
+  trade-off attributable to individual users.
+
+Two engines produce bit-identical results for the same seed: ``"batch"``
+(default) runs the hot path as O(T) numpy work through the existing
+batched APIs (:meth:`ChaffStrategy.generate_batch`,
+:meth:`MarkovChain.evolve_from_uniforms`,
+:meth:`TrajectoryDetector.detect_batch`), while ``"loop"`` replays the
+naive per-user/per-service Python walk and serves as the reference for
+the equivalence tests and the speedup benchmark.
+
+All randomness of one run derives from a single
+:class:`~numpy.random.SeedSequence` (children spawned per user, for the
+observation shuffle and for detector evaluation), so a fleet Monte-Carlo
+sharded over workers (:func:`run_fleet_monte_carlo`) is bit-identical to
+its serial execution for any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.eavesdropper.detector import (
+    MaximumLikelihoodDetector,
+    TrajectoryDetector,
+)
+from ..core.strategies.base import ChaffStrategy
+from ..mobility.markov import MarkovChain
+from ..sim.parallel import parallel_map, resolve_workers, shard_slices
+from ..sim.seeding import as_seed_sequence, spawn_sequences_range
+from .costs import CostLedger, CostModel
+from .placement import PlacementEngine, PlacementStats
+from .policies import (
+    AlwaysFollowPolicy,
+    DistanceThresholdPolicy,
+    MDPMigrationPolicy,
+    MigrationPolicy,
+    NeverMigratePolicy,
+)
+from .service import ServiceIdAllocator, ServiceInstance, ServiceKind
+from .topology import MECTopology
+
+__all__ = [
+    "FleetSimulationConfig",
+    "FleetObservationPlane",
+    "FleetEvaluation",
+    "FleetReport",
+    "FleetSimulation",
+    "FleetStatistics",
+    "run_fleet_monte_carlo",
+]
+
+#: Engines accepted by :meth:`FleetSimulation.run`.
+FLEET_ENGINES = ("batch", "loop")
+
+
+@dataclass(frozen=True)
+class FleetSimulationConfig:
+    """Configuration of one multi-user fleet run.
+
+    Attributes
+    ----------
+    n_users:
+        Number of users ``M`` sharing the deployment.
+    horizon:
+        Number of simulated slots ``T``.
+    n_chaffs:
+        Chaff budget: one integer applied to every user, or a length-``M``
+        sequence of per-user budgets (0 allowed).
+    start_cells:
+        Optional length-``M`` sequence fixing each user's first cell;
+        omitted users start from the mobility model's initial
+        distribution.
+    shuffle_observations:
+        Whether the global observation plane is presented in a random
+        service order (as the eavesdropper would see it).
+    """
+
+    n_users: int = 50
+    horizon: int = 100
+    n_chaffs: "int | tuple[int, ...]" = 1
+    start_cells: "tuple[int, ...] | None" = None
+    shuffle_observations: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError("n_users must be positive")
+        if self.horizon < 1:
+            raise ValueError("horizon must be positive")
+        budgets = self.chaffs_per_user()
+        if any(budget < 0 for budget in budgets):
+            raise ValueError("chaff budgets must be non-negative")
+        if self.start_cells is not None and len(self.start_cells) != self.n_users:
+            raise ValueError("start_cells must list one cell per user")
+
+    def chaffs_per_user(self) -> tuple[int, ...]:
+        """The per-user chaff budgets as a length-``M`` tuple."""
+        if isinstance(self.n_chaffs, int):
+            return (self.n_chaffs,) * self.n_users
+        budgets = tuple(int(budget) for budget in self.n_chaffs)
+        if len(budgets) != self.n_users:
+            raise ValueError("n_chaffs sequence must list one budget per user")
+        return budgets
+
+    @property
+    def n_services(self) -> int:
+        """Total services ``N`` on the shared observation plane."""
+        return self.n_users + sum(self.chaffs_per_user())
+
+
+@dataclass(frozen=True)
+class FleetObservationPlane:
+    """The eavesdropper's global view: every user's services, merged.
+
+    Attributes
+    ----------
+    trajectories:
+        ``(N, T)`` observed service trajectories in presentation order.
+    service_ids:
+        Service id of each row (hidden from the eavesdropper).
+    owner_ids:
+        Owning user of each row (hidden from the eavesdropper).
+    real_rows:
+        Length-``M`` array: for each user, the row of their real service
+        (per-user ground truth for crowd scoring).
+    """
+
+    trajectories: np.ndarray
+    service_ids: np.ndarray
+    owner_ids: np.ndarray
+    real_rows: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.trajectories.ndim != 2:
+            raise ValueError("trajectories must be 2-D")
+        n = self.trajectories.shape[0]
+        if self.service_ids.shape != (n,) or self.owner_ids.shape != (n,):
+            raise ValueError("service_ids/owner_ids must label every row")
+        if np.unique(self.service_ids).size != n:
+            raise ValueError("observed services must have unique ids")
+        if self.real_rows.size and (
+            self.real_rows.min() < 0 or self.real_rows.max() >= n
+        ):
+            raise ValueError("real_rows out of range")
+
+    @property
+    def n_services(self) -> int:
+        """Number of observed services ``N``."""
+        return int(self.trajectories.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        """Number of observed slots ``T``."""
+        return int(self.trajectories.shape[1])
+
+    def user_trajectory(self, user: int) -> np.ndarray:
+        """The observed trajectory of one user's real service."""
+        return self.trajectories[int(self.real_rows[user])]
+
+
+@dataclass(frozen=True)
+class FleetEvaluation:
+    """Per-user detector scores against the merged observation plane."""
+
+    chosen_rows: np.ndarray
+    tracking_per_user: np.ndarray
+    detected_per_user: np.ndarray
+
+    @property
+    def mean_tracking(self) -> float:
+        """Mean per-user tracking accuracy."""
+        return float(np.mean(self.tracking_per_user))
+
+    @property
+    def mean_detection(self) -> float:
+        """Fraction of users whose real service the eavesdropper picked."""
+        return float(np.mean(self.detected_per_user))
+
+
+@dataclass
+class FleetReport:
+    """Everything produced by one fleet run."""
+
+    user_trajectories: np.ndarray
+    observations: FleetObservationPlane
+    ledgers: list[CostLedger]
+    services: list[ServiceInstance]
+    placement: PlacementStats
+    evaluation_seed: np.random.SeedSequence = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def n_users(self) -> int:
+        """Number of simulated users ``M``."""
+        return int(self.user_trajectories.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        """Number of simulated slots ``T``."""
+        return int(self.user_trajectories.shape[1])
+
+    @property
+    def total_cost(self) -> float:
+        """Fleet-wide cost (sum of the per-user ledgers)."""
+        return float(sum(ledger.total for ledger in self.ledgers))
+
+    @property
+    def per_user_cost(self) -> np.ndarray:
+        """Length-``M`` array of per-user total costs."""
+        return np.array([ledger.total for ledger in self.ledgers], dtype=float)
+
+    @property
+    def total_migrations(self) -> int:
+        """Fleet-wide migration count (sum of the per-user ledgers)."""
+        return int(sum(ledger.migrations for ledger in self.ledgers))
+
+    def evaluate(
+        self,
+        chain: MarkovChain,
+        detector: TrajectoryDetector,
+        seed: "int | np.random.SeedSequence | None" = None,
+    ) -> FleetEvaluation:
+        """Score a detector per user against the merged observation plane.
+
+        For every user the eavesdropper receives the *whole* crowd of
+        ``N`` trajectories and attributes one row to that user; detection
+        succeeds when the chosen row is the user's real service.  All
+        ``M`` per-user decisions run as one
+        :meth:`~repro.core.eavesdropper.detector.TrajectoryDetector.detect_crowd`
+        call (the crowd is scored once; only per-user tie-break draws
+        differ).  ``seed`` defaults to the run's own evaluation child, so
+        report + evaluation are a pure function of the run seed.
+        """
+        if seed is None:
+            seed = self.evaluation_seed
+        if seed is None:
+            raise ValueError(
+                "no evaluation seed: pass one explicitly or evaluate a "
+                "report produced by FleetSimulation.run"
+            )
+        root = as_seed_sequence(seed)
+        n_users = self.n_users
+        rngs = [np.random.default_rng(child) for child in root.spawn(n_users)]
+        plane = self.observations
+        chosen = detector.detect_crowd(chain, plane.trajectories, rngs)
+        tracked = plane.trajectories[chosen] == self.user_trajectories
+        return FleetEvaluation(
+            chosen_rows=chosen,
+            tracking_per_user=tracked.mean(axis=1),
+            detected_per_user=(chosen == plane.real_rows).astype(float),
+        )
+
+
+class FleetSimulation:
+    """Simulates ``M`` users, their services and chaffs on one shared MEC.
+
+    Parameters
+    ----------
+    topology:
+        The shared deployment; site capacities are enforced.
+    chain:
+        The users' mobility model (shared, as in the paper's synthetic
+        setting; per-user realisations differ through their seeds and
+        optional start cells).
+    strategy:
+        One :class:`~repro.core.strategies.base.ChaffStrategy` applied to
+        every user with a positive chaff budget, or a length-``M``
+        sequence of per-user strategies (``None`` allowed for users
+        without chaffs).
+    policy:
+        Migration policy of the real services (default: always-follow).
+    cost_model:
+        Cost model charged to every user's ledger.
+    config:
+        Fleet shape (users, horizon, budgets, start cells).
+    """
+
+    def __init__(
+        self,
+        topology: MECTopology,
+        chain: MarkovChain,
+        *,
+        strategy: "ChaffStrategy | Sequence[ChaffStrategy | None] | None" = None,
+        policy: MigrationPolicy | None = None,
+        cost_model: CostModel | None = None,
+        config: FleetSimulationConfig | None = None,
+    ) -> None:
+        if topology.n_cells != chain.n_states:
+            raise ValueError("topology and mobility model disagree on cell count")
+        self.topology = topology
+        self.chain = chain
+        self.policy = policy or AlwaysFollowPolicy()
+        self.cost_model = cost_model or CostModel()
+        self.config = config or FleetSimulationConfig()
+        self.strategies = self._resolve_strategies(strategy)
+        self._hops = topology.hop_distance_matrix()
+        total_capacity = sum(site.capacity for site in topology.sites)
+        if self.config.n_services > total_capacity:
+            raise ValueError(
+                f"fleet needs {self.config.n_services} service slots but the "
+                f"deployment only has {total_capacity}; lower the population "
+                "or raise site capacities"
+            )
+        if self.config.start_cells is not None:
+            cells = np.asarray(self.config.start_cells, dtype=np.int64)
+            if cells.size and (cells.min() < 0 or cells.max() >= topology.n_cells):
+                raise ValueError("start_cells contains cells outside the topology")
+
+    def _resolve_strategies(
+        self, strategy: "ChaffStrategy | Sequence[ChaffStrategy | None] | None"
+    ) -> list[ChaffStrategy | None]:
+        budgets = self.config.chaffs_per_user()
+        if strategy is None or isinstance(strategy, ChaffStrategy):
+            strategies = [strategy] * self.config.n_users
+        else:
+            strategies = list(strategy)
+            if len(strategies) != self.config.n_users:
+                raise ValueError("need one strategy (or None) per user")
+        for user, (budget, chosen) in enumerate(zip(budgets, strategies)):
+            if budget > 0 and chosen is None:
+                raise ValueError(
+                    f"user {user} has {budget} chaffs but no chaff strategy"
+                )
+        return strategies
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        seed: "int | np.random.SeedSequence",
+        *,
+        engine: str = "batch",
+    ) -> FleetReport:
+        """Execute one fleet run.
+
+        ``engine="batch"`` (default) is the vectorised O(T) slot loop;
+        ``engine="loop"`` is the naive per-service Python reference.  Both
+        are bit-identical for the same ``seed``.
+        """
+        if engine not in FLEET_ENGINES:
+            raise ValueError(f"engine must be one of {FLEET_ENGINES}, got {engine!r}")
+        root = as_seed_sequence(seed)
+        n_users = self.config.n_users
+        children = root.spawn(n_users + 2)
+        user_rngs = [np.random.default_rng(child) for child in children[:n_users]]
+        shuffle_rng = np.random.default_rng(children[n_users])
+        evaluation_seed = children[n_users + 1]
+        if engine == "batch":
+            return self._run_batch(user_rngs, shuffle_rng, evaluation_seed)
+        return self._run_loop(user_rngs, shuffle_rng, evaluation_seed)
+
+    # ------------------------------------------------------------------
+    # Shared pieces
+    # ------------------------------------------------------------------
+    def _service_layout(
+        self, budgets: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-service (owner, is_real, service_id) arrays in id order.
+
+        Services are allocated user by user — real first, then that
+        user's chaffs — from one fleet-scoped
+        :class:`~repro.mec.service.ServiceIdAllocator`.
+        """
+        allocator = ServiceIdAllocator()
+        owners: list[int] = []
+        is_real: list[bool] = []
+        ids: list[int] = []
+        for user, budget in enumerate(budgets):
+            for index in range(1 + budget):
+                owners.append(user)
+                is_real.append(index == 0)
+                ids.append(allocator.allocate())
+        return (
+            np.asarray(owners, dtype=np.int64),
+            np.asarray(is_real, dtype=bool),
+            np.asarray(ids, dtype=np.int64),
+        )
+
+    def _sample_user(
+        self, user: int, rng: np.random.Generator
+    ) -> tuple[int, np.ndarray]:
+        """One user's trajectory randomness in the canonical draw order."""
+        horizon = self.config.horizon
+        if self.config.start_cells is not None:
+            initial = int(self.config.start_cells[user])
+            uniforms = (
+                rng.random(horizon - 1) if horizon > 1 else np.empty(0, dtype=float)
+            )
+            return initial, uniforms
+        return self.chain.sample_trajectory_randomness(horizon, rng)
+
+    def _decide_real_targets(
+        self, service_cells: np.ndarray, user_cells: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised migration-policy decisions for all real services.
+
+        The four shipped policies are pure functions of the (service,
+        user) hop distance, so they reduce to array lookups on the hop
+        matrix; unknown policy classes fall back to per-user
+        ``policy.decide`` calls.
+        """
+        policy = self.policy
+        if isinstance(policy, AlwaysFollowPolicy):
+            return user_cells.copy()
+        if isinstance(policy, NeverMigratePolicy):
+            return service_cells.copy()
+        hops = self._hops[service_cells, user_cells]
+        if isinstance(policy, DistanceThresholdPolicy):
+            return np.where(hops > policy.threshold, user_cells, service_cells)
+        if isinstance(policy, MDPMigrationPolicy):
+            profile = policy.migrate_threshold_profile
+            clamped = np.minimum(hops, profile.size - 1)
+            return np.where(profile[clamped], user_cells, service_cells)
+        return np.array(
+            [
+                policy.decide(self.topology, int(cell), int(user_cell))
+                for cell, user_cell in zip(service_cells, user_cells)
+            ],
+            dtype=np.int64,
+        )
+
+    def _build_report(
+        self,
+        users: np.ndarray,
+        histories: np.ndarray,
+        owners: np.ndarray,
+        is_real: np.ndarray,
+        service_ids: np.ndarray,
+        service_migrations: np.ndarray,
+        ledgers: list[CostLedger],
+        placement: PlacementStats,
+        shuffle_rng: np.random.Generator,
+        evaluation_seed: np.random.SeedSequence,
+    ) -> FleetReport:
+        services = [
+            ServiceInstance(
+                service_id=int(service_ids[row]),
+                owner_id=int(owners[row]),
+                kind=ServiceKind.REAL if is_real[row] else ServiceKind.CHAFF,
+                cell=int(histories[row, -1]),
+                location_history=histories[row].tolist(),
+                migration_count=int(service_migrations[row]),
+            )
+            for row in range(histories.shape[0])
+        ]
+        order = np.arange(histories.shape[0])
+        if self.config.shuffle_observations:
+            order = shuffle_rng.permutation(histories.shape[0])
+        row_of_service = np.empty_like(order)
+        row_of_service[order] = np.arange(order.size)
+        real_rows = row_of_service[np.flatnonzero(is_real)]
+        plane = FleetObservationPlane(
+            trajectories=histories[order],
+            service_ids=service_ids[order],
+            owner_ids=owners[order],
+            real_rows=real_rows,
+        )
+        return FleetReport(
+            user_trajectories=users,
+            observations=plane,
+            ledgers=ledgers,
+            services=services,
+            placement=placement,
+            evaluation_seed=evaluation_seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch engine: O(T) numpy slot loop
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self,
+        user_rngs: list[np.random.Generator],
+        shuffle_rng: np.random.Generator,
+        evaluation_seed: np.random.SeedSequence,
+    ) -> FleetReport:
+        config = self.config
+        n_users, horizon = config.n_users, config.horizon
+        budgets = config.chaffs_per_user()
+
+        # 1. All user trajectories in one vectorised chain evolution.
+        initial = np.empty(n_users, dtype=np.int64)
+        uniforms = np.empty((n_users, max(horizon - 1, 0)), dtype=float)
+        for user, rng in enumerate(user_rngs):
+            initial[user], uniforms[user] = self._sample_user(user, rng)
+        users = self.chain.evolve_from_uniforms(initial, uniforms)
+
+        # 2. Chaff plans through generate_batch, grouped by (strategy,
+        #    budget).  Each user's chaffs consume only that user's
+        #    generator, so the grouping never changes the streams.
+        owners, is_real, service_ids = self._service_layout(budgets)
+        n_services = owners.size
+        plans = np.empty((n_services, horizon), dtype=np.int64)
+        real_row_of_user = np.flatnonzero(is_real)
+        plans[real_row_of_user] = users  # placeholder: real rows are policy-driven
+        groups: dict[tuple[int, int], list[int]] = {}
+        for user, budget in enumerate(budgets):
+            if budget > 0:
+                groups.setdefault(
+                    (id(self.strategies[user]), budget), []
+                ).append(user)
+        for (_, budget), members in groups.items():
+            strategy = self.strategies[members[0]]
+            chaffs = strategy.generate_batch(
+                self.chain,
+                users[members],
+                budget,
+                [user_rngs[user] for user in members],
+            )
+            for member_index, user in enumerate(members):
+                first = real_row_of_user[user] + 1
+                plans[first : first + budget] = chaffs[member_index]
+
+        # 3. Capacity-enforced instantiation.
+        placement = PlacementEngine(self.topology)
+        cells = placement.place_initial(plans[:, 0])
+
+        # 4. The O(T) slot loop: vectorised decisions, placement, costs.
+        model = self.cost_model
+        histories = np.empty((n_services, horizon), dtype=np.int64)
+        service_migrations = np.zeros(n_services, dtype=np.int64)
+        mig_total = np.zeros(n_users, dtype=float)
+        comm_total = np.zeros(n_users, dtype=float)
+        chaff_total = np.zeros(n_users, dtype=float)
+        migrations = np.zeros(n_users, dtype=np.int64)
+        per_slot = np.empty((n_users, horizon), dtype=float)
+        chaff_rows = np.flatnonzero(~is_real)
+        chaff_owners = owners[chaff_rows]
+        for slot in range(horizon):
+            user_cells = users[:, slot]
+            desired = plans[:, slot].copy()
+            desired[real_row_of_user] = self._decide_real_targets(
+                cells[real_row_of_user], user_cells
+            )
+            new_cells = placement.resolve_moves(cells, desired)
+            moved = np.flatnonzero(new_cells != cells)
+            if moved.size:
+                hops = self._hops[cells[moved], new_cells[moved]]
+                np.add.at(
+                    mig_total,
+                    owners[moved],
+                    model.migration_cost_fixed
+                    + model.migration_cost_per_hop * hops,
+                )
+                np.add.at(migrations, owners[moved], 1)
+                service_migrations[moved] += 1
+            cells = new_cells
+            comm_total += (
+                model.communication_cost_per_hop
+                * self._hops[user_cells, cells[real_row_of_user]]
+            )
+            np.add.at(chaff_total, chaff_owners, model.chaff_running_cost)
+            histories[:, slot] = cells
+            per_slot[:, slot] = mig_total + comm_total + chaff_total
+
+        ledgers = [
+            CostLedger(
+                migration_total=float(mig_total[user]),
+                communication_total=float(comm_total[user]),
+                chaff_total=float(chaff_total[user]),
+                migrations=int(migrations[user]),
+                slots=horizon,
+                _per_slot=per_slot[user].tolist(),
+            )
+            for user in range(n_users)
+        ]
+        return self._build_report(
+            users,
+            histories,
+            owners,
+            is_real,
+            service_ids,
+            service_migrations,
+            ledgers,
+            placement.stats,
+            shuffle_rng,
+            evaluation_seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Loop engine: naive per-service reference path
+    # ------------------------------------------------------------------
+    def _run_loop(
+        self,
+        user_rngs: list[np.random.Generator],
+        shuffle_rng: np.random.Generator,
+        evaluation_seed: np.random.SeedSequence,
+    ) -> FleetReport:
+        config = self.config
+        n_users, horizon = config.n_users, config.horizon
+        budgets = config.chaffs_per_user()
+        owners, is_real, service_ids = self._service_layout(budgets)
+        n_services = owners.size
+        model = self.cost_model
+
+        users = np.empty((n_users, horizon), dtype=np.int64)
+        plans = np.empty((n_services, horizon), dtype=np.int64)
+        real_row_of_user = np.flatnonzero(is_real)
+        for user, rng in enumerate(user_rngs):
+            if config.start_cells is not None:
+                users[user] = self.chain.sample_trajectory(
+                    horizon, rng, initial_state=int(config.start_cells[user])
+                )
+            else:
+                users[user] = self.chain.sample_trajectory(horizon, rng)
+            budget = budgets[user]
+            if budget > 0:
+                first = real_row_of_user[user] + 1
+                plans[first : first + budget] = self.strategies[user].generate(
+                    self.chain, users[user], budget, rng
+                )
+        plans[real_row_of_user] = users
+
+        placement = PlacementEngine(self.topology)
+        cells = np.empty(n_services, dtype=np.int64)
+        for row in range(n_services):
+            cells[row] = placement.place_initial(plans[row : row + 1, 0])[0]
+
+        histories = np.empty((n_services, horizon), dtype=np.int64)
+        service_migrations = np.zeros(n_services, dtype=np.int64)
+        ledgers = [CostLedger() for _ in range(n_users)]
+        for slot in range(horizon):
+            for row in range(n_services):
+                owner = int(owners[row])
+                ledger = ledgers[owner]
+                user_cell = int(users[owner, slot])
+                if is_real[row]:
+                    target = self.policy.decide(
+                        self.topology, int(cells[row]), user_cell
+                    )
+                else:
+                    target = int(plans[row, slot])
+                placed = placement.resolve_moves(
+                    cells[row : row + 1], np.array([target], dtype=np.int64)
+                )[0]
+                if placed != cells[row]:
+                    ledger.count_migration()
+                    ledger.charge_migration(
+                        model.migration_cost(
+                            self.topology, int(cells[row]), int(placed)
+                        )
+                    )
+                    service_migrations[row] += 1
+                    cells[row] = placed
+                if is_real[row]:
+                    ledger.charge_communication(
+                        model.communication_cost(
+                            self.topology, user_cell, int(cells[row])
+                        )
+                    )
+                else:
+                    ledger.charge_chaff(model.chaff_running_cost)
+                histories[row, slot] = cells[row]
+            for ledger in ledgers:
+                ledger.close_slot()
+        return self._build_report(
+            users,
+            histories,
+            owners,
+            is_real,
+            service_ids,
+            service_migrations,
+            ledgers,
+            placement.stats,
+            shuffle_rng,
+            evaluation_seed,
+        )
+
+
+# ----------------------------------------------------------------------
+# Fleet Monte-Carlo: run sharding through the parallel layer
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetStatistics:
+    """Aggregated outcomes of ``R`` independent fleet runs.
+
+    The per-run matrices are kept (runs in seed order) so equivalence
+    tests can assert bit-identity between serial and sharded execution.
+    """
+
+    tracking_runs: np.ndarray
+    detection_runs: np.ndarray
+    cost_runs: np.ndarray
+    migrations_runs: np.ndarray
+    rejected_runs: np.ndarray
+    spilled_runs: np.ndarray
+
+    @property
+    def n_runs(self) -> int:
+        """Number of Monte-Carlo fleet runs ``R``."""
+        return int(self.tracking_runs.shape[0])
+
+    @property
+    def n_users(self) -> int:
+        """Number of users ``M`` per run."""
+        return int(self.tracking_runs.shape[1])
+
+    @property
+    def tracking_per_user(self) -> np.ndarray:
+        """Mean tracking accuracy per user across runs."""
+        return self.tracking_runs.mean(axis=0)
+
+    @property
+    def detection_per_user(self) -> np.ndarray:
+        """Mean detection accuracy per user across runs."""
+        return self.detection_runs.mean(axis=0)
+
+    @property
+    def cost_per_user(self) -> np.ndarray:
+        """Mean total cost per user across runs."""
+        return self.cost_runs.mean(axis=0)
+
+    @property
+    def mean_tracking(self) -> float:
+        """Fleet-wide mean tracking accuracy."""
+        return float(self.tracking_runs.mean())
+
+    @property
+    def mean_detection(self) -> float:
+        """Fleet-wide mean detection accuracy."""
+        return float(self.detection_runs.mean())
+
+    @property
+    def mean_cost_per_user(self) -> float:
+        """Fleet-wide mean per-user cost."""
+        return float(self.cost_runs.mean())
+
+    @property
+    def mean_migrations(self) -> float:
+        """Mean fleet-wide migration count per run."""
+        return float(self.migrations_runs.mean())
+
+    @property
+    def mean_rejected(self) -> float:
+        """Mean rejected placement requests per run (capacity pressure)."""
+        return float(self.rejected_runs.mean())
+
+    @property
+    def mean_spilled(self) -> float:
+        """Mean spilled placement requests per run."""
+        return float(self.spilled_runs.mean())
+
+
+def _fleet_shard_worker(task) -> list[tuple]:
+    """Replay one contiguous shard of the fleet runs (module-level for pools)."""
+    simulation, detector, seed, start, stop, engine = task
+    metrics = []
+    for child in spawn_sequences_range(seed, start, stop):
+        report = simulation.run(child, engine=engine)
+        evaluation = report.evaluate(simulation.chain, detector)
+        metrics.append(
+            (
+                evaluation.tracking_per_user,
+                evaluation.detected_per_user,
+                report.per_user_cost,
+                report.total_migrations,
+                report.placement.rejected,
+                report.placement.spilled,
+            )
+        )
+    return metrics
+
+
+def run_fleet_monte_carlo(
+    simulation: FleetSimulation,
+    *,
+    n_runs: int,
+    seed: "int | np.random.SeedSequence",
+    detector: TrajectoryDetector | None = None,
+    workers: int = 1,
+    engine: str = "batch",
+) -> FleetStatistics:
+    """Monte-Carlo a fleet simulation, optionally sharded over workers.
+
+    Every run derives from child ``k`` of ``seed`` regardless of the
+    worker count (workers respawn their shard's children by index, as in
+    :mod:`repro.sim.parallel`), so ``workers=N`` is bit-identical to
+    serial execution for any ``N`` (``0`` = all cores).
+    """
+    if n_runs < 1:
+        raise ValueError("n_runs must be positive")
+    detector = detector or MaximumLikelihoodDetector()
+    workers = min(resolve_workers(workers), n_runs)
+    tasks = [
+        (simulation, detector, seed, shard.start, shard.stop, engine)
+        for shard in shard_slices(n_runs, workers)
+    ]
+    shards = parallel_map(_fleet_shard_worker, tasks, workers=len(tasks))
+    metrics = [run for shard in shards for run in shard]
+    return FleetStatistics(
+        tracking_runs=np.stack([m[0] for m in metrics], axis=0),
+        detection_runs=np.stack([m[1] for m in metrics], axis=0),
+        cost_runs=np.stack([m[2] for m in metrics], axis=0),
+        migrations_runs=np.array([m[3] for m in metrics], dtype=np.int64),
+        rejected_runs=np.array([m[4] for m in metrics], dtype=np.int64),
+        spilled_runs=np.array([m[5] for m in metrics], dtype=np.int64),
+    )

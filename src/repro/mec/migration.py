@@ -77,6 +77,7 @@ class MigrationEngine:
         source = service.cell
         if service.migrate_to(target):
             cost = self.cost_model.migration_cost(self.topology, source, target)
+            self.ledger.count_migration()
             self.ledger.charge_migration(cost)
             self.events.append(
                 MigrationEvent(
@@ -101,6 +102,7 @@ class MigrationEngine:
         source = service.cell
         if service.migrate_to(target_cell):
             cost = self.cost_model.migration_cost(self.topology, source, target_cell)
+            self.ledger.count_migration()
             self.ledger.charge_migration(cost)
             self.events.append(
                 MigrationEvent(

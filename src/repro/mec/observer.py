@@ -101,6 +101,13 @@ class EavesdropperObserver:
         service_ids = np.asarray(
             [service.service_id for service in services], dtype=np.int64
         )
+        unique_ids, counts = np.unique(service_ids, return_counts=True)
+        if unique_ids.size != service_ids.size:
+            duplicates = unique_ids[counts > 1].tolist()
+            raise ValueError(
+                "observed services must have unique ids (the ground-truth "
+                f"label would be ambiguous); duplicated ids: {duplicates}"
+            )
         if real_service_id not in service_ids:
             raise ValueError("real_service_id not among the observed services")
         order = np.arange(len(services))

@@ -17,7 +17,7 @@ import numpy as np
 from ..core.strategies.base import ChaffStrategy
 from ..mobility.markov import MarkovChain
 from .migration import MigrationEngine
-from .service import ServiceInstance, ServiceKind
+from .service import ServiceIdAllocator, ServiceInstance, ServiceKind
 
 __all__ = ["ChaffPlan", "ChaffOrchestrator"]
 
@@ -53,11 +53,17 @@ class ChaffOrchestrator:
     strategy: ChaffStrategy
     chain: MarkovChain
     n_chaffs: int
-    _next_service_id: int = field(default=1, init=False)
+    #: Simulation-scoped id source.  The owning simulation passes its own
+    #: allocator so ids stay unique across all components (and across all
+    #: users of a fleet); a standalone orchestrator defaults to ids from 1,
+    #: leaving id 0 for the conventional real service.
+    allocator: ServiceIdAllocator = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.n_chaffs < 0:
             raise ValueError("n_chaffs must be non-negative")
+        if self.allocator is None:
+            self.allocator = ServiceIdAllocator(next_id=1)
 
     def plan(
         self, owner_id: int, user_trajectory: np.ndarray, rng: np.random.Generator
@@ -79,7 +85,7 @@ class ChaffOrchestrator:
         services = []
         for index in range(plan.n_chaffs):
             service = ServiceInstance(
-                service_id=self._allocate_id(),
+                service_id=self.allocator.allocate(),
                 owner_id=plan.owner_id,
                 kind=ServiceKind.CHAFF,
                 cell=int(plan.trajectories[index, 0]),
@@ -105,9 +111,3 @@ class ChaffOrchestrator:
             engine.step_chaff_service(
                 service, int(plan.trajectories[index, slot]), slot
             )
-
-    # ------------------------------------------------------------------
-    def _allocate_id(self) -> int:
-        service_id = self._next_service_id
-        self._next_service_id += 1
-        return service_id

@@ -24,7 +24,7 @@ from .migration import MigrationEngine, MigrationEvent
 from .observer import EavesdropperObserver, ObservationMatrix
 from .orchestrator import ChaffOrchestrator
 from .policies import AlwaysFollowPolicy, MigrationPolicy
-from .service import ServiceInstance, ServiceKind
+from .service import ServiceIdAllocator, ServiceInstance, ServiceKind
 from .topology import MECTopology
 
 __all__ = ["MECSimulationConfig", "MECSimulationReport", "MECSimulation"]
@@ -147,8 +147,9 @@ class MECSimulation:
             cost_model=self.cost_model,
             ledger=CostLedger(),
         )
+        allocator = ServiceIdAllocator()
         real_service = ServiceInstance(
-            service_id=0,
+            service_id=allocator.allocate(),
             owner_id=config.user_id,
             kind=ServiceKind.REAL,
             cell=int(user[0]),
@@ -159,7 +160,10 @@ class MECSimulation:
         plan = None
         if self.strategy is not None and config.n_chaffs > 0:
             orchestrator = ChaffOrchestrator(
-                strategy=self.strategy, chain=self.chain, n_chaffs=config.n_chaffs
+                strategy=self.strategy,
+                chain=self.chain,
+                n_chaffs=config.n_chaffs,
+                allocator=allocator,
             )
             plan = orchestrator.plan(config.user_id, user, rng)
             chaff_services = orchestrator.instantiate(plan, engine, slot=0)
@@ -172,7 +176,9 @@ class MECSimulation:
 
         observer = EavesdropperObserver(shuffle=config.shuffle_observations)
         observations = observer.observe(
-            [real_service, *chaff_services], real_service_id=0, rng=rng
+            [real_service, *chaff_services],
+            real_service_id=real_service.service_id,
+            rng=rng,
         )
         return MECSimulationReport(
             user_trajectory=user,

@@ -2,7 +2,11 @@
 result containers and the on-disk result cache."""
 
 from .cache import ResultCache, default_cache_dir, experiment_cache_key
-from .config import SyntheticExperimentConfig, TraceExperimentConfig
+from .config import (
+    FleetExperimentConfig,
+    SyntheticExperimentConfig,
+    TraceExperimentConfig,
+)
 from .monte_carlo import MonteCarloRunner, run_game_monte_carlo
 from .parallel import parallel_map, resolve_workers, shard_slices
 from .results import ExperimentResult, SeriesResult, to_jsonable
@@ -15,6 +19,7 @@ from .seeding import (
 )
 
 __all__ = [
+    "FleetExperimentConfig",
     "SyntheticExperimentConfig",
     "TraceExperimentConfig",
     "MonteCarloRunner",

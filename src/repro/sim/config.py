@@ -11,7 +11,11 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Any, Sequence
 
-__all__ = ["SyntheticExperimentConfig", "TraceExperimentConfig"]
+__all__ = [
+    "SyntheticExperimentConfig",
+    "TraceExperimentConfig",
+    "FleetExperimentConfig",
+]
 
 #: Strategy names evaluated in the paper's synthetic figures.
 _DEFAULT_STRATEGIES = ("IM", "ML", "OO", "MO", "CML")
@@ -203,4 +207,168 @@ class TraceExperimentConfig:
             engine=self.engine,
             workers=self.workers,
             extra=dict(self.extra),
+        )
+
+
+@dataclass(frozen=True)
+class FleetExperimentConfig:
+    """Configuration of the multi-user fleet experiment.
+
+    Attributes
+    ----------
+    n_users:
+        Fleet population ``M`` at the largest sweep point (and the fixed
+        population of the capacity sweep).
+    n_cells:
+        Number of cells; the deployment is the densest grid factorisation
+        of ``n_cells`` (e.g. 25 -> 5x5).
+    site_capacity:
+        Service slots per edge site at the largest sweep point (and the
+        fixed capacity of the population sweep).
+    horizon:
+        Slots per fleet run ``T``.
+    n_runs:
+        Monte-Carlo fleet runs per sweep point.
+    n_chaffs:
+        Chaffs per user.
+    strategy:
+        Chaff strategy name shared by all users.
+    mobility_model:
+        Key of :func:`~repro.mobility.models.paper_synthetic_models`.
+    population_sweep / capacity_sweep:
+        Explicit sweep points; ``None`` derives them from ``n_users`` /
+        ``site_capacity`` so every point fits the deployment.
+    seed:
+        Master seed for all randomness.
+    engine:
+        Fleet execution engine (``"batch"`` or ``"loop"``); identical
+        results, batch is the vectorised fast path.
+    workers:
+        Worker processes for independent sweep points and run shards
+        (``1`` = serial, ``0`` = all cores); never changes the numbers.
+    """
+
+    n_users: int = 50
+    n_cells: int = 25
+    site_capacity: int = 8
+    horizon: int = 100
+    n_runs: int = 20
+    n_chaffs: int = 1
+    strategy: str = "IM"
+    mobility_model: str = "non-skewed"
+    population_sweep: "tuple[int, ...] | None" = None
+    capacity_sweep: "tuple[int, ...] | None" = None
+    seed: int = 2017
+    engine: str = "batch"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError("n_users must be positive")
+        if self.n_cells < 2:
+            raise ValueError("n_cells must be at least 2")
+        if self.site_capacity < 1:
+            raise ValueError("site_capacity must be positive")
+        if self.horizon < 1:
+            raise ValueError("horizon must be positive")
+        if self.n_runs < 1:
+            raise ValueError("n_runs must be positive")
+        if self.n_chaffs < 0:
+            raise ValueError("n_chaffs must be non-negative")
+        if self.engine not in ("batch", "loop"):
+            raise ValueError("engine must be 'batch' or 'loop'")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative (0 = all cores)")
+        # Feasibility is validated for the sweep points the experiment
+        # actually runs, not just the nominal (n_users, site_capacity)
+        # point, so an infeasible config fails here with a clear message
+        # instead of deep inside a (possibly pooled) fleet run.
+        populations = self.populations()
+        if not populations or any(m < 1 for m in populations):
+            raise ValueError("population_sweep must list positive populations")
+        capacities = self.capacities()
+        if not capacities or any(c < 1 for c in capacities):
+            raise ValueError("capacity_sweep must list positive capacities")
+        slots = self.n_cells * self.site_capacity
+        largest = max(populations) * self.services_per_user
+        if largest > slots:
+            raise ValueError(
+                f"population sweep point {max(populations)} needs {largest} "
+                f"service slots but the deployment only has {slots}; raise "
+                "site_capacity or n_cells"
+            )
+        tightest = self.n_cells * min(capacities)
+        services = self.n_users * self.services_per_user
+        if services > tightest:
+            raise ValueError(
+                f"capacity sweep point {min(capacities)} offers {tightest} "
+                f"service slots but the fleet needs {services}; raise the "
+                "sweep's capacities or n_cells"
+            )
+
+    @property
+    def services_per_user(self) -> int:
+        """Real service plus chaffs, per user."""
+        return 1 + self.n_chaffs
+
+    def populations(self) -> tuple[int, ...]:
+        """Population sweep points (derived from ``n_users`` when unset)."""
+        if self.population_sweep is not None:
+            return tuple(int(m) for m in self.population_sweep)
+        points = {max(2, self.n_users // 5), max(3, self.n_users // 2), self.n_users}
+        return tuple(sorted(m for m in points if m <= self.n_users))
+
+    def capacities(self) -> tuple[int, ...]:
+        """Capacity sweep points, all feasible for ``n_users``.
+
+        The smallest point is the tightest capacity that still hosts the
+        whole fleet (maximum contention), the largest is
+        ``site_capacity``.
+        """
+        if self.capacity_sweep is not None:
+            return tuple(int(c) for c in self.capacity_sweep)
+        minimum = -(-self.n_users * self.services_per_user // self.n_cells)
+        points = {minimum, (minimum + self.site_capacity) // 2, self.site_capacity}
+        return tuple(sorted(c for c in points if c >= minimum))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        data = asdict(self)
+        if self.population_sweep is not None:
+            data["population_sweep"] = list(self.population_sweep)
+        if self.capacity_sweep is not None:
+            data["capacity_sweep"] = list(self.capacity_sweep)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FleetExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        data = dict(data)
+        for key in ("population_sweep", "capacity_sweep"):
+            if data.get(key) is not None:
+                data[key] = tuple(data[key])
+        return cls(**data)
+
+    def scaled(
+        self,
+        *,
+        n_users: int | None = None,
+        n_runs: int | None = None,
+        horizon: int | None = None,
+    ) -> "FleetExperimentConfig":
+        """Copy with reduced sizes (for tests and CI)."""
+        return FleetExperimentConfig(
+            n_users=n_users if n_users is not None else self.n_users,
+            n_cells=self.n_cells,
+            site_capacity=self.site_capacity,
+            horizon=horizon if horizon is not None else self.horizon,
+            n_runs=n_runs if n_runs is not None else self.n_runs,
+            n_chaffs=self.n_chaffs,
+            strategy=self.strategy,
+            mobility_model=self.mobility_model,
+            population_sweep=self.population_sweep,
+            capacity_sweep=self.capacity_sweep,
+            seed=self.seed,
+            engine=self.engine,
+            workers=self.workers,
         )

@@ -148,6 +148,7 @@ class TestCostModel:
 
     def test_ledger_accumulates(self):
         ledger = CostLedger()
+        ledger.count_migration()
         ledger.charge_migration(3.0)
         ledger.charge_communication(1.0)
         ledger.charge_chaff(0.5)
@@ -158,10 +159,17 @@ class TestCostModel:
         assert ledger.average_cost_per_slot() == 4.5
         assert ledger.per_slot_totals == [4.5]
 
-    def test_ledger_zero_migration_not_counted(self):
+    def test_ledger_charging_does_not_count_migrations(self):
+        """Cost accounting is pure: counting is explicit via count_migration,
+        so free migrations (zero-cost model) still show up in the tally."""
         ledger = CostLedger()
         ledger.charge_migration(0.0)
+        ledger.charge_migration(3.0)
         assert ledger.migrations == 0
+        ledger.count_migration()
+        assert ledger.migrations == 1
+        with pytest.raises(ValueError):
+            ledger.count_migration(-1)
 
     def test_ledger_rejects_negative(self):
         ledger = CostLedger()
@@ -273,6 +281,36 @@ class TestMigrationEngine:
         events = engine.events_for_service(0)
         assert len(events) == 2  # instantiation + one migration
         assert events[0].is_instantiation
+
+    def test_free_migrations_are_still_counted(self):
+        """Under an all-zero cost model the engine must still tally every
+        actual service move (the ledger's count comes from the move, not
+        from the charge)."""
+        topology = MECTopology.ring(6)
+        engine = MigrationEngine(
+            topology=topology,
+            policy=AlwaysFollowPolicy(),
+            cost_model=CostModel(
+                migration_cost_per_hop=0.0,
+                migration_cost_fixed=0.0,
+                communication_cost_per_hop=0.0,
+                chaff_running_cost=0.0,
+            ),
+        )
+        real = ServiceInstance(0, 0, ServiceKind.REAL, cell=0)
+        chaff = ServiceInstance(1, 0, ServiceKind.CHAFF, cell=0)
+        for service in (real, chaff):
+            engine.register_instantiation(service, 0)
+        engine.step_real_service(real, user_cell=2, slot=0)
+        engine.step_chaff_service(chaff, target_cell=3, slot=0)
+        engine.step_real_service(real, user_cell=2, slot=1)  # no move
+        engine.step_chaff_service(chaff, target_cell=5, slot=1)
+        assert engine.ledger.total == 0.0
+        assert engine.ledger.migrations == 3
+        assert (
+            engine.ledger.migrations
+            == real.migration_count + chaff.migration_count
+        )
 
     def test_never_migrate_accumulates_communication_cost(self):
         engine = self._engine(policy=NeverMigratePolicy())
