@@ -16,8 +16,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import (
     MaximumLikelihoodDetector,
     MonteCarloRunner,

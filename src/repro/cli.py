@@ -26,6 +26,7 @@ from typing import Sequence
 from .experiments.registry import available_experiments, run_experiment
 from .sim.cache import ResultCache, default_cache_dir
 from .sim.config import (
+    DynamicExperimentConfig,
     FleetExperimentConfig,
     SyntheticExperimentConfig,
     TraceExperimentConfig,
@@ -62,6 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--cells", type=int, default=None, help="number of cells L")
     run_parser.add_argument("--nodes", type=int, default=None, help="taxi fleet size")
     run_parser.add_argument("--towers", type=int, default=None, help="tower count")
+    run_parser.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        help="fleet population M (fleet/dynamic experiments)",
+    )
+    run_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="service slots per edge site (fleet/dynamic experiments)",
+    )
     run_parser.add_argument("--seed", type=int, default=2017, help="master seed")
     run_parser.add_argument(
         "--engine",
@@ -90,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--output", type=str, default=None, help="write the result JSON to this path"
     )
+    _add_dynamic_world_flags(run_parser)
 
     fleet_parser = subparsers.add_parser(
         "fleet",
@@ -144,25 +158,99 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument(
         "--output", type=str, default=None, help="write the result JSON to this path"
     )
+    _add_dynamic_world_flags(fleet_parser)
     return parser
+
+
+def _add_dynamic_world_flags(parser: argparse.ArgumentParser) -> None:
+    """Dynamic-world flags shared by the ``run`` and ``fleet`` subcommands.
+
+    Passing *any* of these on the ``fleet`` subcommand switches the run
+    to the ``dynamic`` experiment with exactly the requested dynamics
+    (unset rates stay 0, an unset period disables regime switching); on
+    ``run dynamic`` they override the experiment's defaults.
+    """
+    parser.add_argument(
+        "--failure-rate",
+        type=float,
+        default=None,
+        help="expected site failures per slot (dynamic world)",
+    )
+    parser.add_argument(
+        "--churn-rate",
+        type=float,
+        default=None,
+        help="fraction of transient users in [0, 1] (dynamic world)",
+    )
+    parser.add_argument(
+        "--regime-period",
+        type=int,
+        default=None,
+        help="slots between mobility-regime switches (dynamic world)",
+    )
+
+
+def _wants_dynamic_world(args: argparse.Namespace) -> bool:
+    """Whether the ``fleet`` subcommand asked for a dynamic world."""
+    return any(
+        getattr(args, name, None) is not None
+        for name in ("failure_rate", "churn_rate", "regime_period")
+    )
+
+
+def _flag(args: argparse.Namespace, name: str, default):
+    """A CLI flag value, falling back to ``default`` when absent or unset."""
+    value = getattr(args, name, None)
+    return value if value is not None else default
 
 
 def _build_config(args: argparse.Namespace, experiment_id: str):
     """Construct the appropriate config object for the chosen experiment."""
     engine = getattr(args, "engine", "batch")
     workers = getattr(args, "workers", 1)
+    if experiment_id == "dynamic":
+        defaults = DynamicExperimentConfig()
+        # ``run dynamic`` inherits the experiment's defaults for any flag
+        # the user leaves unset; the ``fleet`` subcommand switched here
+        # *because* dynamic flags were given, so it enables exactly the
+        # dynamics asked for and nothing else (unset rates stay 0, an
+        # unset period disables regime switching).
+        from_fleet = args.command == "fleet"
+        regime_period = _flag(
+            args, "regime_period", None if from_fleet else defaults.regime_period
+        )
+        return DynamicExperimentConfig(
+            n_users=_flag(args, "users", defaults.n_users),
+            n_cells=_flag(args, "cells", defaults.n_cells),
+            site_capacity=_flag(args, "capacity", defaults.site_capacity),
+            horizon=_flag(args, "horizon", defaults.horizon),
+            n_runs=_flag(args, "runs", defaults.n_runs),
+            n_chaffs=_flag(args, "chaffs", defaults.n_chaffs),
+            strategy=_flag(args, "strategy", defaults.strategy),
+            regime_model=None if regime_period is None else defaults.regime_model,
+            regime_period=regime_period,
+            failure_rate=_flag(
+                args, "failure_rate", 0.0 if from_fleet else defaults.failure_rate
+            ),
+            churn_rate=_flag(
+                args, "churn_rate", 0.0 if from_fleet else defaults.churn_rate
+            ),
+            seed=args.seed,
+            engine=engine,
+            workers=workers,
+        )
     if experiment_id == "fleet":
         # Single construction site for both entry points: the ``fleet``
         # subcommand supplies the fleet-specific flags, the generic
         # ``run fleet`` path falls back to their defaults.
         return FleetExperimentConfig(
-            n_users=getattr(args, "users", 50),
-            n_cells=args.cells if args.cells is not None else 25,
-            site_capacity=getattr(args, "capacity", 8),
-            horizon=args.horizon if args.horizon is not None else 100,
-            n_runs=args.runs if args.runs is not None else 20,
-            n_chaffs=getattr(args, "chaffs", 1),
-            strategy=getattr(args, "strategy", "IM"),
+            n_users=_flag(args, "users", 50),
+            n_cells=_flag(args, "cells", 25),
+            site_capacity=_flag(args, "capacity", 8),
+            horizon=_flag(args, "horizon", 100),
+            n_runs=_flag(args, "runs", 20),
+            n_chaffs=_flag(args, "chaffs", 1),
+            strategy=_flag(args, "strategy", "IM"),
             seed=args.seed,
             engine=engine,
             workers=workers,
@@ -198,7 +286,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         for experiment_id in available_experiments():
             print(experiment_id)
         return 0
-    experiment_id = "fleet" if args.command == "fleet" else args.experiment
+    if args.command == "fleet":
+        # Dynamic-world flags turn the fleet run into the dynamic
+        # experiment (same deployment, live world).
+        experiment_id = "dynamic" if _wants_dynamic_world(args) else "fleet"
+    else:
+        experiment_id = args.experiment
     config = _build_config(args, experiment_id)
     cache = _build_cache(args)
     result = run_experiment(experiment_id, config, cache=cache)

@@ -10,6 +10,7 @@ the highest likelihood, breaking ties uniformly at random.
 from __future__ import annotations
 
 import abc
+import inspect
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -28,21 +29,26 @@ __all__ = [
 
 
 def trajectory_log_likelihoods(
-    chain: MarkovChain, trajectories: np.ndarray
+    chain: MarkovChain,
+    trajectories: np.ndarray,
+    transition_stack: np.ndarray | None = None,
 ) -> np.ndarray:
     """Log-likelihood of each trajectory in ``trajectories`` under ``chain``.
 
     The time axis is last: an ``(N, T)`` array scores one episode's
     observations and returns a length-``N`` float array, while an
     ``(R, N, T)`` Monte-Carlo tensor returns an ``(R, N)`` score matrix —
-    the whole batch in one vectorised shot.
+    the whole batch in one vectorised shot.  ``transition_stack`` scores
+    the steps under a time-varying chain (``(T - 1, L, L)`` per-step
+    matrices, e.g. a dynamic world's regime schedule) instead of
+    ``chain``'s own matrix.
     """
     observed = np.asarray(trajectories, dtype=np.int64)
     if observed.ndim < 2 or observed.size == 0:
         raise ValueError("trajectories must be a non-empty (..., N, T) array")
     if observed.min() < 0 or observed.max() >= chain.n_states:
         raise ValueError("trajectories contain out-of-range cells")
-    return chain.log_likelihoods(observed)
+    return chain.log_likelihoods(observed, transition_stack=transition_stack)
 
 
 @dataclass(frozen=True)
@@ -128,6 +134,10 @@ class TrajectoryDetector(abc.ABC):
             ``(N, T)`` integer array of observed service trajectories.
         rng:
             Randomness source for tie breaking / guessing.
+
+        Scoring detectors additionally accept a ``transition_stack``
+        keyword (``(T - 1, L, L)`` per-step matrices) to score against a
+        time-varying chain; see :class:`MaximumLikelihoodDetector`.
         """
 
     def detect_batch(
@@ -135,20 +145,33 @@ class TrajectoryDetector(abc.ABC):
         chain: MarkovChain,
         trajectories: np.ndarray,
         rngs: Sequence[np.random.Generator],
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> BatchDetectionOutcome:
         """Run detection over an ``(R, N, T)`` Monte-Carlo batch.
 
         The default implementation loops :meth:`detect` with each run's own
         generator, so every detector works with the batched engine and
         reproduces the looped engine's decisions exactly; vectorising
-        subclasses override this.
+        subclasses override this.  ``transition_stack`` is forwarded only
+        when set, so detectors that cannot score time-varying chains keep
+        working in static worlds.
         """
         observed = _validate_batch(trajectories)
         rngs = list(rngs)
         if len(rngs) != observed.shape[0]:
             raise ValueError("need exactly one generator per run")
+        if transition_stack is None:
+            extra = {}
+        else:
+            if "transition_stack" not in inspect.signature(self.detect).parameters:
+                raise NotImplementedError(
+                    f"detector {self.name!r} cannot score a time-varying "
+                    "chain (its detect() takes no transition_stack)"
+                )
+            extra = {"transition_stack": transition_stack}
         outcomes = [
-            self.detect(chain, observed[run], rngs[run])
+            self.detect(chain, observed[run], rngs[run], **extra)
             for run in range(observed.shape[0])
         ]
         return BatchDetectionOutcome(
@@ -166,6 +189,8 @@ class TrajectoryDetector(abc.ABC):
         chain: MarkovChain,
         trajectories: np.ndarray,
         rngs: Sequence[np.random.Generator],
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> np.ndarray:
         """Many independent decisions over *one* ``(N, T)`` observation set.
 
@@ -187,7 +212,9 @@ class TrajectoryDetector(abc.ABC):
         if not rngs:
             raise ValueError("need at least one generator")
         crowd = np.broadcast_to(observed, (len(rngs), *observed.shape))
-        return self.detect_batch(chain, crowd, rngs).chosen_indices
+        return self.detect_batch(
+            chain, crowd, rngs, transition_stack=transition_stack
+        ).chosen_indices
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -213,8 +240,10 @@ class MaximumLikelihoodDetector(TrajectoryDetector):
         chain: MarkovChain,
         trajectories: np.ndarray,
         rng: np.random.Generator,
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> DetectionOutcome:
-        scores = trajectory_log_likelihoods(chain, trajectories)
+        scores = trajectory_log_likelihoods(chain, trajectories, transition_stack)
         best = float(scores.max())
         candidates = np.flatnonzero(scores >= best - self.tolerance)
         chosen = int(rng.choice(candidates))
@@ -227,6 +256,8 @@ class MaximumLikelihoodDetector(TrajectoryDetector):
         chain: MarkovChain,
         trajectories: np.ndarray,
         rngs: Sequence[np.random.Generator],
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> BatchDetectionOutcome:
         """Score the whole ``(R, N, T)`` tensor in one vectorised shot.
 
@@ -239,7 +270,7 @@ class MaximumLikelihoodDetector(TrajectoryDetector):
         n_runs = observed.shape[0]
         if len(rngs) != n_runs:
             raise ValueError("need exactly one generator per run")
-        scores = trajectory_log_likelihoods(chain, observed)
+        scores = trajectory_log_likelihoods(chain, observed, transition_stack)
         chosen = np.empty(n_runs, dtype=np.int64)
         candidates_per_run: list[np.ndarray] = []
         best = scores.max(axis=1)
@@ -258,6 +289,8 @@ class MaximumLikelihoodDetector(TrajectoryDetector):
         chain: MarkovChain,
         trajectories: np.ndarray,
         rngs: Sequence[np.random.Generator],
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> np.ndarray:
         """Score the shared crowd once; only tie-breaks differ per decision.
 
@@ -270,7 +303,7 @@ class MaximumLikelihoodDetector(TrajectoryDetector):
         observed = np.asarray(trajectories, dtype=np.int64)
         if observed.ndim != 2 or observed.size == 0:
             raise ValueError("trajectories must be a non-empty (N, T) array")
-        scores = trajectory_log_likelihoods(chain, observed)
+        scores = trajectory_log_likelihoods(chain, observed, transition_stack)
         candidates = np.flatnonzero(scores >= float(scores.max()) - self.tolerance)
         return np.array(
             [int(rng.choice(candidates)) for rng in rngs], dtype=np.int64
@@ -304,8 +337,11 @@ class RandomGuessDetector(TrajectoryDetector):
         chain: MarkovChain,
         trajectories: np.ndarray,
         rngs: Sequence[np.random.Generator],
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> BatchDetectionOutcome:
-        """Guess uniformly per run; no scoring work to vectorise."""
+        """Guess uniformly per run; no scoring work to vectorise (the
+        time-varying chain is irrelevant to a guesser)."""
         observed = _validate_batch(trajectories)
         rngs = list(rngs)
         n_runs, n, _ = observed.shape

@@ -22,7 +22,7 @@ is asserted by dedicated causality tests.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Iterable, Sequence, Type
+from typing import Dict, Iterable, Sequence, Type
 
 import numpy as np
 

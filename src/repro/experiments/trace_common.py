@@ -7,7 +7,6 @@ ML tracking evaluation used by Figs. 9 and 10.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np

@@ -31,6 +31,14 @@ All randomness of one run derives from a single
 observation shuffle and for detector evaluation), so a fleet Monte-Carlo
 sharded over workers (:func:`run_fleet_monte_carlo`) is bit-identical to
 its serial execution for any worker count.
+
+A :class:`~repro.world.timeline.Timeline` makes the world *dynamic*:
+mobility follows the regime schedule's time-varying chain, per-slot
+capacity views evict services off failed or shrunk sites, and churned
+users enter and leave mid-episode through an active-service mask threaded
+through the batch kernels.  An empty timeline is bit-identical to the
+static path in both engines, and the engines stay bit-identical to each
+other under any timeline.
 """
 
 from __future__ import annotations
@@ -42,12 +50,15 @@ import numpy as np
 
 from ..core.eavesdropper.detector import (
     MaximumLikelihoodDetector,
+    RandomGuessDetector,
     TrajectoryDetector,
 )
 from ..core.strategies.base import ChaffStrategy
 from ..mobility.markov import MarkovChain
+from ..numerics import safe_log
 from ..sim.parallel import parallel_map, resolve_workers, shard_slices
 from ..sim.seeding import as_seed_sequence, spawn_sequences_range
+from ..world.timeline import Timeline, WorldSchedule
 from .costs import CostLedger, CostModel
 from .placement import PlacementEngine, PlacementStats
 from .policies import (
@@ -199,7 +210,16 @@ class FleetEvaluation:
 
 @dataclass
 class FleetReport:
-    """Everything produced by one fleet run."""
+    """Everything produced by one fleet run.
+
+    ``windows`` and ``transition_stack`` are the dynamic-world context of
+    the run: the ``(N, 2)`` activity window of every presentation row of
+    the observation plane (``None`` for a frozen world, where every
+    service spans the whole episode) and the time-varying transition
+    stack of the regime schedule (``None`` without regime switches).
+    Rows of a churned world's plane hold ``-1`` on slots where the
+    service did not exist.
+    """
 
     user_trajectories: np.ndarray
     observations: FleetObservationPlane
@@ -207,6 +227,8 @@ class FleetReport:
     services: list[ServiceInstance]
     placement: PlacementStats
     evaluation_seed: np.random.SeedSequence = field(repr=False, default=None)  # type: ignore[assignment]
+    windows: np.ndarray | None = None
+    transition_stack: np.ndarray | None = field(repr=False, default=None)
 
     @property
     def n_users(self) -> int:
@@ -261,12 +283,92 @@ class FleetReport:
         n_users = self.n_users
         rngs = [np.random.default_rng(child) for child in root.spawn(n_users)]
         plane = self.observations
-        chosen = detector.detect_crowd(chain, plane.trajectories, rngs)
-        tracked = plane.trajectories[chosen] == self.user_trajectories
+        masked = self.windows is not None and (
+            np.any(self.windows[:, 0] != 0)
+            or np.any(self.windows[:, 1] != self.horizon)
+        )
+        if not masked:
+            if self.transition_stack is None:
+                chosen = detector.detect_crowd(chain, plane.trajectories, rngs)
+            else:
+                chosen = detector.detect_crowd(
+                    chain,
+                    plane.trajectories,
+                    rngs,
+                    transition_stack=self.transition_stack,
+                )
+            tracked = plane.trajectories[chosen] == self.user_trajectories
+            tracking = tracked.mean(axis=1)
+        else:
+            chosen = self._detect_crowd_masked(chain, detector, rngs)
+            # A user is tracked on a slot when the chosen row observes the
+            # user's cell there; scoring is restricted to the user's own
+            # activity window (dead slots of the chosen row never match —
+            # they hold -1).
+            user_windows = self.windows[plane.real_rows]
+            slots = np.arange(self.horizon)
+            in_window = (user_windows[:, :1] <= slots) & (
+                slots < user_windows[:, 1:]
+            )
+            tracked = plane.trajectories[chosen] == self.user_trajectories
+            tracking = (tracked & in_window).sum(axis=1) / in_window.sum(axis=1)
         return FleetEvaluation(
             chosen_rows=chosen,
-            tracking_per_user=tracked.mean(axis=1),
+            tracking_per_user=tracking,
             detected_per_user=(chosen == plane.real_rows).astype(float),
+        )
+
+    def _detect_crowd_masked(
+        self,
+        chain: MarkovChain,
+        detector: TrajectoryDetector,
+        rngs: "list[np.random.Generator]",
+    ) -> np.ndarray:
+        """Per-user crowd decisions over a churned observation plane.
+
+        Each candidate row is scored by its *per-observed-slot* average
+        log-likelihood over its own activity window (under the
+        time-varying chain when a regime stack is present): the rate
+        normalisation keeps rows with different observation lengths
+        comparable, and reduces to the ordinary ML ranking when every
+        row spans the full episode.  Tie-breaking consumes one draw per
+        user generator, exactly like the unmasked crowd path.
+        """
+        plane = self.observations
+        n_rows = plane.n_services
+        if isinstance(detector, RandomGuessDetector):
+            return np.array(
+                [int(rng.integers(0, n_rows)) for rng in rngs], dtype=np.int64
+            )
+        if not isinstance(detector, MaximumLikelihoodDetector):
+            raise NotImplementedError(
+                f"detector {detector.name!r} cannot score a churned "
+                "observation plane (rows observed over different windows)"
+            )
+        traj = plane.trajectories
+        horizon = self.horizon
+        windows = self.windows
+        rows = np.arange(n_rows)
+        first = traj[rows, windows[:, 0]]
+        scores = chain.log_stationary[first].astype(float)
+        if horizon > 1:
+            prev = np.clip(traj[:, :-1], 0, None)
+            nxt = np.clip(traj[:, 1:], 0, None)
+            if self.transition_stack is None:
+                step_logs = chain.log_transition_matrix[prev, nxt]
+            else:
+                step_logs = safe_log(self.transition_stack)[
+                    np.arange(horizon - 1), prev, nxt
+                ]
+            steps = np.arange(1, horizon)
+            valid = (steps >= windows[:, :1] + 1) & (steps < windows[:, 1:])
+            scores = scores + np.where(valid, step_logs, 0.0).sum(axis=1)
+        scores = scores / (windows[:, 1] - windows[:, 0])
+        candidates = np.flatnonzero(
+            scores >= float(scores.max()) - detector.tolerance
+        )
+        return np.array(
+            [int(rng.choice(candidates)) for rng in rngs], dtype=np.int64
         )
 
 
@@ -292,6 +394,11 @@ class FleetSimulation:
         Cost model charged to every user's ledger.
     config:
         Fleet shape (users, horizon, budgets, start cells).
+    timeline:
+        Optional :class:`~repro.world.timeline.Timeline` of world events
+        (regime switches, site failures and capacity changes, user
+        churn).  An empty timeline — the default — is the frozen world,
+        bit-identical to the pre-dynamic code path in both engines.
     """
 
     def __init__(
@@ -303,6 +410,7 @@ class FleetSimulation:
         policy: MigrationPolicy | None = None,
         cost_model: CostModel | None = None,
         config: FleetSimulationConfig | None = None,
+        timeline: Timeline | None = None,
     ) -> None:
         if topology.n_cells != chain.n_states:
             raise ValueError("topology and mobility model disagree on cell count")
@@ -313,13 +421,45 @@ class FleetSimulation:
         self.config = config or FleetSimulationConfig()
         self.strategies = self._resolve_strategies(strategy)
         self._hops = topology.hop_distance_matrix()
-        total_capacity = sum(site.capacity for site in topology.sites)
-        if self.config.n_services > total_capacity:
-            raise ValueError(
-                f"fleet needs {self.config.n_services} service slots but the "
-                f"deployment only has {total_capacity}; lower the population "
-                "or raise site capacities"
+        self.timeline = timeline if timeline is not None else Timeline()
+        schedule: WorldSchedule | None = None
+        if not self.timeline.is_empty:
+            schedule = self.timeline.compile(
+                horizon=self.config.horizon,
+                n_cells=topology.n_cells,
+                n_users=self.config.n_users,
+                base_capacities=topology.base_capacities(),
+                base_chain=chain,
             )
+            # A timeline whose events never bite within the horizon is
+            # the frozen world; the static kernels are bit-identical and
+            # cheaper, so use them.
+            if schedule.is_static:
+                schedule = None
+        self._schedule = schedule
+        self._stack = schedule.transition_stack() if schedule is not None else None
+        if schedule is None:
+            total_capacity = sum(site.capacity for site in topology.sites)
+            if self.config.n_services > total_capacity:
+                raise ValueError(
+                    f"fleet needs {self.config.n_services} service slots but the "
+                    f"deployment only has {total_capacity}; lower the population "
+                    "or raise site capacities"
+                )
+        else:
+            # Only the initial placement must fit: later arrivals spill
+            # or strand, and failures evict — those are simulated
+            # outcomes, not configuration errors.
+            per_user = 1 + np.asarray(self.config.chaffs_per_user(), dtype=np.int64)
+            initially_active = schedule.user_windows[:, 0] == 0
+            initial_services = int(per_user[initially_active].sum())
+            slot0_capacity = int(schedule.capacities[0].sum())
+            if initial_services > slot0_capacity:
+                raise ValueError(
+                    f"slot 0 hosts {initial_services} services but the world "
+                    f"only offers {slot0_capacity} slots there; lower the "
+                    "initially active population or soften the timeline"
+                )
         if self.config.start_cells is not None:
             cells = np.asarray(self.config.start_cells, dtype=np.int64)
             if cells.size and (cells.min() < 0 or cells.max() >= topology.n_cells):
@@ -449,13 +589,23 @@ class FleetSimulation:
         placement: PlacementStats,
         shuffle_rng: np.random.Generator,
         evaluation_seed: np.random.SeedSequence,
+        svc_windows: np.ndarray | None = None,
     ) -> FleetReport:
+        # A churned service's final cell is the last one it occupied (its
+        # history keeps -1 on the slots where it did not exist).
+        if svc_windows is None:
+            last_slot = np.full(histories.shape[0], histories.shape[1] - 1)
+            created = np.zeros(histories.shape[0], dtype=np.int64)
+        else:
+            last_slot = svc_windows[:, 1] - 1
+            created = svc_windows[:, 0]
         services = [
             ServiceInstance(
                 service_id=int(service_ids[row]),
                 owner_id=int(owners[row]),
                 kind=ServiceKind.REAL if is_real[row] else ServiceKind.CHAFF,
-                cell=int(histories[row, -1]),
+                cell=int(histories[row, last_slot[row]]),
+                created_at=int(created[row]),
                 location_history=histories[row].tolist(),
                 migration_count=int(service_migrations[row]),
             )
@@ -480,6 +630,8 @@ class FleetSimulation:
             services=services,
             placement=placement,
             evaluation_seed=evaluation_seed,
+            windows=None if svc_windows is None else svc_windows[order],
+            transition_stack=self._stack,
         )
 
     # ------------------------------------------------------------------
@@ -495,12 +647,16 @@ class FleetSimulation:
         n_users, horizon = config.n_users, config.horizon
         budgets = config.chaffs_per_user()
 
-        # 1. All user trajectories in one vectorised chain evolution.
+        # 1. All user trajectories in one vectorised chain evolution —
+        #    under the regime schedule's time-varying chain when the
+        #    world has one (the draw order is identical either way).
         initial = np.empty(n_users, dtype=np.int64)
         uniforms = np.empty((n_users, max(horizon - 1, 0)), dtype=float)
         for user, rng in enumerate(user_rngs):
             initial[user], uniforms[user] = self._sample_user(user, rng)
-        users = self.chain.evolve_from_uniforms(initial, uniforms)
+        users = self.chain.evolve_from_uniforms(
+            initial, uniforms, transition_stack=self._stack
+        )
 
         # 2. Chaff plans through generate_batch, grouped by (strategy,
         #    budget).  Each user's chaffs consume only that user's
@@ -528,47 +684,131 @@ class FleetSimulation:
                 first = real_row_of_user[user] + 1
                 plans[first : first + budget] = chaffs[member_index]
 
-        # 3. Capacity-enforced instantiation.
-        placement = PlacementEngine(self.topology)
-        cells = placement.place_initial(plans[:, 0])
-
-        # 4. The O(T) slot loop: vectorised decisions, placement, costs.
+        # 3 + 4. Capacity-enforced instantiation and the O(T) slot loop.
         model = self.cost_model
-        histories = np.empty((n_services, horizon), dtype=np.int64)
+        schedule = self._schedule
         service_migrations = np.zeros(n_services, dtype=np.int64)
         mig_total = np.zeros(n_users, dtype=float)
         comm_total = np.zeros(n_users, dtype=float)
         chaff_total = np.zeros(n_users, dtype=float)
         migrations = np.zeros(n_users, dtype=np.int64)
         per_slot = np.empty((n_users, horizon), dtype=float)
-        chaff_rows = np.flatnonzero(~is_real)
-        chaff_owners = owners[chaff_rows]
-        for slot in range(horizon):
-            user_cells = users[:, slot]
-            desired = plans[:, slot].copy()
-            desired[real_row_of_user] = self._decide_real_targets(
-                cells[real_row_of_user], user_cells
-            )
-            new_cells = placement.resolve_moves(cells, desired)
-            moved = np.flatnonzero(new_cells != cells)
-            if moved.size:
-                hops = self._hops[cells[moved], new_cells[moved]]
-                np.add.at(
-                    mig_total,
-                    owners[moved],
-                    model.migration_cost_fixed
-                    + model.migration_cost_per_hop * hops,
+        placement = PlacementEngine(self.topology)
+        svc_windows: np.ndarray | None = None
+        if schedule is None:
+            # Static world: the original vectorised slot loop, untouched
+            # (golden-seed tests pin this path bit for bit).
+            cells = placement.place_initial(plans[:, 0])
+            histories = np.empty((n_services, horizon), dtype=np.int64)
+            chaff_rows = np.flatnonzero(~is_real)
+            chaff_owners = owners[chaff_rows]
+            for slot in range(horizon):
+                user_cells = users[:, slot]
+                desired = plans[:, slot].copy()
+                desired[real_row_of_user] = self._decide_real_targets(
+                    cells[real_row_of_user], user_cells
                 )
-                np.add.at(migrations, owners[moved], 1)
-                service_migrations[moved] += 1
-            cells = new_cells
-            comm_total += (
-                model.communication_cost_per_hop
-                * self._hops[user_cells, cells[real_row_of_user]]
-            )
-            np.add.at(chaff_total, chaff_owners, model.chaff_running_cost)
-            histories[:, slot] = cells
-            per_slot[:, slot] = mig_total + comm_total + chaff_total
+                new_cells = placement.resolve_moves(cells, desired)
+                moved = np.flatnonzero(new_cells != cells)
+                if moved.size:
+                    hops = self._hops[cells[moved], new_cells[moved]]
+                    np.add.at(
+                        mig_total,
+                        owners[moved],
+                        model.migration_cost_fixed
+                        + model.migration_cost_per_hop * hops,
+                    )
+                    np.add.at(migrations, owners[moved], 1)
+                    service_migrations[moved] += 1
+                cells = new_cells
+                comm_total += (
+                    model.communication_cost_per_hop
+                    * self._hops[user_cells, cells[real_row_of_user]]
+                )
+                np.add.at(chaff_total, chaff_owners, model.chaff_running_cost)
+                histories[:, slot] = cells
+                per_slot[:, slot] = mig_total + comm_total + chaff_total
+        else:
+            # Dynamic world: the same slot loop with an active-service
+            # mask threaded through every kernel, plus the per-slot world
+            # transitions (departures -> capacity/evictions -> arrivals)
+            # applied before the voluntary moves.
+            caps = schedule.capacities
+            active_u = schedule.active_users()
+            active_svc = active_u[owners]
+            svc_windows = schedule.user_windows[owners]
+            placement.set_capacities(caps[0])
+            cells = np.full(n_services, -1, dtype=np.int64)
+            rows0 = np.flatnonzero(active_svc[:, 0])
+            cells[rows0] = placement.place_initial(plans[rows0, 0])
+            histories = np.full((n_services, horizon), -1, dtype=np.int64)
+            for slot in range(horizon):
+                live = active_svc[:, slot]
+                if slot > 0:
+                    prev = active_svc[:, slot - 1]
+                    departed = np.flatnonzero(prev & ~live)
+                    if departed.size:
+                        placement.release(cells[departed])
+                        cells[departed] = -1
+                    if not np.array_equal(caps[slot], caps[slot - 1]):
+                        placement.set_capacities(caps[slot])
+                        new_cells, moved = placement.evict_overloaded(
+                            cells, prev & live
+                        )
+                        if moved.size:
+                            hops = self._hops[cells[moved], new_cells[moved]]
+                            np.add.at(
+                                mig_total,
+                                owners[moved],
+                                model.migration_cost_fixed
+                                + model.migration_cost_per_hop * hops,
+                            )
+                            np.add.at(migrations, owners[moved], 1)
+                            service_migrations[moved] += 1
+                            cells = new_cells
+                    arriving = np.flatnonzero(live & ~prev)
+                    if arriving.size:
+                        cells[arriving] = placement.admit_arrivals(
+                            plans[arriving, slot]
+                        )
+                user_cells = users[:, slot]
+                active_now = active_u[:, slot]
+                live_rows = np.flatnonzero(live)
+                desired = plans[:, slot].copy()
+                real_live = real_row_of_user[active_now]
+                desired[real_live] = self._decide_real_targets(
+                    cells[real_live], user_cells[active_now]
+                )
+                new_sub = placement.resolve_moves(
+                    cells[live_rows], desired[live_rows]
+                )
+                moved_sub = np.flatnonzero(new_sub != cells[live_rows])
+                if moved_sub.size:
+                    moved = live_rows[moved_sub]
+                    hops = self._hops[cells[moved], new_sub[moved_sub]]
+                    np.add.at(
+                        mig_total,
+                        owners[moved],
+                        model.migration_cost_fixed
+                        + model.migration_cost_per_hop * hops,
+                    )
+                    np.add.at(migrations, owners[moved], 1)
+                    service_migrations[moved] += 1
+                cells[live_rows] = new_sub
+                users_active = np.flatnonzero(active_now)
+                comm_total[users_active] += (
+                    model.communication_cost_per_hop
+                    * self._hops[
+                        user_cells[users_active],
+                        cells[real_row_of_user[users_active]],
+                    ]
+                )
+                live_chaffs = live_rows[~is_real[live_rows]]
+                np.add.at(
+                    chaff_total, owners[live_chaffs], model.chaff_running_cost
+                )
+                histories[live_rows, slot] = cells[live_rows]
+                per_slot[:, slot] = mig_total + comm_total + chaff_total
 
         ledgers = [
             CostLedger(
@@ -592,6 +832,7 @@ class FleetSimulation:
             placement.stats,
             shuffle_rng,
             evaluation_seed,
+            svc_windows,
         )
 
     # ------------------------------------------------------------------
@@ -616,10 +857,15 @@ class FleetSimulation:
         for user, rng in enumerate(user_rngs):
             if config.start_cells is not None:
                 users[user] = self.chain.sample_trajectory(
-                    horizon, rng, initial_state=int(config.start_cells[user])
+                    horizon,
+                    rng,
+                    initial_state=int(config.start_cells[user]),
+                    transition_stack=self._stack,
                 )
             else:
-                users[user] = self.chain.sample_trajectory(horizon, rng)
+                users[user] = self.chain.sample_trajectory(
+                    horizon, rng, transition_stack=self._stack
+                )
             budget = budgets[user]
             if budget > 0:
                 first = real_row_of_user[user] + 1
@@ -628,16 +874,60 @@ class FleetSimulation:
                 )
         plans[real_row_of_user] = users
 
+        schedule = self._schedule
         placement = PlacementEngine(self.topology)
-        cells = np.empty(n_services, dtype=np.int64)
-        for row in range(n_services):
-            cells[row] = placement.place_initial(plans[row : row + 1, 0])[0]
-
-        histories = np.empty((n_services, horizon), dtype=np.int64)
         service_migrations = np.zeros(n_services, dtype=np.int64)
         ledgers = [CostLedger() for _ in range(n_users)]
-        for slot in range(horizon):
+        svc_windows: np.ndarray | None = None
+        if schedule is None:
+            cells = np.empty(n_services, dtype=np.int64)
             for row in range(n_services):
+                cells[row] = placement.place_initial(plans[row : row + 1, 0])[0]
+            histories = np.empty((n_services, horizon), dtype=np.int64)
+        else:
+            caps = schedule.capacities
+            active_u = schedule.active_users()
+            active_svc = active_u[owners]
+            svc_windows = schedule.user_windows[owners]
+            placement.set_capacities(caps[0])
+            cells = np.full(n_services, -1, dtype=np.int64)
+            for row in range(n_services):
+                if active_svc[row, 0]:
+                    cells[row] = placement.place_initial(plans[row : row + 1, 0])[0]
+            histories = np.full((n_services, horizon), -1, dtype=np.int64)
+        for slot in range(horizon):
+            if schedule is not None and slot > 0:
+                # World transitions, one naive walk per phase: departures
+                # free slots, then the new capacity view evicts, then
+                # arrivals are admitted — same order as the batch kernel.
+                for row in range(n_services):
+                    if active_svc[row, slot - 1] and not active_svc[row, slot]:
+                        placement.release(cells[row : row + 1])
+                        cells[row] = -1
+                if not np.array_equal(caps[slot], caps[slot - 1]):
+                    placement.set_capacities(caps[slot])
+                    new_cells, moved = placement.evict_overloaded(
+                        cells, active_svc[:, slot - 1] & active_svc[:, slot]
+                    )
+                    for row in moved:
+                        row = int(row)
+                        ledger = ledgers[int(owners[row])]
+                        ledger.count_migration()
+                        ledger.charge_migration(
+                            model.migration_cost(
+                                self.topology, int(cells[row]), int(new_cells[row])
+                            )
+                        )
+                        service_migrations[row] += 1
+                    cells = new_cells
+                for row in range(n_services):
+                    if active_svc[row, slot] and not active_svc[row, slot - 1]:
+                        cells[row] = placement.admit_arrivals(
+                            plans[row : row + 1, slot]
+                        )[0]
+            for row in range(n_services):
+                if schedule is not None and not active_svc[row, slot]:
+                    continue
                 owner = int(owners[row])
                 ledger = ledgers[owner]
                 user_cell = int(users[owner, slot])
@@ -681,6 +971,7 @@ class FleetSimulation:
             placement.stats,
             shuffle_rng,
             evaluation_seed,
+            svc_windows,
         )
 
 
@@ -703,6 +994,19 @@ class FleetStatistics:
     migrations_runs: np.ndarray
     rejected_runs: np.ndarray
     spilled_runs: np.ndarray
+    evicted_runs: np.ndarray = None  # type: ignore[assignment]
+    stranded_runs: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        # Older call sites built the statistics without the dynamic-world
+        # counters; default them to zero per run.
+        for name in ("evicted_runs", "stranded_runs"):
+            if getattr(self, name) is None:
+                object.__setattr__(
+                    self,
+                    name,
+                    np.zeros(self.tracking_runs.shape[0], dtype=np.int64),
+                )
 
     @property
     def n_runs(self) -> int:
@@ -759,6 +1063,16 @@ class FleetStatistics:
         """Mean spilled placement requests per run."""
         return float(self.spilled_runs.mean())
 
+    @property
+    def mean_evicted(self) -> float:
+        """Mean forced evictions per run (failures / capacity shocks)."""
+        return float(self.evicted_runs.mean())
+
+    @property
+    def mean_stranded(self) -> float:
+        """Mean stranded placements per run (nowhere to evict/admit to)."""
+        return float(self.stranded_runs.mean())
+
 
 def _fleet_shard_worker(task) -> list[tuple]:
     """Replay one contiguous shard of the fleet runs (module-level for pools)."""
@@ -775,6 +1089,8 @@ def _fleet_shard_worker(task) -> list[tuple]:
                 report.total_migrations,
                 report.placement.rejected,
                 report.placement.spilled,
+                report.placement.evicted,
+                report.placement.stranded,
             )
         )
     return metrics
@@ -813,4 +1129,6 @@ def run_fleet_monte_carlo(
         migrations_runs=np.array([m[3] for m in metrics], dtype=np.int64),
         rejected_runs=np.array([m[4] for m in metrics], dtype=np.int64),
         spilled_runs=np.array([m[5] for m in metrics], dtype=np.int64),
+        evicted_runs=np.array([m[6] for m in metrics], dtype=np.int64),
+        stranded_runs=np.array([m[7] for m in metrics], dtype=np.int64),
     )

@@ -26,7 +26,7 @@ fallback.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -37,15 +37,24 @@ __all__ = ["PlacementStats", "PlacementEngine"]
 
 @dataclass
 class PlacementStats:
-    """Tally of placement decisions over one simulation run."""
+    """Tally of placement decisions over one simulation run.
+
+    ``admitted`` / ``spilled`` / ``rejected`` count voluntary requests
+    (instantiations and migrations); ``evicted`` and ``stranded`` count
+    the *forced* outcomes of a dynamic world — services pushed off a
+    failed or shrunk site to the nearest free one, and services that had
+    nowhere to go and stayed on the overloaded site.
+    """
 
     admitted: int = 0
     spilled: int = 0
     rejected: int = 0
+    evicted: int = 0
+    stranded: int = 0
 
     @property
     def requests(self) -> int:
-        """Total placement requests resolved."""
+        """Total voluntary placement requests resolved."""
         return self.admitted + self.spilled + self.rejected
 
     def as_dict(self) -> dict[str, int]:
@@ -54,6 +63,8 @@ class PlacementStats:
             "admitted": self.admitted,
             "spilled": self.spilled,
             "rejected": self.rejected,
+            "evicted": self.evicted,
+            "stranded": self.stranded,
         }
 
 
@@ -68,9 +79,7 @@ class PlacementEngine:
 
     def __init__(self, topology: MECTopology) -> None:
         self.topology = topology
-        self.capacities = np.array(
-            [site.capacity for site in topology.sites], dtype=np.int64
-        )
+        self.capacities = topology.base_capacities()
         self.load = np.zeros(topology.n_cells, dtype=np.int64)
         self.stats = PlacementStats()
         self._hops = topology.hop_distance_matrix()
@@ -168,3 +177,104 @@ class PlacementEngine:
             self.load[target] += 1
             placed[index] = target
         return placed
+
+    # ------------------------------------------------------------------
+    # Dynamic-world operations: per-slot capacity views, forced
+    # re-placement and mid-episode churn.
+    # ------------------------------------------------------------------
+    def set_capacities(self, capacities: np.ndarray) -> None:
+        """Install one slot's effective capacity view.
+
+        Unlike the declared :class:`~repro.mec.topology.EdgeSite`
+        capacities, an effective capacity may be zero (a failed site).
+        Installing a view never moves anything by itself — callers follow
+        up with :meth:`evict_overloaded` to push out the excess load.
+        """
+        caps = np.asarray(capacities, dtype=np.int64)
+        if caps.shape != (self.topology.n_cells,):
+            raise ValueError("capacities must list one value per cell")
+        if caps.min() < 0:
+            raise ValueError("capacities must be non-negative")
+        self.capacities = caps.copy()
+
+    def evict_overloaded(
+        self, current_cells: np.ndarray, placed: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Force excess services off sites whose load exceeds capacity.
+
+        ``current_cells`` maps each service row to its cell and ``placed``
+        marks the rows currently occupying a slot (dead rows are
+        ignored).  For every overloaded site, in ascending cell order,
+        the earliest-placed services (lowest row index) keep their slots
+        up to the new capacity; the rest are evicted in ascending row
+        order to the nearest site with a free slot (``stats.evicted``).
+        A service with nowhere to go stays on the overloaded site as
+        *stranded* (``stats.stranded``) — it retries on its next regular
+        move, and the overload drains as capacity reappears.
+
+        Returns ``(new_cells, moved_rows)``; moved rows are forced
+        migrations the caller must charge.
+        """
+        current = np.asarray(current_cells, dtype=np.int64)
+        overloaded = np.flatnonzero(self.load > self.capacities)
+        if overloaded.size == 0:
+            return current.copy(), np.empty(0, dtype=np.int64)
+        new_cells = current.copy()
+        moved: list[int] = []
+        placed_rows = np.flatnonzero(placed)
+        for cell in overloaded:
+            cell = int(cell)
+            hosted = placed_rows[current[placed_rows] == cell]
+            keep = int(self.capacities[cell])
+            for row in hosted[keep:]:
+                self.load[cell] -= 1
+                spill = self._nearest_free(cell)
+                if spill is None:
+                    self.load[cell] += 1
+                    self.stats.stranded += 1
+                    continue
+                self.load[spill] += 1
+                new_cells[row] = spill
+                moved.append(int(row))
+                self.stats.evicted += 1
+        return new_cells, np.asarray(moved, dtype=np.int64)
+
+    def admit_arrivals(self, desired_cells: np.ndarray) -> np.ndarray:
+        """Place mid-episode arrivals, spilling or stranding where needed.
+
+        Same admit/spill walk as :meth:`place_initial`, but a completely
+        full deployment *strands* the newcomer at its requested cell
+        (transient overload, drained by later moves) instead of raising —
+        an arrival during a failure burst is a legal situation, not a
+        configuration error.
+        """
+        desired = np.asarray(desired_cells, dtype=np.int64)
+        if desired.ndim != 1:
+            raise ValueError("desired_cells must be 1-D")
+        if desired.size and (
+            desired.min() < 0 or desired.max() >= self.topology.n_cells
+        ):
+            raise ValueError("desired cells out of range")
+        placed = np.empty_like(desired)
+        for index, cell in enumerate(desired):
+            cell = int(cell)
+            if self.load[cell] < self.capacities[cell]:
+                self.stats.admitted += 1
+            else:
+                spill = self._nearest_free(cell)
+                if spill is None:
+                    self.stats.stranded += 1
+                else:
+                    cell = spill
+                    self.stats.spilled += 1
+            self.load[cell] += 1
+            placed[index] = cell
+        return placed
+
+    def release(self, cells: np.ndarray) -> None:
+        """Free the slots of departing services (one per entry)."""
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.size:
+            np.subtract.at(self.load, cells, 1)
+            if self.load.min() < 0:
+                raise ValueError("released more services than were placed")

@@ -111,6 +111,16 @@ class MECTopology:
             raise ValueError("cell index out of range")
         return [int(i) for i in np.flatnonzero(self.adjacency[cell])]
 
+    def base_capacities(self) -> np.ndarray:
+        """Declared per-site capacities as an int64 array (copy).
+
+        These are the *static* capacities of the deployment; a dynamic
+        world's per-slot effective capacities (failures, re-provisioning)
+        are derived from them by
+        :meth:`repro.world.timeline.Timeline.compile`.
+        """
+        return np.array([site.capacity for site in self.sites], dtype=np.int64)
+
     # ------------------------------------------------------------------
     @staticmethod
     def _all_pairs_hops(adjacency: np.ndarray) -> np.ndarray:
@@ -136,14 +146,27 @@ class MECTopology:
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @staticmethod
+    def uniform_sites(n_cells: int, capacity: int) -> list[EdgeSite]:
+        """One :class:`EdgeSite` per cell, all with the same ``capacity``.
+
+        The single construction-and-validation path shared by every
+        shipped constructor (and by the dynamic world's capacity
+        machinery, which derives per-slot views from these declared
+        capacities).
+        """
+        if n_cells < 1:
+            raise ValueError("n_cells must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        return [EdgeSite(cell=i, capacity=capacity) for i in range(n_cells)]
+
     @classmethod
     def complete(cls, n_cells: int, *, capacity: int = 16) -> "MECTopology":
         """Fully meshed deployment: every cell neighbours every other cell."""
-        if n_cells < 1:
-            raise ValueError("n_cells must be positive")
+        sites = cls.uniform_sites(n_cells, capacity)
         adjacency = np.ones((n_cells, n_cells), dtype=bool)
         np.fill_diagonal(adjacency, False)
-        sites = [EdgeSite(cell=i, capacity=capacity) for i in range(n_cells)]
         return cls(sites=sites, adjacency=adjacency)
 
     @classmethod
@@ -151,23 +174,23 @@ class MECTopology:
         """1-D ring of cells, matching the paper's random-walk models."""
         if n_cells < 2:
             raise ValueError("a ring needs at least two cells")
+        sites = cls.uniform_sites(n_cells, capacity)
         adjacency = np.zeros((n_cells, n_cells), dtype=bool)
         for i in range(n_cells):
             adjacency[i, (i + 1) % n_cells] = True
             adjacency[i, (i - 1) % n_cells] = True
         np.fill_diagonal(adjacency, False)
-        sites = [EdgeSite(cell=i, capacity=capacity) for i in range(n_cells)]
         return cls(sites=sites, adjacency=adjacency)
 
     @classmethod
     def from_grid(cls, grid: GridTopology, *, capacity: int = 16) -> "MECTopology":
         """Build a topology from a 2-D grid (4-neighbourhood adjacency)."""
         n = grid.n_cells
+        sites = cls.uniform_sites(n, capacity)
         adjacency = np.zeros((n, n), dtype=bool)
         for index in range(n):
             for neighbor in grid.neighbors(index):
                 adjacency[index, neighbor] = True
-        sites = [EdgeSite(cell=i, capacity=capacity) for i in range(n)]
         return cls(sites=sites, adjacency=adjacency)
 
     @classmethod
@@ -175,6 +198,6 @@ class MECTopology:
         cls, quantizer: VoronoiQuantizer, *, capacity: int = 16
     ) -> "MECTopology":
         """Build a topology from Voronoi cell adjacency (trace-driven setup)."""
+        sites = cls.uniform_sites(quantizer.n_cells, capacity)
         adjacency = quantizer.cell_adjacency()
-        sites = [EdgeSite(cell=i, capacity=capacity) for i in range(quantizer.n_cells)]
         return cls(sites=sites, adjacency=adjacency)

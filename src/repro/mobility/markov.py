@@ -21,7 +21,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..numerics import LOG_FLOOR, safe_log
+from ..numerics import safe_log
 
 __all__ = [
     "MarkovChain",
@@ -175,6 +175,12 @@ class MarkovChain:
     _stationary: np.ndarray = field(init=False, repr=False)
     _log_transition: np.ndarray = field(init=False, repr=False)
     _cumulative_transition: np.ndarray = field(init=False, repr=False)
+    #: One-entry memo of the last transition stack's cumulative form,
+    #: keyed by object identity (the fleet passes the same immutable
+    #: stack for every user of every run, so the cumsum is computed once).
+    _stack_cumulative: "tuple[object, np.ndarray] | None" = field(
+        init=False, repr=False, default=None
+    )
 
     def __post_init__(self) -> None:
         self.transition_matrix = validate_transition_matrix(self.transition_matrix)
@@ -264,6 +270,7 @@ class MarkovChain:
         rng: np.random.Generator,
         *,
         initial_state: int | None = None,
+        transition_stack: np.ndarray | None = None,
     ) -> np.ndarray:
         """Sample a trajectory of ``length`` states.
 
@@ -276,6 +283,13 @@ class MarkovChain:
         initial_state:
             Optional fixed first state; otherwise drawn from the initial
             distribution.
+        transition_stack:
+            Optional ``(T - 1, L, L)`` per-step transition matrices of a
+            time-varying chain; step ``t - 1`` governs the transition
+            into slot ``t``.  The initial state is still drawn from this
+            chain's initial distribution, and the randomness consumed is
+            identical to the stationary path — which is what keeps
+            empty-timeline dynamic runs bit-identical to static ones.
         """
         if length <= 0:
             raise ValueError("trajectory length must be positive")
@@ -290,13 +304,22 @@ class MarkovChain:
                 rng.random(length - 1) if length > 1 else np.empty(0, dtype=float)
             )
         if length > 1:
-            cumulative = self._cumulative_transition
+            per_step = (
+                None
+                if transition_stack is None
+                else self._cumulative_stack(transition_stack, length)
+            )
             last = self.n_states - 1
             state = int(trajectory[0])
             for t in range(1, length):
+                cumulative = (
+                    self._cumulative_transition[state]
+                    if per_step is None
+                    else per_step[t - 1, state]
+                )
                 state = int(
                     min(
-                        np.searchsorted(cumulative[state], uniforms[t - 1], side="right"),
+                        np.searchsorted(cumulative, uniforms[t - 1], side="right"),
                         last,
                     )
                 )
@@ -328,13 +351,19 @@ class MarkovChain:
         return self.evolve_from_uniforms(initial, uniforms)
 
     def sample_trajectories_batch(
-        self, length: int, rngs: Sequence[np.random.Generator]
+        self,
+        length: int,
+        rngs: Sequence[np.random.Generator],
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> np.ndarray:
         """Sample one trajectory per generator as an ``(len(rngs), length)`` array.
 
         Each row consumes its generator exactly like a scalar
         :meth:`sample_trajectory` call would, so the batched Monte-Carlo
         engine reproduces the looped engine's trajectories run for run.
+        ``transition_stack`` makes the evolution time-varying (see
+        :meth:`evolve_from_uniforms`) without changing the draw order.
         """
         rngs = list(rngs)
         if not rngs:
@@ -347,10 +376,58 @@ class MarkovChain:
             initial[row], uniforms[row] = self.sample_trajectory_randomness(
                 length, rng
             )
-        return self.evolve_from_uniforms(initial, uniforms)
+        return self.evolve_from_uniforms(
+            initial, uniforms, transition_stack=transition_stack
+        )
+
+    def _validate_transition_stack(
+        self, stack: np.ndarray, length: int
+    ) -> np.ndarray:
+        """Shape-check a per-step ``(T - 1, L, L)`` transition stack.
+
+        The matrices themselves are trusted (they come out of validated
+        :class:`MarkovChain` instances via the world layer); only the
+        dimensions are checked so the per-slot kernels stay cheap.
+        """
+        arr = np.asarray(stack, dtype=float)
+        n = self.n_states
+        if arr.ndim != 3 or arr.shape[1:] != (n, n):
+            raise ValueError(
+                f"transition_stack must be (T - 1, {n}, {n}), got {arr.shape}"
+            )
+        if arr.shape[0] != length - 1:
+            raise ValueError(
+                f"transition_stack covers {arr.shape[0]} steps but the "
+                f"trajectory has {length - 1}"
+            )
+        return arr
+
+    def _cumulative_stack(self, stack: np.ndarray, length: int) -> np.ndarray:
+        """The per-step cumulative rows of a transition stack, memoized.
+
+        The memo holds a strong reference to the stack object and is keyed
+        by identity, so repeated sampling calls against one simulation's
+        (immutable) stack pay the cumsum exactly once.
+        """
+        cached = self._stack_cumulative
+        if (
+            cached is not None
+            and cached[0] is stack
+            and cached[1].shape[0] == length - 1
+        ):
+            return cached[1]
+        cumulative = np.cumsum(
+            self._validate_transition_stack(stack, length), axis=2
+        )
+        self._stack_cumulative = (stack, cumulative)
+        return cumulative
 
     def evolve_from_uniforms(
-        self, initial_states: np.ndarray, uniforms: np.ndarray
+        self,
+        initial_states: np.ndarray,
+        uniforms: np.ndarray,
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> np.ndarray:
         """Evolve many trajectories from initial states and uniform draws.
 
@@ -360,6 +437,13 @@ class MarkovChain:
         how many cumulative-row entries are ``<= u`` matches
         ``searchsorted(..., side="right")`` exactly — applied to all rows
         at once.
+
+        With ``transition_stack`` (a ``(T - 1, L, L)`` stack of per-step
+        matrices, e.g. from
+        :meth:`repro.world.timeline.WorldSchedule.transition_stack`), step
+        ``t`` uses ``transition_stack[t - 1]`` instead of this chain's
+        matrix: the evolution follows the true time-varying chain while
+        consuming the exact same uniforms.
         """
         initial = np.asarray(initial_states, dtype=np.int64)
         u = np.asarray(uniforms, dtype=float)
@@ -368,13 +452,20 @@ class MarkovChain:
         if initial.size and (initial.min() < 0 or initial.max() >= self.n_states):
             raise ValueError("initial states out of range")
         length = u.shape[1] + 1
+        per_step = (
+            None
+            if transition_stack is None
+            else self._cumulative_stack(transition_stack, length)
+        )
         trajectories = np.empty((initial.size, length), dtype=np.int64)
         trajectories[:, 0] = initial
         cumulative = self._cumulative_transition
         last = self.n_states - 1
         states = initial
         for t in range(1, length):
-            rows = cumulative[states]
+            rows = (
+                cumulative[states] if per_step is None else per_step[t - 1, states]
+            )
             states = np.minimum((rows <= u[:, t - 1, None]).sum(axis=1), last)
             trajectories[:, t] = states
         return trajectories
@@ -398,13 +489,25 @@ class MarkovChain:
             value += float(self._log_transition[traj[:-1], traj[1:]].sum())
         return value
 
-    def log_likelihoods(self, trajectories: np.ndarray) -> np.ndarray:
+    def log_likelihoods(
+        self,
+        trajectories: np.ndarray,
+        *,
+        transition_stack: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Log-likelihood of every trajectory in an ``(..., T)`` array.
 
         The time axis is last; any number of leading batch axes is
         supported (``(N, T)`` for one episode's observations, ``(R, N, T)``
         for a whole Monte-Carlo batch).  Computed by vectorised
         log-probability indexing, one shot for the entire tensor.
+
+        With ``transition_stack`` the step into slot ``t`` is scored under
+        ``transition_stack[t - 1]`` instead of this chain's matrix, so
+        detectors and trackers evaluate observations against the *true*
+        time-varying chain of a dynamic world.  The initial term stays
+        ``log pi(x_1)`` under this chain's stationary distribution (the
+        eavesdropper's steady-state prior).
         """
         traj = np.asarray(trajectories, dtype=np.int64)
         if traj.ndim < 1 or traj.size == 0:
@@ -413,9 +516,16 @@ class MarkovChain:
         self._check_state(int(traj.max()))
         scores = self.log_stationary[traj[..., 0]].astype(float)
         if traj.shape[-1] > 1:
-            scores = scores + self._log_transition[
-                traj[..., :-1], traj[..., 1:]
-            ].sum(axis=-1)
+            if transition_stack is None:
+                step_logs = self._log_transition[traj[..., :-1], traj[..., 1:]]
+            else:
+                stack = self._validate_transition_stack(
+                    transition_stack, traj.shape[-1]
+                )
+                step_logs = _safe_log(stack)[
+                    np.arange(traj.shape[-1] - 1), traj[..., :-1], traj[..., 1:]
+                ]
+            scores = scores + step_logs.sum(axis=-1)
         return scores
 
     def stepwise_log_likelihood(self, trajectory: Sequence[int] | np.ndarray) -> np.ndarray:

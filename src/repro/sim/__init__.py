@@ -3,6 +3,7 @@ result containers and the on-disk result cache."""
 
 from .cache import ResultCache, default_cache_dir, experiment_cache_key
 from .config import (
+    DynamicExperimentConfig,
     FleetExperimentConfig,
     SyntheticExperimentConfig,
     TraceExperimentConfig,
@@ -19,6 +20,7 @@ from .seeding import (
 )
 
 __all__ = [
+    "DynamicExperimentConfig",
     "FleetExperimentConfig",
     "SyntheticExperimentConfig",
     "TraceExperimentConfig",

@@ -15,6 +15,7 @@ __all__ = [
     "SyntheticExperimentConfig",
     "TraceExperimentConfig",
     "FleetExperimentConfig",
+    "DynamicExperimentConfig",
 ]
 
 #: Strategy names evaluated in the paper's synthetic figures.
@@ -368,6 +369,162 @@ class FleetExperimentConfig:
             mobility_model=self.mobility_model,
             population_sweep=self.population_sweep,
             capacity_sweep=self.capacity_sweep,
+            seed=self.seed,
+            engine=self.engine,
+            workers=self.workers,
+        )
+
+
+@dataclass(frozen=True)
+class DynamicExperimentConfig:
+    """Configuration of the dynamic-world fleet experiment.
+
+    The experiment runs the multi-user fleet on a *live* deployment: a
+    :class:`~repro.world.timeline.Timeline` of regime switches, Poisson
+    site failures and user churn generated from the config seed.  Two
+    sweeps are reported — privacy and per-user cost versus the site
+    failure rate (churn fixed) and versus the user churn rate (failures
+    fixed).
+
+    Attributes
+    ----------
+    n_users / n_cells / site_capacity / horizon / n_runs / n_chaffs /
+    strategy / mobility_model:
+        The fleet shape, as in :class:`FleetExperimentConfig` (the
+        deployment is the densest grid factorisation of ``n_cells``).
+    regime_model:
+        Mobility model key of the alternate regime; ``None`` disables
+        regime switching.
+    regime_period:
+        Slots between regime rotations (``None`` disables switching).
+    failure_rate:
+        Expected site failures per slot in the churn sweep.
+    churn_rate:
+        Fraction of transient users in the failure sweep.
+    mean_downtime:
+        Mean slots a failed site stays down.
+    failure_sweep / churn_sweep:
+        Explicit sweep points; ``None`` derives a small default sweep
+        around ``failure_rate`` / ``churn_rate``.
+    seed / engine / workers:
+        As in every experiment config (``engine`` and ``workers`` never
+        change the numbers and stay out of the cache key).
+    """
+
+    n_users: int = 40
+    n_cells: int = 25
+    site_capacity: int = 8
+    horizon: int = 100
+    n_runs: int = 10
+    n_chaffs: int = 1
+    strategy: str = "IM"
+    mobility_model: str = "non-skewed"
+    regime_model: "str | None" = "temporally-skewed"
+    regime_period: "int | None" = 25
+    failure_rate: float = 0.05
+    churn_rate: float = 0.2
+    mean_downtime: float = 5.0
+    failure_sweep: "tuple[float, ...] | None" = None
+    churn_sweep: "tuple[float, ...] | None" = None
+    seed: int = 2017
+    engine: str = "batch"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError("n_users must be positive")
+        if self.n_cells < 2:
+            raise ValueError("n_cells must be at least 2")
+        if self.site_capacity < 1:
+            raise ValueError("site_capacity must be positive")
+        if self.horizon < 2:
+            raise ValueError("horizon must be at least 2")
+        if self.n_runs < 1:
+            raise ValueError("n_runs must be positive")
+        if self.n_chaffs < 0:
+            raise ValueError("n_chaffs must be non-negative")
+        if self.regime_period is not None and self.regime_period < 1:
+            raise ValueError("regime_period must be positive (or None)")
+        if self.failure_rate < 0:
+            raise ValueError("failure_rate must be non-negative")
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ValueError("churn_rate must be in [0, 1]")
+        if self.mean_downtime < 1:
+            raise ValueError("mean_downtime must be at least 1 slot")
+        if any(rate < 0 for rate in self.failure_rates()):
+            raise ValueError("failure_sweep rates must be non-negative")
+        if any(not 0.0 <= rate <= 1.0 for rate in self.churn_rates()):
+            raise ValueError("churn_sweep rates must be in [0, 1]")
+        if self.engine not in ("batch", "loop"):
+            raise ValueError("engine must be 'batch' or 'loop'")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative (0 = all cores)")
+        slots = self.n_cells * self.site_capacity
+        services = self.n_users * (1 + self.n_chaffs)
+        if services > slots:
+            raise ValueError(
+                f"fleet needs {services} service slots but the deployment "
+                f"only has {slots}; raise site_capacity or n_cells"
+            )
+
+    def failure_rates(self) -> tuple[float, ...]:
+        """Failure-sweep points (derived from ``failure_rate`` when unset)."""
+        if self.failure_sweep is not None:
+            return tuple(float(rate) for rate in self.failure_sweep)
+        return (0.0, self.failure_rate, 2 * self.failure_rate)
+
+    def churn_rates(self) -> tuple[float, ...]:
+        """Churn-sweep points (derived from ``churn_rate`` when unset)."""
+        if self.churn_sweep is not None:
+            return tuple(float(rate) for rate in self.churn_sweep)
+        return (0.0, self.churn_rate, min(1.0, 2 * self.churn_rate))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        data = asdict(self)
+        if self.failure_sweep is not None:
+            data["failure_sweep"] = list(self.failure_sweep)
+        if self.churn_sweep is not None:
+            data["churn_sweep"] = list(self.churn_sweep)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DynamicExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        data = dict(data)
+        for key in ("failure_sweep", "churn_sweep"):
+            if data.get(key) is not None:
+                data[key] = tuple(data[key])
+        return cls(**data)
+
+    def scaled(
+        self,
+        *,
+        n_users: int | None = None,
+        n_runs: int | None = None,
+        horizon: int | None = None,
+    ) -> "DynamicExperimentConfig":
+        """Copy with reduced sizes (for tests and CI)."""
+        horizon = horizon if horizon is not None else self.horizon
+        period = self.regime_period
+        if period is not None:
+            period = max(2, min(period, horizon // 2))
+        return DynamicExperimentConfig(
+            n_users=n_users if n_users is not None else self.n_users,
+            n_cells=self.n_cells,
+            site_capacity=self.site_capacity,
+            horizon=horizon,
+            n_runs=n_runs if n_runs is not None else self.n_runs,
+            n_chaffs=self.n_chaffs,
+            strategy=self.strategy,
+            mobility_model=self.mobility_model,
+            regime_model=self.regime_model,
+            regime_period=period,
+            failure_rate=self.failure_rate,
+            churn_rate=self.churn_rate,
+            mean_downtime=self.mean_downtime,
+            failure_sweep=self.failure_sweep,
+            churn_sweep=self.churn_sweep,
             seed=self.seed,
             engine=self.engine,
             workers=self.workers,

@@ -1,0 +1,51 @@
+"""Dynamic worlds: time-varying mobility, topology events and user churn.
+
+The world layer sits *below* every simulation layer: a
+:class:`~repro.world.timeline.Timeline` of typed events
+(:mod:`~repro.world.events`) compiles into dense per-slot state — the
+mobility regime, the effective per-site capacities and the per-user
+activity windows — which the mobility, placement, fleet and experiment
+layers consume instead of assuming an episode-constant world.
+
+Layer diagram::
+
+    world (Timeline)  →  mobility (regime stacks)  →  mec (capacity views,
+    evictions, churned placements)  →  fleet (masked batch kernels)  →
+    sim/experiments/CLI (the ``dynamic`` experiment)
+
+An empty timeline is the frozen world: every consumer is bit-identical to
+the static code path in that case.
+"""
+
+from .events import (
+    CapacityChange,
+    RegimeSwitch,
+    SiteDown,
+    SiteUp,
+    UserArrival,
+    UserDeparture,
+    WorldEvent,
+)
+from .generators import (
+    dynamic_timeline,
+    periodic_regime_events,
+    poisson_site_failures,
+    random_user_churn,
+)
+from .timeline import Timeline, WorldSchedule
+
+__all__ = [
+    "WorldEvent",
+    "RegimeSwitch",
+    "SiteDown",
+    "SiteUp",
+    "CapacityChange",
+    "UserArrival",
+    "UserDeparture",
+    "Timeline",
+    "WorldSchedule",
+    "periodic_regime_events",
+    "poisson_site_failures",
+    "random_user_churn",
+    "dynamic_timeline",
+]

@@ -1,0 +1,154 @@
+"""Typed world events: everything that can change mid-episode.
+
+The static simulator assumes a frozen world — one mobility model for all
+``T`` slots, every edge site at its declared capacity forever, all ``M``
+users present from slot 0 to slot ``T``.  Real MEC deployments are not
+frozen: mobility regimes switch (commute vs. lunch hours), sites fail and
+recover, capacities are re-provisioned, and users arrive and depart
+mid-episode.  Each of those facts is one event type here; a
+:class:`~repro.world.timeline.Timeline` is an ordered collection of them.
+
+Every event carries the ``slot`` at which it takes effect; its effect
+persists until another event overrides it.  Events are plain frozen
+dataclasses so timelines pickle cleanly into the parallel workers and
+hash stably into the result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "WorldEvent",
+    "RegimeSwitch",
+    "SiteDown",
+    "SiteUp",
+    "CapacityChange",
+    "UserArrival",
+    "UserDeparture",
+]
+
+
+@dataclass(frozen=True)
+class WorldEvent:
+    """Base class: something that changes the world at one slot.
+
+    Attributes
+    ----------
+    slot:
+        First slot at which the event's effect is visible.  Events at
+        slots past the episode horizon are ignored at compile time (open
+        -ended generators may emit them).
+    """
+
+    slot: int
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ValueError("event slot must be non-negative")
+
+
+@dataclass(frozen=True)
+class RegimeSwitch(WorldEvent):
+    """From ``slot`` onward, mobility follows regime ``regime``.
+
+    Regime ``0`` is always the simulation's base mobility chain; regime
+    ``k >= 1`` selects ``timeline.regime_chains[k - 1]``.  The transition
+    *into* slot ``t`` is governed by the regime in effect at slot ``t``.
+    """
+
+    regime: int
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.regime < 0:
+            raise ValueError("regime index must be non-negative")
+
+
+@dataclass(frozen=True)
+class SiteDown(WorldEvent):
+    """Edge site ``cell`` fails at ``slot``: its capacity drops to zero.
+
+    Services hosted there are forcibly evicted to the nearest site with a
+    free slot (a charged migration); if no site has room they are
+    *stranded* on the failed site until capacity reappears.
+    """
+
+    cell: int
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cell < 0:
+            raise ValueError("cell must be non-negative")
+
+
+@dataclass(frozen=True)
+class SiteUp(WorldEvent):
+    """Edge site ``cell`` recovers at ``slot``.
+
+    The site returns to its *declared* capacity: the topology's base
+    capacity, or the most recent :class:`CapacityChange` value if one was
+    applied earlier on the timeline.
+    """
+
+    cell: int
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cell < 0:
+            raise ValueError("cell must be non-negative")
+
+
+@dataclass(frozen=True)
+class CapacityChange(WorldEvent):
+    """Edge site ``cell`` is re-provisioned to ``capacity`` service slots.
+
+    Takes effect at ``slot`` and persists (it changes the site's declared
+    capacity, which is also what a later :class:`SiteUp` restores).  A
+    shrink below the site's current load evicts the excess services like
+    a failure does.
+    """
+
+    cell: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cell < 0:
+            raise ValueError("cell must be non-negative")
+        if self.capacity < 0:
+            raise ValueError("capacity must be non-negative")
+
+
+@dataclass(frozen=True)
+class UserArrival(WorldEvent):
+    """User ``user`` joins the deployment at ``slot``.
+
+    A user with an arrival event is inactive before it: none of their
+    services (real or chaff) exist on the MEC, and they accrue no cost.
+    Their services are instantiated at the planned cells for ``slot``.
+    """
+
+    user: int
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.user < 0:
+            raise ValueError("user index must be non-negative")
+
+
+@dataclass(frozen=True)
+class UserDeparture(WorldEvent):
+    """User ``user`` leaves the deployment at ``slot``.
+
+    All of the user's services are torn down at ``slot`` (their site
+    slots are freed *before* that slot's evictions and arrivals are
+    resolved), and the user accrues no further cost.
+    """
+
+    user: int
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.user < 0:
+            raise ValueError("user index must be non-negative")

@@ -1,0 +1,182 @@
+"""Scenario generators: building blocks for dynamic-world timelines.
+
+Three families of events, each seeded through the repo-wide
+:mod:`~repro.sim.seeding` SeedSequence discipline so generated worlds are
+reproducible, cacheable and worker-count independent:
+
+* :func:`periodic_regime_events` — deterministic regime rotation (commute
+  / lunch-hour style mobility switching);
+* :func:`poisson_site_failures` — site failures arriving as a Poisson
+  process with geometric downtimes (failure/recovery pairs);
+* :func:`random_user_churn` — a random fraction of users are transient
+  sessions with uniformly drawn arrival/departure windows.
+
+:func:`dynamic_timeline` combines all three into one :class:`Timeline`
+from a single master seed, which is what the registered ``dynamic``
+experiment and the CLI use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mobility.markov import MarkovChain
+from ..sim.seeding import as_seed_sequence, spawn_sequences
+from .events import (
+    RegimeSwitch,
+    SiteDown,
+    SiteUp,
+    UserArrival,
+    UserDeparture,
+    WorldEvent,
+)
+from .timeline import Timeline
+
+__all__ = [
+    "periodic_regime_events",
+    "poisson_site_failures",
+    "random_user_churn",
+    "dynamic_timeline",
+]
+
+
+def periodic_regime_events(
+    horizon: int, period: int, n_regimes: int
+) -> tuple[RegimeSwitch, ...]:
+    """Rotate through ``n_regimes`` mobility regimes every ``period`` slots.
+
+    The episode starts in regime 0 (the base chain); at slot ``k *
+    period`` the world switches to regime ``k % n_regimes``.  With two
+    regimes and ``period=25`` over ``T=100`` that is the classic
+    commute/lunch alternation: 0, 1, 0, 1.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be positive")
+    if period < 1:
+        raise ValueError("period must be positive")
+    if n_regimes < 1:
+        raise ValueError("n_regimes must be positive")
+    return tuple(
+        RegimeSwitch(slot=k * period, regime=k % n_regimes)
+        for k in range(1, -(-horizon // period))
+    )
+
+
+def poisson_site_failures(
+    horizon: int,
+    n_cells: int,
+    failure_rate: float,
+    seed: "int | np.random.SeedSequence",
+    *,
+    mean_downtime: float = 5.0,
+) -> tuple[WorldEvent, ...]:
+    """Site failures as a Poisson process with geometric downtimes.
+
+    Each slot from 1 onward (slot 0 is kept failure-free so the initial
+    placement always sees the declared deployment), ``Poisson(
+    failure_rate)`` of the currently-up sites fail; each failed site
+    recovers after a ``Geometric(1 / mean_downtime)`` downtime.  Every
+    failure emits a :class:`SiteDown` and, when the recovery lands inside
+    the horizon, the matching :class:`SiteUp`.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be positive")
+    if n_cells < 1:
+        raise ValueError("n_cells must be positive")
+    if failure_rate < 0:
+        raise ValueError("failure_rate must be non-negative")
+    if mean_downtime < 1:
+        raise ValueError("mean_downtime must be at least 1 slot")
+    rng = np.random.default_rng(as_seed_sequence(seed))
+    up_until = np.zeros(n_cells, dtype=np.int64)  # first slot the site is up again
+    events: list[WorldEvent] = []
+    for slot in range(1, horizon):
+        failures = int(rng.poisson(failure_rate))
+        if failures == 0:
+            continue
+        up = np.flatnonzero(up_until <= slot)
+        if up.size == 0:
+            continue
+        failed = rng.choice(up, size=min(failures, up.size), replace=False)
+        for cell in np.sort(failed):
+            downtime = int(rng.geometric(1.0 / mean_downtime))
+            events.append(SiteDown(slot=slot, cell=int(cell)))
+            up_until[cell] = slot + downtime
+            if slot + downtime < horizon:
+                events.append(SiteUp(slot=slot + downtime, cell=int(cell)))
+    return tuple(events)
+
+
+def random_user_churn(
+    horizon: int,
+    n_users: int,
+    churn_rate: float,
+    seed: "int | np.random.SeedSequence",
+) -> tuple[WorldEvent, ...]:
+    """Mark a random ``churn_rate`` fraction of users as transient sessions.
+
+    Each user independently churns with probability ``churn_rate``; a
+    churned user arrives uniformly in the first half of the episode and
+    departs uniformly afterwards (always keeping at least one active
+    slot).  Non-churned users are present for the whole episode.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be positive")
+    if n_users < 1:
+        raise ValueError("n_users must be positive")
+    if not 0.0 <= churn_rate <= 1.0:
+        raise ValueError("churn_rate must be in [0, 1]")
+    rng = np.random.default_rng(as_seed_sequence(seed))
+    events: list[WorldEvent] = []
+    for user in range(n_users):
+        if rng.random() >= churn_rate:
+            continue
+        arrival = int(rng.integers(0, horizon // 2 + 1))
+        departure = int(rng.integers(arrival + 1, horizon + 1))
+        if arrival > 0:
+            events.append(UserArrival(slot=arrival, user=user))
+        if departure < horizon:
+            events.append(UserDeparture(slot=departure, user=user))
+    return tuple(events)
+
+
+def dynamic_timeline(
+    *,
+    horizon: int,
+    n_cells: int,
+    n_users: int,
+    seed: "int | np.random.SeedSequence",
+    regime_chains: "tuple[MarkovChain, ...]" = (),
+    regime_period: int | None = None,
+    failure_rate: float = 0.0,
+    churn_rate: float = 0.0,
+    mean_downtime: float = 5.0,
+) -> Timeline:
+    """One :class:`Timeline` combining regimes, failures and churn.
+
+    All randomness derives from two spawned children of ``seed`` (one for
+    failures, one for churn; the regime rotation is deterministic).  An
+    integer seed is mixed with the ``"world"`` key so a timeline never
+    shares streams with the mobility sampling of the episode it drives;
+    spawned children are already scoped by their ancestry.
+    """
+    key = None if isinstance(seed, np.random.SeedSequence) else "world"
+    children = spawn_sequences(seed, 2, key=key)
+    events: list[WorldEvent] = []
+    if regime_period is not None and regime_chains:
+        events.extend(
+            periodic_regime_events(horizon, regime_period, len(regime_chains) + 1)
+        )
+    if failure_rate > 0:
+        events.extend(
+            poisson_site_failures(
+                horizon,
+                n_cells,
+                failure_rate,
+                children[0],
+                mean_downtime=mean_downtime,
+            )
+        )
+    if churn_rate > 0:
+        events.extend(random_user_churn(horizon, n_users, churn_rate, children[1]))
+    return Timeline(events=tuple(events), regime_chains=tuple(regime_chains))

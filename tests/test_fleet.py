@@ -87,7 +87,13 @@ class TestPlacementEngine:
         engine = PlacementEngine(MECTopology.ring(4, capacity=2))
         placed = engine.place_initial(np.array([0, 0, 1]))
         assert placed.tolist() == [0, 0, 1]
-        assert engine.stats.as_dict() == {"admitted": 3, "spilled": 0, "rejected": 0}
+        assert engine.stats.as_dict() == {
+            "admitted": 3,
+            "spilled": 0,
+            "rejected": 0,
+            "evicted": 0,
+            "stranded": 0,
+        }
 
     def test_full_site_spills_to_nearest_neighbor(self):
         engine = PlacementEngine(MECTopology.ring(5, capacity=1))
@@ -132,7 +138,13 @@ class TestPlacementEngine:
         current = engine.place_initial(np.array([0, 3]))
         placed = engine.resolve_moves(current, np.array([1, 1]))
         assert placed.tolist() == [1, 0]
-        assert engine.stats.as_dict() == {"admitted": 3, "spilled": 1, "rejected": 0}
+        assert engine.stats.as_dict() == {
+            "admitted": 3,
+            "spilled": 1,
+            "rejected": 0,
+            "evicted": 0,
+            "stranded": 0,
+        }
 
     def test_fast_path_matches_sequential_semantics(self):
         # Uncontended slot: every arrival fits, the bincount fast path
@@ -608,3 +620,174 @@ class TestFleetCLI:
         code = main(["run", "fleet", "--runs", "2", "--horizon", "8", "--no-cache"])
         assert code == 0
         assert "[fleet]" in capsys.readouterr().out
+
+
+class TestSaturatedTopology:
+    """Satellites: a fully saturated deployment, exact stats accounting."""
+
+    def test_every_request_rejected_when_saturated(self):
+        # Complete graph, capacity 1, every site occupied: any move
+        # request targets a full site and no free site exists, so every
+        # single request is rejected and nothing moves.
+        topology = MECTopology.complete(4, capacity=1)
+        engine = PlacementEngine(topology)
+        current = engine.place_initial(np.array([0, 1, 2, 3]))
+        assert engine.stats.as_dict() == {
+            "admitted": 4,
+            "spilled": 0,
+            "rejected": 0,
+            "evicted": 0,
+            "stranded": 0,
+        }
+        for slot in range(3):
+            desired = np.roll(current, 1)  # everyone wants a neighbour
+            placed = engine.resolve_moves(current, desired)
+            assert placed.tolist() == current.tolist()
+        assert engine.stats.as_dict() == {
+            "admitted": 4,
+            "spilled": 0,
+            "rejected": 12,
+            "evicted": 0,
+            "stranded": 0,
+        }
+        assert engine.load.tolist() == [1, 1, 1, 1]
+
+    def test_saturated_fleet_run_accounts_exactly(self, chain):
+        # A fleet that exactly fills a capacity-1 deployment: after the
+        # initial placement no service can ever move (every site full),
+        # so both engines must report zero migrations and rejected
+        # accounting must equal the number of distinct move requests.
+        topology = MECTopology.complete(10, capacity=1)
+        simulation = FleetSimulation(
+            topology,
+            chain,
+            strategy=get_strategy("IM"),
+            config=FleetSimulationConfig(n_users=5, horizon=12, n_chaffs=1),
+        )
+        for engine_name in ("batch", "loop"):
+            report = simulation.run(3, engine=engine_name)
+            assert report.total_migrations == 0
+            stats = report.placement.as_dict()
+            assert stats["admitted"] + stats["spilled"] == 10  # instantiation
+            assert stats["evicted"] == 0 and stats["stranded"] == 0
+            # every observed trajectory is frozen at its initial cell
+            plane = report.observations.trajectories
+            assert np.all(plane == plane[:, :1])
+        batch = simulation.run(3, engine="batch")
+        loop = simulation.run(3, engine="loop")
+        assert batch.placement.as_dict() == loop.placement.as_dict()
+
+    def test_nearest_free_tie_breaking_is_deterministic(self):
+        # _nearest_free must break hop-distance ties towards the lowest
+        # cell index, independent of argmin/flatnonzero platform quirks:
+        # on a ring of 6 with cell 0 full, cells 1 and 5 are both one
+        # hop away -> cell 1 wins, repeatably.
+        for _ in range(5):
+            engine = PlacementEngine(MECTopology.ring(6, capacity=1))
+            engine.place_initial(np.array([0]))
+            assert engine._nearest_free(0) == 1
+        # with cell 1 also full the next candidates are 2 and 5 at
+        # distances 2 and 1: distance wins over index.
+        engine = PlacementEngine(MECTopology.ring(6, capacity=1))
+        engine.place_initial(np.array([0, 1]))
+        assert engine._nearest_free(0) == 5
+        # equidistant free sites on a complete graph: lowest index wins.
+        engine = PlacementEngine(MECTopology.complete(5, capacity=1))
+        engine.place_initial(np.array([0]))
+        assert engine._nearest_free(0) == 1
+        # and the choice is stable under permuted load histories that
+        # leave the same free set.
+        engine = PlacementEngine(MECTopology.complete(5, capacity=1))
+        engine.place_initial(np.array([0, 3]))
+        assert engine._nearest_free(3) == 1
+
+
+class TestSingleUserEquivalence:
+    """Satellite: M=1 empty-timeline fleet == single-user MECSimulation.
+
+    The regression anchor of the dynamic-world refactor: one user on an
+    uncontended deployment must reproduce the single-user simulator's
+    privacy and cost numbers bit-identically (the fleet's user stream is
+    child 0 of the run seed; tie-free strategies keep the detector
+    decisions deterministic).
+    """
+
+    @pytest.mark.parametrize("strategy_name", ["ML", "MO"])
+    @pytest.mark.parametrize("engine", ["batch", "loop"])
+    def test_m1_fleet_reproduces_single_user_simulation(
+        self, chain, strategy_name, engine
+    ):
+        from repro.sim.seeding import as_seed_sequence
+
+        seed = 424
+        topology = MECTopology.from_grid(GridTopology(2, 5), capacity=16)
+        strategy = get_strategy(strategy_name)
+        fleet = FleetSimulation(
+            topology,
+            chain,
+            strategy=strategy,
+            config=FleetSimulationConfig(
+                n_users=1, horizon=40, n_chaffs=2, shuffle_observations=False
+            ),
+        )
+        fleet_report = fleet.run(seed, engine=engine)
+        single = MECSimulation(
+            topology,
+            chain,
+            strategy=strategy,
+            config=MECSimulationConfig(
+                horizon=40, n_chaffs=2, shuffle_observations=False
+            ),
+        )
+        rng = np.random.default_rng(as_seed_sequence(seed).spawn(3)[0])
+        single_report = single.run(rng)
+        assert np.array_equal(
+            fleet_report.user_trajectories[0], single_report.user_trajectory
+        )
+        assert np.array_equal(
+            fleet_report.observations.trajectories,
+            single_report.observations.trajectories,
+        )
+        fleet_ledger = fleet_report.ledgers[0]
+        single_ledger = single_report.ledger
+        assert fleet_ledger.migration_total == single_ledger.migration_total
+        assert fleet_ledger.communication_total == single_ledger.communication_total
+        assert fleet_ledger.chaff_total == single_ledger.chaff_total
+        assert fleet_ledger.migrations == single_ledger.migrations
+        assert fleet_ledger.per_slot_totals == single_ledger.per_slot_totals
+        fleet_eval = fleet_report.evaluate(chain, MaximumLikelihoodDetector())
+        single_eval = single_report.evaluate(
+            chain, MaximumLikelihoodDetector(), np.random.default_rng(0)
+        )
+        assert fleet_eval.tracking_per_user[0] == single_eval["tracking_accuracy"]
+        assert fleet_eval.detected_per_user[0] == single_eval["detection_accuracy"]
+        assert fleet_report.total_cost == single_eval["total_cost"]
+
+    def test_m1_no_chaff_fleet_reproduces_single_user(self, chain):
+        from repro.sim.seeding import as_seed_sequence
+
+        seed = 99
+        topology = MECTopology.from_grid(GridTopology(2, 5), capacity=16)
+        fleet = FleetSimulation(
+            topology,
+            chain,
+            config=FleetSimulationConfig(
+                n_users=1, horizon=30, n_chaffs=0, shuffle_observations=False
+            ),
+        )
+        fleet_report = fleet.run(seed)
+        single = MECSimulation(
+            topology,
+            chain,
+            config=MECSimulationConfig(
+                horizon=30, n_chaffs=0, shuffle_observations=False
+            ),
+        )
+        rng = np.random.default_rng(as_seed_sequence(seed).spawn(3)[0])
+        single_report = single.run(rng)
+        assert np.array_equal(
+            fleet_report.user_trajectories[0], single_report.user_trajectory
+        )
+        assert fleet_report.ledgers[0].per_slot_totals == (
+            single_report.ledger.per_slot_totals
+        )

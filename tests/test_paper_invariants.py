@@ -8,7 +8,6 @@ reduced-scale simulation.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.bounds import im_tracking_accuracy, ml_tracking_accuracy
 from repro.analysis.loglik import build_cml_induced_chain

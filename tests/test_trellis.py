@@ -13,7 +13,6 @@ from repro.core.trellis import (
     trajectory_cost,
     validate_allowed_mask,
 )
-from repro.mobility.markov import MarkovChain
 
 
 class TestValidateAllowedMask:
