@@ -1,0 +1,74 @@
+"""Adversary subsystem: eavesdroppers with knowledge and coverage models.
+
+The paper's eavesdropper is an idealisation — it knows the true mobility
+model exactly and observes every service at every site.  This package
+models adversaries as first-class agents on a two-dimensional ladder:
+
+* **knowledge** (:mod:`~repro.adversary.knowledge`) — ``oracle`` (the
+  paper's assumption), ``learned`` (fits an empirical chain online from
+  the observation plane, optionally warm-started across episodes) and
+  ``stale`` (regime-blind under dynamic worlds);
+* **coverage** (:mod:`~repro.adversary.coverage`) — full, a seeded
+  fraction of compromised sites, or a coalition merging several partial
+  views.
+
+:class:`~repro.adversary.detector.AdversaryDetector` composes one of
+each into an ordinary trajectory detector, and
+:func:`~repro.adversary.monte_carlo.run_adversary_monte_carlo` runs it
+across a fleet Monte-Carlo with episode-over-episode learning.  The
+registered ``adversary`` experiment sweeps the ladder.
+"""
+
+from .coverage import (
+    CoalitionCoverage,
+    CoverageModel,
+    FullCoverage,
+    SiteCoverage,
+    coalition_coverage,
+)
+from .detector import AdversaryDetector
+from .knowledge import (
+    KnowledgeModel,
+    LearnedKnowledge,
+    OracleKnowledge,
+    StaleKnowledge,
+)
+from .monte_carlo import run_adversary_monte_carlo, simulate_fleet_reports
+
+__all__ = [
+    "CoalitionCoverage",
+    "CoverageModel",
+    "FullCoverage",
+    "SiteCoverage",
+    "coalition_coverage",
+    "AdversaryDetector",
+    "KnowledgeModel",
+    "LearnedKnowledge",
+    "OracleKnowledge",
+    "StaleKnowledge",
+    "KNOWLEDGE_LEVELS",
+    "make_knowledge",
+    "run_adversary_monte_carlo",
+    "simulate_fleet_reports",
+]
+
+#: Knowledge levels accepted by :func:`make_knowledge`.  Must stay in
+#: sync with ``_KNOWLEDGE_LEVELS`` in :mod:`repro.sim.config` (the
+#: experiment config cannot import this package without a cycle; a test
+#: pins the two tuples equal).
+KNOWLEDGE_LEVELS = ("oracle", "learned", "stale")
+
+
+def make_knowledge(
+    level: str, *, smoothing: float = 1e-3, warm_start: bool = True
+) -> KnowledgeModel:
+    """Instantiate a knowledge model by level name."""
+    if level == "oracle":
+        return OracleKnowledge()
+    if level == "stale":
+        return StaleKnowledge()
+    if level == "learned":
+        return LearnedKnowledge(smoothing=smoothing, warm_start=warm_start)
+    raise ValueError(
+        f"unknown knowledge level {level!r}; available: {KNOWLEDGE_LEVELS}"
+    )

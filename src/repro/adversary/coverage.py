@@ -1,0 +1,190 @@
+"""Coverage models: which sites the eavesdropper has compromised.
+
+The paper's eavesdropper is omniscient — it reads the placement record of
+every edge site in every slot.  A real MEC adversary controls a *subset*
+of the deployment: the sites it has broken into (or the untrusted
+operators it colludes with), and it observes a service only while that
+service is placed on a compromised site.  A coverage model turns that
+idea into a visibility mask over the observation plane:
+
+* :class:`FullCoverage` — the paper's assumption; every slot of every
+  service is visible;
+* :class:`SiteCoverage` — a seeded subset of compromised sites covering
+  a target fraction of the deployment.  The subset is a pure function of
+  ``(seed, n_cells)``, and growing the fraction under one seed grows the
+  subset monotonically (a nested coverage ladder);
+* :class:`CoalitionCoverage` — several partial views merged: a service
+  is visible whenever *any* coalition member sees it.
+
+Censored slots are marked ``-1`` on the plane, the same sentinel the
+dynamic-world fleet uses for a churned service's dead slots, so the
+downstream scoring machinery treats "not placed anywhere visible" and
+"did not exist" uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.seeding import as_seed_sequence, spawn_sequences
+
+__all__ = [
+    "CoverageModel",
+    "FullCoverage",
+    "SiteCoverage",
+    "CoalitionCoverage",
+    "coalition_coverage",
+]
+
+
+class CoverageModel(abc.ABC):
+    """Base class for eavesdropper coverage models."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compromised_cells(self, n_cells: int) -> np.ndarray:
+        """Sorted int64 array of compromised cell indices for an
+        ``n_cells``-site deployment."""
+
+    def is_full(self, n_cells: int) -> bool:
+        """Whether every site of an ``n_cells`` deployment is compromised."""
+        return self.compromised_cells(n_cells).size == n_cells
+
+    def coverage_fraction(self, n_cells: int) -> float:
+        """Fraction of the deployment's sites that are compromised."""
+        if n_cells < 1:
+            raise ValueError("n_cells must be positive")
+        return self.compromised_cells(n_cells).size / n_cells
+
+    def visible_mask(self, trajectories: np.ndarray, n_cells: int) -> np.ndarray:
+        """Boolean visibility mask of a ``(..., T)`` observed cell tensor.
+
+        A slot is visible when the service exists there (cell ``>= 0``,
+        dead slots of a churned plane stay hidden) *and* sits on a
+        compromised site.
+        """
+        traj = np.asarray(trajectories, dtype=np.int64)
+        exists = traj >= 0
+        cells = self.compromised_cells(n_cells)
+        if cells.size == n_cells:
+            return exists
+        covered = np.zeros(n_cells, dtype=bool)
+        covered[cells] = True
+        return exists & covered[np.clip(traj, 0, None)]
+
+    def censor(self, trajectories: np.ndarray, n_cells: int) -> np.ndarray:
+        """The censored plane: observed cells where visible, ``-1`` elsewhere."""
+        traj = np.asarray(trajectories, dtype=np.int64)
+        return np.where(self.visible_mask(traj, n_cells), traj, -1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FullCoverage(CoverageModel):
+    """The paper's omniscient observer: every site is compromised."""
+
+    name = "full"
+
+    def compromised_cells(self, n_cells: int) -> np.ndarray:
+        if n_cells < 1:
+            raise ValueError("n_cells must be positive")
+        return np.arange(n_cells, dtype=np.int64)
+
+
+class SiteCoverage(CoverageModel):
+    """A seeded subset of compromised sites covering ``fraction`` of the MEC.
+
+    Parameters
+    ----------
+    fraction:
+        Target fraction of sites in ``(0, 1]``; the compromised count is
+        ``round(fraction * n_cells)``, at least 1.
+    seed:
+        Integer or :class:`~numpy.random.SeedSequence` selecting *which*
+        sites are compromised.  Integer seeds are mixed with the
+        ``"coverage"`` key so a coverage mask never shares streams with
+        the simulation it observes.  For a fixed seed the subsets are
+        nested across fractions (one permutation, prefix-truncated), so a
+        coverage sweep climbs one ladder instead of resampling sites.
+    """
+
+    name = "site"
+
+    def __init__(
+        self, fraction: float, seed: "int | np.random.SeedSequence" = 0
+    ) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = float(fraction)
+        key = None if isinstance(seed, np.random.SeedSequence) else "coverage"
+        self._seed = as_seed_sequence(seed, key=key)
+        self._cells_cache: dict[int, np.ndarray] = {}
+
+    def compromised_cells(self, n_cells: int) -> np.ndarray:
+        if n_cells < 1:
+            raise ValueError("n_cells must be positive")
+        cached = self._cells_cache.get(n_cells)
+        if cached is None:
+            count = max(1, int(round(self.fraction * n_cells)))
+            rng = np.random.default_rng(as_seed_sequence(self._seed))
+            cached = np.sort(rng.permutation(n_cells)[:count]).astype(np.int64)
+            self._cells_cache[n_cells] = cached
+        return cached
+
+    def __getstate__(self) -> dict:
+        # The cache is derived state; drop it so pickled coverage models
+        # (process-pool tasks) stay small and always recompute identically.
+        state = dict(self.__dict__)
+        state["_cells_cache"] = {}
+        return state
+
+
+class CoalitionCoverage(CoverageModel):
+    """Several partial views merged into one: the union of the members'
+    compromised sites (colluding operators pooling their records)."""
+
+    name = "coalition"
+
+    def __init__(self, members: Sequence[CoverageModel]) -> None:
+        members = tuple(members)
+        if not members:
+            raise ValueError("a coalition needs at least one member")
+        for member in members:
+            if not isinstance(member, CoverageModel):
+                raise TypeError("coalition members must be coverage models")
+        self.members = members
+
+    def compromised_cells(self, n_cells: int) -> np.ndarray:
+        merged = np.unique(
+            np.concatenate(
+                [member.compromised_cells(n_cells) for member in self.members]
+            )
+        )
+        return merged.astype(np.int64)
+
+
+def coalition_coverage(
+    n_members: int,
+    fraction: float,
+    seed: "int | np.random.SeedSequence" = 0,
+) -> CoverageModel:
+    """A coalition of ``n_members`` independent site-coverage views.
+
+    Each member compromises its own seeded ``fraction`` of the sites
+    (children of ``seed``, so coalitions are nested: members ``0..s-1``
+    of the size-``s`` coalition are exactly the size-``s-1`` coalition
+    plus one).  A single member reduces to plain :class:`SiteCoverage`.
+    """
+    if n_members < 1:
+        raise ValueError("n_members must be positive")
+    key = None if isinstance(seed, np.random.SeedSequence) else "coverage"
+    children = spawn_sequences(seed, n_members, key=key)
+    members = [SiteCoverage(fraction, child) for child in children]
+    if n_members == 1:
+        return members[0]
+    return CoalitionCoverage(members)

@@ -1,0 +1,347 @@
+"""The adversary as a detector: knowledge x coverage behind Eq. (1).
+
+:class:`AdversaryDetector` composes a
+:class:`~repro.adversary.knowledge.KnowledgeModel` (which chain the
+adversary scores with) and a
+:class:`~repro.adversary.coverage.CoverageModel` (which slots of the
+observation plane it sees) into an ordinary
+:class:`~repro.core.eavesdropper.detector.TrajectoryDetector`, so it
+plugs into everything the paper's ML detector plugs into — the
+single-user game, both fleet engines and the Monte-Carlo harness —
+through the existing ``detect`` / ``detect_batch`` / ``detect_crowd``
+interfaces.
+
+Scoring.  A fully visible observation set is scored exactly like the ML
+detector of Eq. (1) (same log-likelihoods, same tolerance, same
+tie-break draw), which is what makes the ``oracle`` + full-coverage
+adversary bit-identical to today's fleet path.  A censored set (coverage
+gaps, churned services) is scored with the windowed per-observed-slot
+machinery: each row's average log-likelihood per *visible* slot, with
+transition terms only across contiguously visible steps — the
+generalisation of the fleet's churned-plane scorer to arbitrary masks,
+and identical to it on contiguous activity windows.
+
+Every scoring path exists twice: vectorised (default) and a naive
+per-row / per-decision Python reference (``loop_reference=True``); the
+two are bit-identical, mirroring the repo's batch/loop engine contract.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.eavesdropper.detector import (
+    BatchDetectionOutcome,
+    DetectionOutcome,
+    TrajectoryDetector,
+    trajectory_log_likelihoods,
+)
+from ..mobility.markov import MarkovChain
+from ..numerics import safe_log
+from .coverage import CoverageModel, FullCoverage
+from .knowledge import KnowledgeModel, OracleKnowledge
+
+__all__ = ["AdversaryDetector"]
+
+
+class AdversaryDetector(TrajectoryDetector):
+    """An eavesdropper with an explicit knowledge and coverage model.
+
+    Parameters
+    ----------
+    knowledge:
+        What the adversary knows about mobility (oracle / learned /
+        stale).  Stateful knowledge (the learning adversary) observes
+        every plane this detector scores, in call order.
+    coverage:
+        Which sites the adversary has compromised; slots outside the
+        coverage are censored to ``-1`` before any scoring or learning.
+    tolerance:
+        Log-likelihood tolerance for tie breaking (applied to the
+        per-observed-slot *rates* on censored planes).
+    loop_reference:
+        Score with the naive per-row / per-decision Python reference
+        instead of the vectorised kernels.  Bit-identical; exists for
+        the equivalence tests and the speedup benchmark.
+    """
+
+    name = "adversary"
+    #: The fleet's churned-plane evaluation hands the whole ``-1``-marked
+    #: plane to detectors that declare this flag instead of refusing.
+    supports_censored_planes = True
+
+    def __init__(
+        self,
+        knowledge: KnowledgeModel | None = None,
+        coverage: CoverageModel | None = None,
+        *,
+        tolerance: float = 1e-9,
+        loop_reference: bool = False,
+    ) -> None:
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        self.knowledge = knowledge if knowledge is not None else OracleKnowledge()
+        self.coverage = coverage if coverage is not None else FullCoverage()
+        self.tolerance = tolerance
+        self.loop_reference = bool(loop_reference)
+        self.name = f"adversary[{self.knowledge.name}/{self.coverage.name}]"
+
+    # ------------------------------------------------------------------
+    # Scoring kernels
+    # ------------------------------------------------------------------
+    def _scores(
+        self,
+        chain: MarkovChain,
+        stack: np.ndarray | None,
+        censored: np.ndarray,
+        mask: np.ndarray,
+    ) -> np.ndarray:
+        """Decision scores of one ``(N, T)`` censored observation set.
+
+        Fully visible sets get the plain Eq. (1) log-likelihoods (the
+        bit-identity path with the ML detector); censored sets get the
+        per-observed-slot rates.  Rows with no visible slot score
+        ``-inf``, so an entirely blind adversary degrades to a uniform
+        guess through the ordinary tie-break.
+        """
+        if mask.all():
+            if self.loop_reference:
+                return np.array(
+                    [
+                        trajectory_log_likelihoods(chain, censored[row : row + 1], stack)[0]
+                        for row in range(censored.shape[0])
+                    ],
+                    dtype=float,
+                )
+            return trajectory_log_likelihoods(chain, censored, stack)
+        if self.loop_reference:
+            return np.array(
+                [
+                    self._masked_row_score(chain, stack, censored[row], mask[row])
+                    for row in range(censored.shape[0])
+                ],
+                dtype=float,
+            )
+        return self._masked_scores(chain, stack, censored, mask)
+
+    @staticmethod
+    def _masked_scores(
+        chain: MarkovChain,
+        stack: np.ndarray | None,
+        censored: np.ndarray,
+        mask: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised per-observed-slot rates of a ``(..., N, T)`` tensor."""
+        observed = mask.sum(axis=-1)
+        horizon = censored.shape[-1]
+        first = np.argmax(mask, axis=-1)
+        first_cell = np.take_along_axis(censored, first[..., None], axis=-1)[..., 0]
+        scores = chain.log_stationary[np.clip(first_cell, 0, None)].astype(float)
+        if horizon > 1:
+            prev = np.clip(censored[..., :-1], 0, None)
+            nxt = np.clip(censored[..., 1:], 0, None)
+            if stack is None:
+                step_logs = chain.log_transition_matrix[prev, nxt]
+            else:
+                step_logs = safe_log(stack)[np.arange(horizon - 1), prev, nxt]
+            valid = mask[..., 1:] & mask[..., :-1]
+            scores = scores + np.where(valid, step_logs, 0.0).sum(axis=-1)
+        return np.where(observed > 0, scores / np.maximum(observed, 1), -np.inf)
+
+    @staticmethod
+    def _masked_row_score(
+        chain: MarkovChain,
+        stack: np.ndarray | None,
+        row: np.ndarray,
+        row_mask: np.ndarray,
+    ) -> float:
+        """Naive single-row reference of :meth:`_masked_scores`."""
+        observed = row_mask.sum()
+        if observed == 0:
+            return -np.inf
+        first = int(np.argmax(row_mask))
+        score = float(chain.log_stationary[row[first]])
+        if row.size > 1:
+            prev = np.clip(row[:-1], 0, None)
+            nxt = np.clip(row[1:], 0, None)
+            if stack is None:
+                step_logs = chain.log_transition_matrix[prev, nxt]
+            else:
+                step_logs = safe_log(stack)[np.arange(row.size - 1), prev, nxt]
+            valid = row_mask[1:] & row_mask[:-1]
+            score = score + np.where(valid, step_logs, 0.0).sum()
+        return score / observed
+
+    def _candidates(self, scores: np.ndarray) -> np.ndarray:
+        """Indices within ``tolerance`` of the best score (all indices when
+        nothing was visible anywhere — a uniform guess)."""
+        best = float(scores.max())
+        if best == -np.inf:
+            return np.arange(scores.size)
+        return np.flatnonzero(scores >= best - self.tolerance)
+
+    def _prepare(
+        self, chain: MarkovChain, trajectories: np.ndarray, ndim: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        observed = np.asarray(trajectories, dtype=np.int64)
+        if observed.ndim != ndim or observed.size == 0:
+            shape = "(N, T)" if ndim == 2 else "(R, N, T)"
+            raise ValueError(f"trajectories must be a non-empty {shape} array")
+        if observed.max() >= chain.n_states:
+            raise ValueError("trajectories contain out-of-range cells")
+        mask = self.coverage.visible_mask(observed, chain.n_states)
+        censored = np.where(mask, observed, -1)
+        return observed, mask, censored
+
+    # ------------------------------------------------------------------
+    # Detector interface
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        chain: MarkovChain,
+        trajectories: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        transition_stack: np.ndarray | None = None,
+    ) -> DetectionOutcome:
+        _, mask, censored = self._prepare(chain, trajectories, 2)
+        self.knowledge.observe(censored, chain.n_states)
+        model_chain, model_stack = self.knowledge.scoring_model(
+            chain, transition_stack
+        )
+        scores = self._scores(model_chain, model_stack, censored, mask)
+        candidates = self._candidates(scores)
+        chosen = int(rng.choice(candidates))
+        return DetectionOutcome(
+            chosen_index=chosen, scores=scores, candidate_indices=candidates
+        )
+
+    def detect_batch(
+        self,
+        chain: MarkovChain,
+        trajectories: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        *,
+        transition_stack: np.ndarray | None = None,
+    ) -> BatchDetectionOutcome:
+        """Score a whole ``(R, N, T)`` batch.
+
+        Each run is one episode: stateful knowledge observes run ``r``'s
+        plane before scoring it, exactly as a sequence of scalar
+        :meth:`detect` calls would, so batched and looped execution stay
+        bit-identical even while the adversary is learning.  Stateless
+        knowledge is scored in one vectorised shot over the tensor.
+        """
+        observed, mask, censored = self._prepare(chain, trajectories, 3)
+        rngs = list(rngs)
+        n_runs = observed.shape[0]
+        if len(rngs) != n_runs:
+            raise ValueError("need exactly one generator per run")
+        if self.knowledge.stateful:
+            scores = np.empty(observed.shape[:2], dtype=float)
+            for run in range(n_runs):
+                self.knowledge.observe(censored[run], chain.n_states)
+                model_chain, model_stack = self.knowledge.scoring_model(
+                    chain, transition_stack
+                )
+                scores[run] = self._scores(
+                    model_chain, model_stack, censored[run], mask[run]
+                )
+        else:
+            model_chain, model_stack = self.knowledge.scoring_model(
+                chain, transition_stack
+            )
+            if self.loop_reference:
+                scores = np.stack(
+                    [
+                        self._scores(
+                            model_chain, model_stack, censored[run], mask[run]
+                        )
+                        for run in range(n_runs)
+                    ],
+                    axis=0,
+                )
+            else:
+                scores = self._batch_scores(model_chain, model_stack, censored, mask)
+        chosen = np.empty(n_runs, dtype=np.int64)
+        candidates_per_run: list[np.ndarray] = []
+        for run in range(n_runs):
+            candidates = self._candidates(scores[run])
+            chosen[run] = int(rngs[run].choice(candidates))
+            candidates_per_run.append(candidates)
+        return BatchDetectionOutcome(
+            chosen_indices=chosen,
+            scores=scores,
+            candidate_indices=tuple(candidates_per_run),
+        )
+
+    def _batch_scores(
+        self,
+        model_chain: MarkovChain,
+        model_stack: np.ndarray | None,
+        censored: np.ndarray,
+        mask: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised scoring of an ``(R, N, T)`` tensor, dispatching each
+        run to the same kernel the scalar path would pick for it."""
+        full_runs = mask.reshape(mask.shape[0], -1).all(axis=1)
+        scores = np.empty(censored.shape[:2], dtype=float)
+        if full_runs.any():
+            scores[full_runs] = trajectory_log_likelihoods(
+                model_chain, censored[full_runs], model_stack
+            )
+        if not full_runs.all():
+            rest = ~full_runs
+            scores[rest] = self._masked_scores(
+                model_chain, model_stack, censored[rest], mask[rest]
+            )
+        return scores
+
+    def detect_crowd(
+        self,
+        chain: MarkovChain,
+        trajectories: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        *,
+        transition_stack: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Many per-user decisions over one shared observation plane.
+
+        The plane is one episode: the adversary observes it *once* (a
+        learning adversary does not get to count the same plane per
+        user) and scores it once; only the per-user tie-break draws
+        differ, exactly like the ML detector's crowd path.
+        """
+        _, mask, censored = self._prepare(chain, trajectories, 2)
+        rngs = list(rngs)
+        if not rngs:
+            raise ValueError("need at least one generator")
+        self.knowledge.observe(censored, chain.n_states)
+        model_chain, model_stack = self.knowledge.scoring_model(
+            chain, transition_stack
+        )
+        if self.loop_reference:
+            # Naive reference: re-score the crowd for every decision (the
+            # broadcast semantics of the base class), same draws.
+            return np.array(
+                [
+                    int(
+                        rng.choice(
+                            self._candidates(
+                                self._scores(
+                                    model_chain, model_stack, censored, mask
+                                )
+                            )
+                        )
+                    )
+                    for rng in rngs
+                ],
+                dtype=np.int64,
+            )
+        scores = self._scores(model_chain, model_stack, censored, mask)
+        candidates = self._candidates(scores)
+        return np.array(
+            [int(rng.choice(candidates)) for rng in rngs], dtype=np.int64
+        )

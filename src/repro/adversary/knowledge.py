@@ -1,0 +1,175 @@
+"""Knowledge models: what the eavesdropper knows about user mobility.
+
+The paper's detector is an *oracle*: it scores observations under the
+true mobility chain (and, in a dynamic world, the true time-varying
+regime schedule).  Real adversaries sit lower on the knowledge ladder —
+they must learn a model from what they observe, or they keep using a
+model the world has since drifted away from.  A knowledge model answers
+one question: *which chain (and which per-step schedule, if any) does
+the adversary score with?*
+
+* :class:`OracleKnowledge` — the paper's assumption: the true chain and
+  the true regime schedule, bit-identical to today's detectors;
+* :class:`LearnedKnowledge` — fits an empirical chain online from the
+  (possibly censored) observation plane via the estimation layer;
+  optionally warm-started, so the adversary's model improves episode
+  over episode across a Monte-Carlo sequence;
+* :class:`StaleKnowledge` — regime-blind: knows the slot-0 base chain
+  exactly but never learns the world switched regimes, so it keeps
+  scoring a dynamic world with the static model.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..mobility.estimation import (
+    chain_from_transition_counts,
+    count_censored_transitions,
+)
+from ..mobility.markov import MarkovChain
+
+__all__ = [
+    "KnowledgeModel",
+    "OracleKnowledge",
+    "LearnedKnowledge",
+    "StaleKnowledge",
+]
+
+
+class KnowledgeModel(abc.ABC):
+    """Base class for eavesdropper knowledge models."""
+
+    name: str = "abstract"
+    #: Whether observations change the model (and therefore whether the
+    #: order of episodes matters).
+    stateful: bool = False
+
+    def observe(self, censored_plane: np.ndarray, n_cells: int) -> None:
+        """Ingest one censored observation plane (no-op unless learning)."""
+
+    def reset(self) -> None:
+        """Forget everything learned (no-op for stateless models)."""
+
+    @abc.abstractmethod
+    def scoring_model(
+        self,
+        true_chain: MarkovChain,
+        transition_stack: np.ndarray | None,
+    ) -> tuple[MarkovChain, np.ndarray | None]:
+        """The (chain, per-step stack) the adversary scores with.
+
+        ``true_chain`` and ``transition_stack`` describe the world's real
+        mobility; each knowledge level decides how much of that truth it
+        is entitled to.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class OracleKnowledge(KnowledgeModel):
+    """The paper's eavesdropper: true chain, true regime schedule."""
+
+    name = "oracle"
+
+    def scoring_model(
+        self,
+        true_chain: MarkovChain,
+        transition_stack: np.ndarray | None,
+    ) -> tuple[MarkovChain, np.ndarray | None]:
+        return true_chain, transition_stack
+
+
+class StaleKnowledge(KnowledgeModel):
+    """Regime-blind: the slot-0 base chain, with the regime schedule
+    withheld.  In a static world this is exactly the oracle; under regime
+    switches it scores every step with a model the world left behind."""
+
+    name = "stale"
+
+    def scoring_model(
+        self,
+        true_chain: MarkovChain,
+        transition_stack: np.ndarray | None,
+    ) -> tuple[MarkovChain, np.ndarray | None]:
+        return true_chain, None
+
+
+class LearnedKnowledge(KnowledgeModel):
+    """An empirical chain fitted online from the observation plane.
+
+    The adversary accumulates transition counts from every censored plane
+    it observes (transitions are counted only when both endpoints are
+    visible, so coverage gaps and churned slots never pollute the fit)
+    and scores with the chain fitted from those counts — additive
+    smoothing keeps it ergodic even before anything was seen, in which
+    case it degrades to a uniform model.  Like the paper's trace-driven
+    eavesdropper (Section VII-B1) it fits one population-level chain, so
+    chaff rows contribute counts too.
+
+    Parameters
+    ----------
+    smoothing:
+        Additive smoothing of the fitted transition matrix.
+    warm_start:
+        Keep the counts across :meth:`observe` calls (the adversary
+        improves episode over episode in a Monte-Carlo sequence).  When
+        ``False`` each plane is fitted in isolation.
+    """
+
+    name = "learned"
+    stateful = True
+
+    def __init__(self, *, smoothing: float = 1e-3, warm_start: bool = True) -> None:
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.smoothing = float(smoothing)
+        self.warm_start = bool(warm_start)
+        self._counts: np.ndarray | None = None
+        self._fitted: MarkovChain | None = None
+
+    @property
+    def transition_counts(self) -> np.ndarray | None:
+        """The accumulated count matrix (``None`` before any observation)."""
+        return self._counts
+
+    @property
+    def n_observed_transitions(self) -> int:
+        """Total transitions the model has been fitted on."""
+        return 0 if self._counts is None else int(self._counts.sum())
+
+    def observe(self, censored_plane: np.ndarray, n_cells: int) -> None:
+        fresh = count_censored_transitions(censored_plane, n_cells)
+        if self._counts is None or not self.warm_start:
+            self._counts = fresh
+        else:
+            if self._counts.shape != fresh.shape:
+                raise ValueError(
+                    "observation plane cell count changed mid-learning: "
+                    f"had {self._counts.shape[0]} cells, got {n_cells}"
+                )
+            self._counts = self._counts + fresh
+        self._fitted = None
+
+    def reset(self) -> None:
+        self._counts = None
+        self._fitted = None
+
+    def scoring_model(
+        self,
+        true_chain: MarkovChain,
+        transition_stack: np.ndarray | None,
+    ) -> tuple[MarkovChain, np.ndarray | None]:
+        if self._fitted is None:
+            counts = self._counts
+            if counts is None:
+                counts = np.zeros(
+                    (true_chain.n_states, true_chain.n_states), dtype=np.int64
+                )
+            self._fitted = chain_from_transition_counts(
+                counts, smoothing=self.smoothing
+            )
+        return self._fitted, None

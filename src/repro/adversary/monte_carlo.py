@@ -1,0 +1,121 @@
+"""Monte-Carlo harness for adversaries whose state evolves across runs.
+
+The fleet's own Monte-Carlo (:func:`repro.mec.fleet.run_fleet_monte_carlo`)
+evaluates the detector inside the worker that simulated each run — fine
+for stateless detectors, wrong for a *learning* adversary, whose model
+after run ``r`` depends on every plane it has seen before.  This module
+splits the two phases:
+
+1. :func:`simulate_fleet_reports` — produce the ``R`` fleet reports,
+   sharded over workers exactly like the fleet Monte-Carlo (children
+   respawned by index), so the report sequence is bit-identical for any
+   worker count;
+2. :func:`run_adversary_monte_carlo` — walk the reports *in run order*
+   through one adversary, letting stateful knowledge accumulate episode
+   over episode, and aggregate the same statistics the fleet reports.
+
+Because the defender's world never depends on the adversary, one
+simulated report sequence can be replayed against many adversaries
+(pass ``reports=``) — which is how the ``adversary`` experiment sweeps
+the whole knowledge/coverage grid while paying for the simulation once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mec.fleet import FleetReport, FleetSimulation, FleetStatistics
+from ..sim.parallel import parallel_map, resolve_workers, shard_slices
+from ..sim.seeding import spawn_sequences_range
+from .detector import AdversaryDetector
+
+__all__ = ["simulate_fleet_reports", "run_adversary_monte_carlo"]
+
+
+def _report_shard_worker(task) -> list[FleetReport]:
+    """Simulate one contiguous shard of runs (module-level for pools)."""
+    simulation, seed, start, stop, engine = task
+    return [
+        simulation.run(child, engine=engine)
+        for child in spawn_sequences_range(seed, start, stop)
+    ]
+
+
+def simulate_fleet_reports(
+    simulation: FleetSimulation,
+    *,
+    n_runs: int,
+    seed: "int | np.random.SeedSequence",
+    workers: int = 1,
+    engine: str = "batch",
+) -> list[FleetReport]:
+    """The ``R`` fleet reports of a Monte-Carlo, in run order.
+
+    Run ``k`` derives from child ``k`` of ``seed`` regardless of the
+    worker count, so the list is bit-identical for any ``workers``
+    (``0`` = all cores).
+    """
+    if n_runs < 1:
+        raise ValueError("n_runs must be positive")
+    workers = min(resolve_workers(workers), n_runs)
+    tasks = [
+        (simulation, seed, shard.start, shard.stop, engine)
+        for shard in shard_slices(n_runs, workers)
+    ]
+    shards = parallel_map(_report_shard_worker, tasks, workers=len(tasks))
+    return [report for shard in shards for report in shard]
+
+
+def run_adversary_monte_carlo(
+    simulation: FleetSimulation,
+    adversary: AdversaryDetector,
+    *,
+    n_runs: int,
+    seed: "int | np.random.SeedSequence",
+    workers: int = 1,
+    engine: str = "batch",
+    reports: "list[FleetReport] | None" = None,
+) -> FleetStatistics:
+    """Score one adversary over a fleet Monte-Carlo, run by run.
+
+    The reports are simulated first (sharded over ``workers``,
+    bit-identical for any count) and then evaluated *serially in run
+    order*: a learning adversary observes plane ``k`` while scoring run
+    ``k`` and carries its model into run ``k + 1``, so warm-started
+    knowledge genuinely improves episode over episode — and the result
+    is still worker-count invariant, because only the simulation phase
+    is parallel.  Pass a precomputed ``reports`` list to replay the same
+    world against several adversaries.
+
+    The adversary's knowledge state is *not* reset here; start from a
+    fresh adversary (or call ``adversary.knowledge.reset()``) when runs
+    must not inherit earlier episodes.
+    """
+    if reports is None:
+        reports = simulate_fleet_reports(
+            simulation, n_runs=n_runs, seed=seed, workers=workers, engine=engine
+        )
+    if len(reports) != n_runs:
+        raise ValueError(f"expected {n_runs} reports, got {len(reports)}")
+    tracking, detection, costs = [], [], []
+    migrations, rejected, spilled, evicted, stranded = [], [], [], [], []
+    for report in reports:
+        evaluation = report.evaluate(simulation.chain, adversary)
+        tracking.append(evaluation.tracking_per_user)
+        detection.append(evaluation.detected_per_user)
+        costs.append(report.per_user_cost)
+        migrations.append(report.total_migrations)
+        rejected.append(report.placement.rejected)
+        spilled.append(report.placement.spilled)
+        evicted.append(report.placement.evicted)
+        stranded.append(report.placement.stranded)
+    return FleetStatistics(
+        tracking_runs=np.stack(tracking, axis=0),
+        detection_runs=np.stack(detection, axis=0),
+        cost_runs=np.stack(costs, axis=0),
+        migrations_runs=np.array(migrations, dtype=np.int64),
+        rejected_runs=np.array(rejected, dtype=np.int64),
+        spilled_runs=np.array(spilled, dtype=np.int64),
+        evicted_runs=np.array(evicted, dtype=np.int64),
+        stranded_runs=np.array(stranded, dtype=np.int64),
+    )

@@ -26,6 +26,7 @@ from typing import Sequence
 from .experiments.registry import available_experiments, run_experiment
 from .sim.cache import ResultCache, default_cache_dir
 from .sim.config import (
+    AdversaryExperimentConfig,
     DynamicExperimentConfig,
     FleetExperimentConfig,
     SyntheticExperimentConfig,
@@ -102,6 +103,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--output", type=str, default=None, help="write the result JSON to this path"
+    )
+    run_parser.add_argument(
+        "--knowledge",
+        type=str,
+        default=None,
+        help="comma-separated adversary knowledge levels "
+        "(oracle,learned,stale; adversary experiment)",
+    )
+    run_parser.add_argument(
+        "--coverage",
+        type=str,
+        default=None,
+        help="comma-separated compromised-site fractions in (0, 1] "
+        "(adversary experiment)",
+    )
+    run_parser.add_argument(
+        "--coalition-sizes",
+        type=str,
+        default=None,
+        help="comma-separated coalition member counts (adversary experiment)",
     )
     _add_dynamic_world_flags(run_parser)
 
@@ -204,10 +225,38 @@ def _flag(args: argparse.Namespace, name: str, default):
     return value if value is not None else default
 
 
+def _csv(value: "str | None", cast):
+    """A comma-separated CLI value as a tuple, or ``None`` when unset."""
+    if value is None:
+        return None
+    return tuple(cast(item) for item in value.split(",") if item)
+
+
 def _build_config(args: argparse.Namespace, experiment_id: str):
     """Construct the appropriate config object for the chosen experiment."""
     engine = getattr(args, "engine", "batch")
     workers = getattr(args, "workers", 1)
+    if experiment_id == "adversary":
+        defaults = AdversaryExperimentConfig()
+        knowledge = _csv(getattr(args, "knowledge", None), str)
+        fractions = _csv(getattr(args, "coverage", None), float)
+        sizes = _csv(getattr(args, "coalition_sizes", None), int)
+        return AdversaryExperimentConfig(
+            n_users=_flag(args, "users", defaults.n_users),
+            n_cells=_flag(args, "cells", defaults.n_cells),
+            site_capacity=_flag(args, "capacity", defaults.site_capacity),
+            horizon=_flag(args, "horizon", defaults.horizon),
+            n_runs=_flag(args, "runs", defaults.n_runs),
+            n_chaffs=_flag(args, "chaffs", defaults.n_chaffs),
+            strategy=_flag(args, "strategy", defaults.strategy),
+            regime_period=_flag(args, "regime_period", defaults.regime_period),
+            knowledge_levels=knowledge or defaults.knowledge_levels,
+            coverage_fractions=fractions or defaults.coverage_fractions,
+            coalition_sizes=sizes or defaults.coalition_sizes,
+            seed=args.seed,
+            engine=engine,
+            workers=workers,
+        )
     if experiment_id == "dynamic":
         defaults = DynamicExperimentConfig()
         # ``run dynamic`` inherits the experiment's defaults for any flag

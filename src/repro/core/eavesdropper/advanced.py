@@ -17,14 +17,18 @@ ML detection — which is exactly why the robust variants work.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ...mobility.markov import MarkovChain
 from ..strategies.base import ChaffStrategy
 from .detector import (
+    BatchDetectionOutcome,
     DetectionOutcome,
     MaximumLikelihoodDetector,
     TrajectoryDetector,
+    _validate_batch,
     trajectory_log_likelihoods,
 )
 
@@ -63,6 +67,8 @@ class StrategyAwareDetector(TrajectoryDetector):
         chain: MarkovChain,
         trajectories: np.ndarray,
         rng: np.random.Generator,
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> DetectionOutcome:
         observed = np.asarray(trajectories, dtype=np.int64)
         if observed.ndim != 2 or observed.size == 0:
@@ -78,7 +84,9 @@ class StrategyAwareDetector(TrajectoryDetector):
                 candidate_indices=np.arange(observed.shape[0]),
             )
         scores = np.full(observed.shape[0], -np.inf)
-        survivor_scores = trajectory_log_likelihoods(chain, observed[survivors])
+        survivor_scores = trajectory_log_likelihoods(
+            chain, observed[survivors], transition_stack
+        )
         scores[survivors] = survivor_scores
         best = float(survivor_scores.max())
         candidates = survivors[survivor_scores >= best - self._ml.tolerance]
@@ -87,11 +95,63 @@ class StrategyAwareDetector(TrajectoryDetector):
             chosen_index=chosen, scores=scores, candidate_indices=candidates
         )
 
+    def detect_batch(
+        self,
+        chain: MarkovChain,
+        trajectories: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        *,
+        transition_stack: np.ndarray | None = None,
+    ) -> BatchDetectionOutcome:
+        """Run the Section VI-A eavesdropper over an ``(R, N, T)`` batch.
+
+        Chaff flagging stays per run (the deterministic map is a
+        per-trajectory computation, memoised across runs), but the ML
+        stage scores the *whole* tensor in one vectorised shot instead of
+        one likelihood pass per run.  Each run consumes its generator
+        exactly like a scalar :meth:`detect` call (one tie-break draw, or
+        one uniform guess when every trajectory was flagged), so batched
+        and looped execution stay bit-identical.
+        """
+        observed = _validate_batch(trajectories)
+        rngs = list(rngs)
+        n_runs, n, _ = observed.shape
+        if len(rngs) != n_runs:
+            raise ValueError("need exactly one generator per run")
+        all_scores = trajectory_log_likelihoods(chain, observed, transition_stack)
+        scores = np.full((n_runs, n), -np.inf)
+        chosen = np.empty(n_runs, dtype=np.int64)
+        candidates_per_run: list[np.ndarray] = []
+        for run in range(n_runs):
+            flagged = self._flag_chaffs(chain, observed[run])
+            survivors = np.flatnonzero(~flagged)
+            if survivors.size == 0:
+                scores[run] = np.nan
+                chosen[run] = int(rngs[run].integers(0, n))
+                candidates_per_run.append(np.arange(n))
+                continue
+            survivor_scores = all_scores[run, survivors]
+            scores[run, survivors] = survivor_scores
+            best = float(survivor_scores.max())
+            candidates = survivors[survivor_scores >= best - self._ml.tolerance]
+            chosen[run] = int(rngs[run].choice(candidates))
+            candidates_per_run.append(candidates)
+        return BatchDetectionOutcome(
+            chosen_indices=chosen,
+            scores=scores,
+            candidate_indices=tuple(candidates_per_run),
+        )
+
     # ------------------------------------------------------------------
     def _flag_chaffs(self, chain: MarkovChain, observed: np.ndarray) -> np.ndarray:
         """Mark trajectories recognised as the strategy's chaff of another."""
         n = observed.shape[0]
         flagged = np.zeros(n, dtype=bool)
+        if not self.assumed_strategy.is_deterministic:
+            # Randomised strategies have no reproducible map: nothing can
+            # be flagged, and caching the per-trajectory ``None``s would
+            # only grow the memo across Monte-Carlo batches for nothing.
+            return flagged
         maps: list[np.ndarray | None] = []
         for index in range(n):
             key = observed[index].tobytes()

@@ -27,6 +27,7 @@ from typing import Sequence
 import numpy as np
 
 from ...mobility.markov import MarkovChain
+from ...numerics import safe_log
 
 __all__ = [
     "OnlineTrackingResult",
@@ -37,7 +38,9 @@ __all__ = [
 
 
 def prefix_log_likelihood_scores(
-    chain: MarkovChain, observed: np.ndarray
+    chain: MarkovChain,
+    observed: np.ndarray,
+    transition_stack: np.ndarray | None = None,
 ) -> np.ndarray:
     """Cumulative prefix log-likelihoods of an ``(..., N, T)`` tensor.
 
@@ -45,7 +48,11 @@ def prefix_log_likelihood_scores(
     prefix ``x_u[0..t]`` under ``chain``.  Computed in one vectorised shot
     (per-step log-probability indexing followed by a cumulative sum along
     time), so a whole ``(R, N, T)`` Monte-Carlo batch costs a single numpy
-    pass instead of ``R * T`` Python iterations.
+    pass instead of ``R * T`` Python iterations.  ``transition_stack``
+    (``(T - 1, L, L)`` per-step matrices, e.g. a dynamic world's regime
+    schedule) scores the step into slot ``t`` under ``stack[t - 1]``
+    instead of ``chain``'s own matrix, so online trackers follow the true
+    time-varying chain; the initial term stays the stationary prior.
     """
     traj = np.asarray(observed, dtype=np.int64)
     if traj.ndim < 2 or traj.size == 0:
@@ -53,7 +60,21 @@ def prefix_log_likelihood_scores(
     steps = np.empty(traj.shape, dtype=float)
     steps[..., 0] = chain.log_stationary[traj[..., 0]]
     if traj.shape[-1] > 1:
-        steps[..., 1:] = chain.log_transition_matrix[traj[..., :-1], traj[..., 1:]]
+        if transition_stack is None:
+            steps[..., 1:] = chain.log_transition_matrix[
+                traj[..., :-1], traj[..., 1:]
+            ]
+        else:
+            stack = np.asarray(transition_stack, dtype=float)
+            n = chain.n_states
+            if stack.ndim != 3 or stack.shape != (traj.shape[-1] - 1, n, n):
+                raise ValueError(
+                    f"transition_stack must be ({traj.shape[-1] - 1}, {n}, {n}), "
+                    f"got {stack.shape}"
+                )
+            steps[..., 1:] = safe_log(stack)[
+                np.arange(traj.shape[-1] - 1), traj[..., :-1], traj[..., 1:]
+            ]
     return np.cumsum(steps, axis=-1)
 
 
@@ -129,15 +150,21 @@ class PrefixMLTracker:
         observed: np.ndarray,
         user_trajectory: np.ndarray,
         rng: np.random.Generator,
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> OnlineTrackingResult:
         """Track the user slot by slot.
 
         At slot ``t`` the tracker computes the log-likelihood of every
         observed prefix ``x_u[0..t]`` and outputs the cell of the most
-        likely one (ties broken uniformly at random).
+        likely one (ties broken uniformly at random).  With a
+        ``transition_stack`` the prefixes are scored under the true
+        time-varying chain of a dynamic world.
         """
         observed, user = _validate(chain, observed, user_trajectory)
-        prefix_scores = prefix_log_likelihood_scores(chain, observed)
+        prefix_scores = prefix_log_likelihood_scores(
+            chain, observed, transition_stack
+        )
         return self._decide(prefix_scores, observed, user, rng)
 
     def track_batch(
@@ -146,6 +173,8 @@ class PrefixMLTracker:
         observed: np.ndarray,
         user_trajectories: np.ndarray,
         rngs: Sequence[np.random.Generator],
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> list[OnlineTrackingResult]:
         """Track a whole ``(R, N, T)`` batch, scoring the tensor in one shot.
 
@@ -154,7 +183,9 @@ class PrefixMLTracker:
         for run.
         """
         observed, users, rngs = _validate_batch(chain, observed, user_trajectories, rngs)
-        prefix_scores = prefix_log_likelihood_scores(chain, observed)
+        prefix_scores = prefix_log_likelihood_scores(
+            chain, observed, transition_stack
+        )
         return [
             self._decide(prefix_scores[run], observed[run], users[run], rngs[run])
             for run in range(observed.shape[0])
@@ -206,10 +237,18 @@ class BayesianPosteriorTracker:
         observed: np.ndarray,
         user_trajectory: np.ndarray,
         rng: np.random.Generator,
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> OnlineTrackingResult:
-        """Track the user slot by slot using the posterior cell mode."""
+        """Track the user slot by slot using the posterior cell mode.
+
+        With a ``transition_stack`` the posterior is computed under the
+        true time-varying chain of a dynamic world.
+        """
         observed, user = _validate(chain, observed, user_trajectory)
-        prefix_scores = prefix_log_likelihood_scores(chain, observed)
+        prefix_scores = prefix_log_likelihood_scores(
+            chain, observed, transition_stack
+        )
         return self._decide(chain, prefix_scores, observed, user, rng)
 
     def track_batch(
@@ -218,10 +257,14 @@ class BayesianPosteriorTracker:
         observed: np.ndarray,
         user_trajectories: np.ndarray,
         rngs: Sequence[np.random.Generator],
+        *,
+        transition_stack: np.ndarray | None = None,
     ) -> list[OnlineTrackingResult]:
         """Track a whole ``(R, N, T)`` batch, scoring the tensor in one shot."""
         observed, users, rngs = _validate_batch(chain, observed, user_trajectories, rngs)
-        prefix_scores = prefix_log_likelihood_scores(chain, observed)
+        prefix_scores = prefix_log_likelihood_scores(
+            chain, observed, transition_stack
+        )
         return [
             self._decide(chain, prefix_scores[run], observed[run], users[run], rngs[run])
             for run in range(observed.shape[0])

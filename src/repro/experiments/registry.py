@@ -24,6 +24,7 @@ from .ablations import (
     run_online_eavesdropper_comparison,
     run_rollout_vs_myopic,
 )
+from .adversary import run_adversary_experiment
 from .dynamic import run_dynamic_experiment
 from .fleet import run_fleet_experiment
 from .fig4 import run_fig4
@@ -52,6 +53,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-online-eavesdropper": run_online_eavesdropper_comparison,
     "fleet": run_fleet_experiment,
     "dynamic": run_dynamic_experiment,
+    "adversary": run_adversary_experiment,
 }
 
 

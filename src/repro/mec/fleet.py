@@ -55,7 +55,6 @@ from ..core.eavesdropper.detector import (
 )
 from ..core.strategies.base import ChaffStrategy
 from ..mobility.markov import MarkovChain
-from ..numerics import safe_log
 from ..sim.parallel import parallel_map, resolve_workers, shard_slices
 from ..sim.seeding import as_seed_sequence, spawn_sequences_range
 from ..world.timeline import Timeline, WorldSchedule
@@ -300,7 +299,18 @@ class FleetReport:
             tracked = plane.trajectories[chosen] == self.user_trajectories
             tracking = tracked.mean(axis=1)
         else:
-            chosen = self._detect_crowd_masked(chain, detector, rngs)
+            if getattr(detector, "supports_censored_planes", False):
+                # Detectors that understand -1-marked planes (the
+                # adversary layer) score the churned plane themselves,
+                # windows and all.
+                chosen = detector.detect_crowd(
+                    chain,
+                    plane.trajectories,
+                    rngs,
+                    transition_stack=self.transition_stack,
+                )
+            else:
+                chosen = self._detect_crowd_masked(chain, detector, rngs)
             # A user is tracked on a slot when the chosen row observes the
             # user's cell there; scoring is restricted to the user's own
             # activity window (dead slots of the chosen row never match —
@@ -331,9 +341,16 @@ class FleetReport:
         time-varying chain when a regime stack is present): the rate
         normalisation keeps rows with different observation lengths
         comparable, and reduces to the ordinary ML ranking when every
-        row spans the full episode.  Tie-breaking consumes one draw per
-        user generator, exactly like the unmasked crowd path.
+        row spans the full episode.  The kernel is the adversary layer's
+        masked scorer — one implementation serves contiguous windows and
+        arbitrary coverage masks alike (a churned plane's dead slots are
+        its ``-1`` entries).  Tie-breaking consumes one draw per user
+        generator, exactly like the unmasked crowd path.
         """
+        # Deferred import: the adversary package's Monte-Carlo module
+        # imports this module, so binding at call time avoids the cycle.
+        from ..adversary.detector import AdversaryDetector
+
         plane = self.observations
         n_rows = plane.n_services
         if isinstance(detector, RandomGuessDetector):
@@ -346,24 +363,9 @@ class FleetReport:
                 "observation plane (rows observed over different windows)"
             )
         traj = plane.trajectories
-        horizon = self.horizon
-        windows = self.windows
-        rows = np.arange(n_rows)
-        first = traj[rows, windows[:, 0]]
-        scores = chain.log_stationary[first].astype(float)
-        if horizon > 1:
-            prev = np.clip(traj[:, :-1], 0, None)
-            nxt = np.clip(traj[:, 1:], 0, None)
-            if self.transition_stack is None:
-                step_logs = chain.log_transition_matrix[prev, nxt]
-            else:
-                step_logs = safe_log(self.transition_stack)[
-                    np.arange(horizon - 1), prev, nxt
-                ]
-            steps = np.arange(1, horizon)
-            valid = (steps >= windows[:, :1] + 1) & (steps < windows[:, 1:])
-            scores = scores + np.where(valid, step_logs, 0.0).sum(axis=1)
-        scores = scores / (windows[:, 1] - windows[:, 0])
+        scores = AdversaryDetector._masked_scores(
+            chain, self.transition_stack, traj, traj >= 0
+        )
         candidates = np.flatnonzero(
             scores >= float(scores.max()) - detector.tolerance
         )
@@ -1116,6 +1118,17 @@ def run_fleet_monte_carlo(
         raise ValueError("n_runs must be positive")
     detector = detector or MaximumLikelihoodDetector()
     workers = min(resolve_workers(workers), n_runs)
+    knowledge = getattr(detector, "knowledge", None)
+    if workers > 1 and getattr(knowledge, "stateful", False):
+        # Each pool worker would learn only from its own shard, so the
+        # numbers would depend on the worker count — the one thing this
+        # function promises they never do.
+        raise ValueError(
+            "a learning (stateful) detector cannot be sharded over "
+            "workers; use repro.adversary.run_adversary_monte_carlo, "
+            "which parallelises the simulation but replays the episodes "
+            "serially in run order"
+        )
     tasks = [
         (simulation, detector, seed, shard.start, shard.stop, engine)
         for shard in shard_slices(n_runs, workers)

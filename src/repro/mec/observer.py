@@ -12,13 +12,16 @@ order so that nothing about the user leaks through indexing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from .service import ServiceInstance
 
-__all__ = ["ObservationMatrix", "EavesdropperObserver"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..adversary.coverage import CoverageModel
+
+__all__ = ["ObservationMatrix", "EavesdropperObserver", "censor_observations"]
 
 
 @dataclass(frozen=True)
@@ -119,3 +122,20 @@ class EavesdropperObserver:
         return ObservationMatrix(
             trajectories=trajectories, service_ids=service_ids, user_row=user_row
         )
+
+
+def censor_observations(
+    matrix: ObservationMatrix, coverage: "CoverageModel", n_cells: int
+) -> ObservationMatrix:
+    """The plane a partial-coverage adversary actually sees.
+
+    Slots where a service sits outside the coverage model's compromised
+    sites are censored to ``-1`` (the same sentinel the dynamic-world
+    fleet uses for dead slots), keeping the ground-truth labels intact so
+    the harness can still score detections against the full record.
+    """
+    return ObservationMatrix(
+        trajectories=coverage.censor(matrix.trajectories, n_cells),
+        service_ids=matrix.service_ids,
+        user_row=matrix.user_row,
+    )

@@ -18,9 +18,11 @@ from .markov import MarkovChain
 
 __all__ = [
     "count_transitions",
+    "count_censored_transitions",
     "empirical_transition_matrix",
     "empirical_state_distribution",
     "fit_markov_chain",
+    "chain_from_transition_counts",
 ]
 
 
@@ -45,6 +47,33 @@ def count_transitions(
             raise ValueError("trajectory contains out-of-range cell indices")
         if traj.size > 1:
             np.add.at(counts, (traj[:-1], traj[1:]), 1)
+    return counts
+
+
+def count_censored_transitions(
+    trajectories: np.ndarray, n_states: int
+) -> np.ndarray:
+    """Count one-step transitions in a censored ``(..., T)`` cell tensor.
+
+    Entries ``< 0`` mark slots where the trajectory was not observed (a
+    censored observation plane, a churned service's dead slots); a
+    transition is counted only when *both* endpoints are visible, so the
+    counts never bridge an observation gap.  Any number of leading batch
+    axes is supported — an ``(N, T)`` plane or a whole ``(R, N, T)``
+    Monte-Carlo tensor is counted in one vectorised pass.
+    """
+    if n_states <= 0:
+        raise ValueError("n_states must be positive")
+    traj = np.asarray(trajectories, dtype=np.int64)
+    counts = np.zeros((n_states, n_states), dtype=np.int64)
+    if traj.size == 0 or traj.shape[-1] < 2:
+        return counts
+    if traj.max() >= n_states:
+        raise ValueError("trajectory contains out-of-range cell indices")
+    prev = traj[..., :-1]
+    nxt = traj[..., 1:]
+    valid = (prev >= 0) & (nxt >= 0)
+    np.add.at(counts, (prev[valid], nxt[valid]), 1)
     return counts
 
 
@@ -105,3 +134,27 @@ def fit_markov_chain(
         trajectories, n_states, smoothing=smoothing
     )
     return MarkovChain(matrix)
+
+
+def chain_from_transition_counts(
+    counts: np.ndarray, *, smoothing: float = 1e-3
+) -> MarkovChain:
+    """A :class:`MarkovChain` fitted from a raw transition-count matrix.
+
+    The incremental counterpart of :func:`fit_markov_chain`: callers that
+    accumulate counts over time (e.g. a learning eavesdropper observing
+    plane after plane) keep the integer count matrix themselves and refit
+    whenever they need a scoring model.  ``smoothing`` is added to every
+    count so unobserved rows become uniform and the fitted chain is
+    ergodic; its stationary distribution serves as the model's prior over
+    initial cells.
+    """
+    if smoothing <= 0:
+        raise ValueError("smoothing must be positive to guarantee ergodicity")
+    arr = np.asarray(counts, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1] or arr.shape[0] == 0:
+        raise ValueError("counts must be a non-empty square matrix")
+    if np.any(arr < 0):
+        raise ValueError("counts must be non-negative")
+    arr = arr + smoothing
+    return MarkovChain(arr / arr.sum(axis=1, keepdims=True))

@@ -3,6 +3,7 @@ result containers and the on-disk result cache."""
 
 from .cache import ResultCache, default_cache_dir, experiment_cache_key
 from .config import (
+    AdversaryExperimentConfig,
     DynamicExperimentConfig,
     FleetExperimentConfig,
     SyntheticExperimentConfig,
@@ -20,6 +21,7 @@ from .seeding import (
 )
 
 __all__ = [
+    "AdversaryExperimentConfig",
     "DynamicExperimentConfig",
     "FleetExperimentConfig",
     "SyntheticExperimentConfig",

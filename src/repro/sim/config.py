@@ -16,6 +16,7 @@ __all__ = [
     "TraceExperimentConfig",
     "FleetExperimentConfig",
     "DynamicExperimentConfig",
+    "AdversaryExperimentConfig",
 ]
 
 #: Strategy names evaluated in the paper's synthetic figures.
@@ -525,6 +526,173 @@ class DynamicExperimentConfig:
             mean_downtime=self.mean_downtime,
             failure_sweep=self.failure_sweep,
             churn_sweep=self.churn_sweep,
+            seed=self.seed,
+            engine=self.engine,
+            workers=self.workers,
+        )
+
+
+#: Knowledge levels accepted by :class:`AdversaryExperimentConfig`.
+_KNOWLEDGE_LEVELS = ("oracle", "learned", "stale")
+
+
+@dataclass(frozen=True)
+class AdversaryExperimentConfig:
+    """Configuration of the adversary knowledge/coverage ladder experiment.
+
+    The experiment simulates one fleet Monte-Carlo (optionally on a
+    regime-switching world, so ``stale`` knowledge has something to be
+    blind to) and replays the *same* reports against a grid of
+    adversaries: every knowledge level crossed with a coverage-fraction
+    sweep (single compromised view) and a coalition-size sweep (several
+    partial views merged).  Reported per point: detection rate, tracking
+    accuracy — the "how much must the attacker know/see before privacy
+    collapses" curve — plus the defender's (adversary-independent) cost.
+
+    Attributes
+    ----------
+    n_users / n_cells / site_capacity / horizon / n_runs / n_chaffs /
+    strategy / mobility_model:
+        The fleet shape, as in :class:`FleetExperimentConfig` (the
+        deployment is the densest grid factorisation of ``n_cells``).
+    regime_model / regime_period:
+        Mobility regime rotation of the world (``None`` period disables
+        it; without regimes ``stale`` coincides with ``oracle``).
+    knowledge_levels:
+        Subset of ``("oracle", "learned", "stale")`` to evaluate.
+    coverage_fractions:
+        Compromised-site fractions of the single-view sweep (coalition
+        size 1); values in ``(0, 1]``.
+    coalition_sizes:
+        Member counts of the coalition sweep; each member compromises
+        its own seeded ``coalition_fraction`` of the sites.
+    coalition_fraction:
+        Per-member coverage fraction of the coalition sweep.
+    smoothing / warm_start:
+        Learned-knowledge fit parameters (additive smoothing; whether
+        the adversary's counts persist episode over episode).
+    seed / engine / workers:
+        As in every experiment config (``engine`` and ``workers`` never
+        change the numbers and stay out of the cache key; workers shard
+        the report simulation, never the order-dependent evaluation).
+    """
+
+    n_users: int = 30
+    n_cells: int = 25
+    site_capacity: int = 8
+    horizon: int = 60
+    n_runs: int = 10
+    n_chaffs: int = 1
+    strategy: str = "IM"
+    mobility_model: str = "non-skewed"
+    regime_model: "str | None" = "temporally-skewed"
+    regime_period: "int | None" = 20
+    knowledge_levels: Sequence[str] = _KNOWLEDGE_LEVELS
+    coverage_fractions: Sequence[float] = (0.2, 0.5, 1.0)
+    coalition_sizes: Sequence[int] = (1, 2, 4)
+    coalition_fraction: float = 0.2
+    smoothing: float = 1e-3
+    warm_start: bool = True
+    seed: int = 2017
+    engine: str = "batch"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError("n_users must be positive")
+        if self.n_cells < 2:
+            raise ValueError("n_cells must be at least 2")
+        if self.site_capacity < 1:
+            raise ValueError("site_capacity must be positive")
+        if self.horizon < 2:
+            raise ValueError("horizon must be at least 2")
+        if self.n_runs < 1:
+            raise ValueError("n_runs must be positive")
+        if self.n_chaffs < 0:
+            raise ValueError("n_chaffs must be non-negative")
+        if self.regime_period is not None and self.regime_period < 1:
+            raise ValueError("regime_period must be positive (or None)")
+        if not self.knowledge_levels:
+            raise ValueError("at least one knowledge level is required")
+        for level in self.knowledge_levels:
+            if level not in _KNOWLEDGE_LEVELS:
+                raise ValueError(
+                    f"unknown knowledge level {level!r}; "
+                    f"available: {_KNOWLEDGE_LEVELS}"
+                )
+        if not self.coverage_fractions:
+            raise ValueError("at least one coverage fraction is required")
+        if any(not 0.0 < f <= 1.0 for f in self.coverage_fractions):
+            raise ValueError("coverage fractions must be in (0, 1]")
+        if not self.coalition_sizes:
+            raise ValueError("at least one coalition size is required")
+        if any(s < 1 for s in self.coalition_sizes):
+            raise ValueError("coalition sizes must be positive")
+        if not 0.0 < self.coalition_fraction <= 1.0:
+            raise ValueError("coalition_fraction must be in (0, 1]")
+        if self.smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        if self.engine not in ("batch", "loop"):
+            raise ValueError("engine must be 'batch' or 'loop'")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative (0 = all cores)")
+        slots = self.n_cells * self.site_capacity
+        services = self.n_users * (1 + self.n_chaffs)
+        if services > slots:
+            raise ValueError(
+                f"fleet needs {services} service slots but the deployment "
+                f"only has {slots}; raise site_capacity or n_cells"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        data = asdict(self)
+        data["knowledge_levels"] = list(self.knowledge_levels)
+        data["coverage_fractions"] = list(self.coverage_fractions)
+        data["coalition_sizes"] = list(self.coalition_sizes)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AdversaryExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        data = dict(data)
+        if "knowledge_levels" in data:
+            data["knowledge_levels"] = tuple(data["knowledge_levels"])
+        if "coverage_fractions" in data:
+            data["coverage_fractions"] = tuple(data["coverage_fractions"])
+        if "coalition_sizes" in data:
+            data["coalition_sizes"] = tuple(data["coalition_sizes"])
+        return cls(**data)
+
+    def scaled(
+        self,
+        *,
+        n_users: int | None = None,
+        n_runs: int | None = None,
+        horizon: int | None = None,
+    ) -> "AdversaryExperimentConfig":
+        """Copy with reduced sizes (for tests and CI)."""
+        horizon = horizon if horizon is not None else self.horizon
+        period = self.regime_period
+        if period is not None:
+            period = max(2, min(period, horizon // 2))
+        return AdversaryExperimentConfig(
+            n_users=n_users if n_users is not None else self.n_users,
+            n_cells=self.n_cells,
+            site_capacity=self.site_capacity,
+            horizon=horizon,
+            n_runs=n_runs if n_runs is not None else self.n_runs,
+            n_chaffs=self.n_chaffs,
+            strategy=self.strategy,
+            mobility_model=self.mobility_model,
+            regime_model=self.regime_model,
+            regime_period=period,
+            knowledge_levels=tuple(self.knowledge_levels),
+            coverage_fractions=tuple(self.coverage_fractions),
+            coalition_sizes=tuple(self.coalition_sizes),
+            coalition_fraction=self.coalition_fraction,
+            smoothing=self.smoothing,
+            warm_start=self.warm_start,
             seed=self.seed,
             engine=self.engine,
             workers=self.workers,

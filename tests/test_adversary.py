@@ -1,0 +1,861 @@
+"""Tests for the adversary subsystem (knowledge x coverage eavesdroppers).
+
+Covers the coverage models (seeded masks, nested ladders, coalitions),
+the knowledge models (oracle / learned / stale semantics, warm-started
+online fitting), the adversary detector's contracts — oracle knowledge
+with full coverage bit-identical to the existing ML fleet path in both
+engines, vectorised == loop-reference scoring for every knowledge x
+coverage combination, censored-plane scoring — the adversary Monte-Carlo
+(order-dependent learning, worker-count invariant report simulation),
+the registered ``adversary`` experiment + CLI, and the two satellite
+upgrades: the vectorised strategy-aware detector and the stack-aware
+online trackers.
+
+The worker count for sharded-equivalence tests is taken from
+``REPRO_TEST_WORKERS`` (default 2) so CI can pin the process-pool path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AdversaryDetector,
+    CoalitionCoverage,
+    FullCoverage,
+    LearnedKnowledge,
+    OracleKnowledge,
+    SiteCoverage,
+    StaleKnowledge,
+    coalition_coverage,
+    make_knowledge,
+    run_adversary_monte_carlo,
+    simulate_fleet_reports,
+)
+from repro.core.eavesdropper.advanced import StrategyAwareDetector
+from repro.core.eavesdropper.detector import MaximumLikelihoodDetector
+from repro.core.eavesdropper.online import (
+    BayesianPosteriorTracker,
+    PrefixMLTracker,
+    prefix_log_likelihood_scores,
+)
+from repro.core.strategies import get_strategy
+from repro.experiments.adversary import run_adversary_experiment
+from repro.experiments.registry import run_experiment
+from repro.mec.fleet import FleetSimulation, FleetSimulationConfig
+from repro.mec.observer import EavesdropperObserver, censor_observations
+from repro.mec.simulator import MECSimulation, MECSimulationConfig
+from repro.mec.topology import MECTopology
+from repro.mobility.grid import GridTopology
+from repro.mobility.models import paper_synthetic_models
+from repro.sim.cache import ResultCache
+from repro.sim.config import AdversaryExperimentConfig
+from repro.world.generators import dynamic_timeline
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+KNOWLEDGE_LEVELS = ("oracle", "learned", "stale")
+
+
+@pytest.fixture(scope="module")
+def chains():
+    return paper_synthetic_models(10, seed=2017)
+
+
+@pytest.fixture(scope="module")
+def chain(chains):
+    return chains["non-skewed"]
+
+
+def _fleet(chain, *, n_users=6, horizon=25, timeline=None, capacity=6):
+    topology = MECTopology.from_grid(GridTopology(2, 5), capacity=capacity)
+    return FleetSimulation(
+        topology,
+        chain,
+        strategy=get_strategy("IM"),
+        config=FleetSimulationConfig(
+            n_users=n_users, horizon=horizon, n_chaffs=1
+        ),
+        timeline=timeline,
+    )
+
+
+def _dynamic_fleet(chains, *, churn=0.0, seed=11, horizon=30, n_users=6):
+    timeline = dynamic_timeline(
+        horizon=horizon,
+        n_cells=10,
+        n_users=n_users,
+        seed=seed,
+        regime_chains=(chains["temporally-skewed"],),
+        regime_period=8,
+        churn_rate=churn,
+    )
+    return _fleet(
+        chains["non-skewed"], n_users=n_users, horizon=horizon, timeline=timeline
+    )
+
+
+def _coverages():
+    return (
+        FullCoverage(),
+        SiteCoverage(0.4, 7),
+        coalition_coverage(3, 0.2, 5),
+    )
+
+
+class TestCoverageModels:
+    def test_full_coverage_sees_everything(self):
+        coverage = FullCoverage()
+        assert coverage.is_full(10)
+        traj = np.array([[0, 3, 9], [2, -1, 5]])
+        mask = coverage.visible_mask(traj, 10)
+        assert mask.tolist() == [[True, True, True], [True, False, True]]
+
+    def test_site_coverage_is_seeded_and_deterministic(self):
+        a = SiteCoverage(0.4, 7).compromised_cells(20)
+        b = SiteCoverage(0.4, 7).compromised_cells(20)
+        c = SiteCoverage(0.4, 8).compromised_cells(20)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert a.size == 8
+        assert np.array_equal(a, np.sort(a))
+
+    def test_site_coverage_fractions_are_nested(self):
+        small = set(SiteCoverage(0.2, 3).compromised_cells(25).tolist())
+        large = set(SiteCoverage(0.6, 3).compromised_cells(25).tolist())
+        assert small < large
+
+    def test_site_coverage_at_least_one_cell(self):
+        assert SiteCoverage(0.01, 0).compromised_cells(10).size == 1
+        with pytest.raises(ValueError, match="fraction"):
+            SiteCoverage(0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            SiteCoverage(1.5)
+
+    def test_censor_marks_invisible_slots(self):
+        coverage = SiteCoverage(0.3, 1)
+        cells = coverage.compromised_cells(10)
+        traj = np.arange(10)[None, :]
+        censored = coverage.censor(traj, 10)
+        for cell in range(10):
+            expected = cell if cell in cells else -1
+            assert censored[0, cell] == expected
+
+    def test_coalition_is_the_union(self):
+        members = [SiteCoverage(0.2, 1), SiteCoverage(0.2, 2)]
+        union = CoalitionCoverage(members).compromised_cells(25)
+        merged = np.unique(
+            np.concatenate([m.compromised_cells(25) for m in members])
+        )
+        assert np.array_equal(union, merged)
+
+    def test_coalitions_are_nested_in_size(self):
+        two = set(coalition_coverage(2, 0.2, 9).compromised_cells(25).tolist())
+        three = set(coalition_coverage(3, 0.2, 9).compromised_cells(25).tolist())
+        assert two <= three
+
+    def test_single_member_coalition_is_site_coverage(self):
+        assert isinstance(coalition_coverage(1, 0.3, 4), SiteCoverage)
+        with pytest.raises(ValueError):
+            coalition_coverage(0, 0.3, 4)
+        with pytest.raises(ValueError):
+            CoalitionCoverage([])
+
+    def test_site_coverage_pickles_identically(self):
+        coverage = SiteCoverage(0.4, 7)
+        original = coverage.compromised_cells(20)
+        clone = pickle.loads(pickle.dumps(coverage))
+        assert np.array_equal(clone.compromised_cells(20), original)
+
+
+class TestKnowledgeModels:
+    def test_oracle_passes_the_truth_through(self, chain):
+        stack = np.repeat(chain.transition_matrix[None], 4, axis=0)
+        model, model_stack = OracleKnowledge().scoring_model(chain, stack)
+        assert model is chain
+        assert model_stack is stack
+
+    def test_stale_drops_the_regime_schedule(self, chain):
+        stack = np.repeat(chain.transition_matrix[None], 4, axis=0)
+        model, model_stack = StaleKnowledge().scoring_model(chain, stack)
+        assert model is chain
+        assert model_stack is None
+
+    def test_learned_starts_uniform(self, chain):
+        model, stack = LearnedKnowledge().scoring_model(chain, None)
+        assert stack is None
+        assert np.allclose(model.transition_matrix, 1.0 / chain.n_states)
+
+    def test_learned_counts_only_visible_transitions(self):
+        knowledge = LearnedKnowledge()
+        plane = np.array([[0, 1, -1, 1, 2], [2, 2, 2, -1, -1]])
+        knowledge.observe(plane, 3)
+        counts = knowledge.transition_counts
+        assert counts[0, 1] == 1  # 0 -> 1
+        assert counts[1, 2] == 1  # 1 -> 2
+        assert counts[2, 2] == 2  # 2 -> 2 twice
+        assert counts.sum() == 4  # nothing across the -1 gaps
+
+    def test_warm_start_accumulates_and_cold_start_resets(self):
+        plane = np.array([[0, 1, 0, 1]])
+        warm = LearnedKnowledge(warm_start=True)
+        cold = LearnedKnowledge(warm_start=False)
+        for _ in range(3):
+            warm.observe(plane, 2)
+            cold.observe(plane, 2)
+        assert warm.n_observed_transitions == 9
+        assert cold.n_observed_transitions == 3
+        warm.reset()
+        assert warm.n_observed_transitions == 0
+
+    def test_learned_model_approaches_the_true_chain(self, chain):
+        rng = np.random.default_rng(0)
+        knowledge = LearnedKnowledge()
+        trajectories = chain.sample_trajectories(200, 50, rng)
+        knowledge.observe(trajectories[:5], chain.n_states)
+        early, _ = knowledge.scoring_model(chain, None)
+        early_error = np.abs(
+            early.transition_matrix - chain.transition_matrix
+        ).max()
+        knowledge.observe(trajectories[5:], chain.n_states)
+        late, _ = knowledge.scoring_model(chain, None)
+        late_error = np.abs(late.transition_matrix - chain.transition_matrix).max()
+        assert late_error < early_error
+        assert late_error < 0.1
+
+    def test_knowledge_levels_stay_in_sync_with_the_config(self):
+        # sim/config cannot import the adversary package (cycle), so the
+        # accepted-levels tuples are duplicated; pin them identical and
+        # constructible.
+        import repro.adversary as adversary_pkg
+        from repro.sim.config import _KNOWLEDGE_LEVELS
+
+        assert adversary_pkg.KNOWLEDGE_LEVELS == _KNOWLEDGE_LEVELS
+        for level in _KNOWLEDGE_LEVELS:
+            assert make_knowledge(level).name == level
+
+    def test_make_knowledge(self):
+        assert isinstance(make_knowledge("oracle"), OracleKnowledge)
+        assert isinstance(make_knowledge("stale"), StaleKnowledge)
+        learned = make_knowledge("learned", smoothing=0.5, warm_start=False)
+        assert isinstance(learned, LearnedKnowledge)
+        assert learned.smoothing == 0.5 and not learned.warm_start
+        with pytest.raises(ValueError, match="unknown knowledge level"):
+            make_knowledge("psychic")
+
+
+class TestOracleFullBitIdentity:
+    """Oracle knowledge + full coverage == the existing ML fleet path."""
+
+    @pytest.mark.parametrize("engine", ["batch", "loop"])
+    def test_static_world(self, chain, engine):
+        simulation = _fleet(chain)
+        report = simulation.run(0, engine=engine)
+        ml = report.evaluate(chain, MaximumLikelihoodDetector())
+        adv = report.evaluate(chain, AdversaryDetector())
+        assert np.array_equal(ml.chosen_rows, adv.chosen_rows)
+        assert np.array_equal(ml.tracking_per_user, adv.tracking_per_user)
+        assert np.array_equal(ml.detected_per_user, adv.detected_per_user)
+
+    @pytest.mark.parametrize("engine", ["batch", "loop"])
+    def test_dynamic_churned_world(self, chains, engine):
+        simulation = _dynamic_fleet(chains, churn=0.4)
+        report = simulation.run(3, engine=engine)
+        assert report.windows is not None  # the masked evaluation path
+        ml = report.evaluate(chains["non-skewed"], MaximumLikelihoodDetector())
+        adv = report.evaluate(chains["non-skewed"], AdversaryDetector())
+        assert np.array_equal(ml.chosen_rows, adv.chosen_rows)
+        assert np.array_equal(ml.tracking_per_user, adv.tracking_per_user)
+
+    def test_golden_seed_digest(self, chain):
+        # Pin the oracle/full decisions for one seed so regressions in
+        # either the fleet path or the adversary delegation are loud.
+        report = _fleet(chain).run(2017)
+        adv = report.evaluate(chain, AdversaryDetector())
+        ml = report.evaluate(chain, MaximumLikelihoodDetector())
+        assert adv.chosen_rows.tolist() == ml.chosen_rows.tolist()
+
+    def test_single_user_game_detect(self, chain):
+        observed = chain.sample_trajectories(4, 20, np.random.default_rng(5))
+        ml = MaximumLikelihoodDetector().detect(
+            chain, observed, np.random.default_rng(9)
+        )
+        adv = AdversaryDetector().detect(chain, observed, np.random.default_rng(9))
+        assert ml.chosen_index == adv.chosen_index
+        assert np.allclose(ml.scores, adv.scores)
+
+
+class TestVectorisedVsLoopReference:
+    """The vectorised kernels == the naive reference, every combination."""
+
+    @pytest.mark.parametrize("level", KNOWLEDGE_LEVELS)
+    def test_crowd_decisions_match(self, chains, level):
+        report = _dynamic_fleet(chains, churn=0.3).run(1)
+        for coverage in _coverages():
+            fast = AdversaryDetector(make_knowledge(level), coverage)
+            slow = AdversaryDetector(
+                make_knowledge(level), coverage, loop_reference=True
+            )
+            a = report.evaluate(chains["non-skewed"], fast)
+            b = report.evaluate(chains["non-skewed"], slow)
+            assert np.array_equal(a.chosen_rows, b.chosen_rows), coverage.name
+            assert np.array_equal(a.tracking_per_user, b.tracking_per_user)
+
+    @pytest.mark.parametrize("level", KNOWLEDGE_LEVELS)
+    def test_detect_batch_matches_scalar_detect(self, chain, level):
+        rng = np.random.default_rng(3)
+        observed = chain.sample_trajectories(24, 15, rng).reshape(6, 4, 15)
+        for coverage in _coverages():
+            batch_adv = AdversaryDetector(make_knowledge(level), coverage)
+            scalar_adv = AdversaryDetector(make_knowledge(level), coverage)
+            rngs_a = [np.random.default_rng(100 + k) for k in range(6)]
+            rngs_b = [np.random.default_rng(100 + k) for k in range(6)]
+            batched = batch_adv.detect_batch(chain, observed, rngs_a)
+            for run in range(6):
+                outcome = scalar_adv.detect(chain, observed[run], rngs_b[run])
+                assert outcome.chosen_index == batched.chosen_indices[run]
+                assert np.allclose(
+                    outcome.scores, batched.scores[run], equal_nan=True
+                )
+
+    def test_detect_batch_stack_dispatches_per_run(self, chains):
+        # A batch where some runs are fully visible and others censored
+        # must score each run exactly as the scalar path would.
+        chain = chains["non-skewed"]
+        cells = SiteCoverage(0.4, 7).compromised_cells(10)
+        inside = np.full((3, 12), cells[0], dtype=np.int64)
+        outside_cell = next(c for c in range(10) if c not in cells)
+        mixed = inside.copy()
+        mixed[1, 3:6] = outside_cell
+        observed = np.stack([inside, mixed], axis=0)
+        adversary = AdversaryDetector(OracleKnowledge(), SiteCoverage(0.4, 7))
+        rngs = [np.random.default_rng(k) for k in range(2)]
+        batched = adversary.detect_batch(chain, observed, rngs)
+        for run in range(2):
+            outcome = adversary.detect(
+                chain, observed[run], np.random.default_rng(run)
+            )
+            assert np.allclose(outcome.scores, batched.scores[run])
+
+
+class TestCensoredScoring:
+    def test_blind_adversary_guesses_uniformly(self, chain):
+        # Coverage that sees nothing -> all scores -inf -> uniform guess.
+        observed = np.full((4, 10), 0, dtype=np.int64)
+        coverage = SiteCoverage(0.1, 0)
+        cells = coverage.compromised_cells(chain.n_states)
+        blind_cell = next(c for c in range(chain.n_states) if c not in cells)
+        observed[:] = blind_cell
+        adversary = AdversaryDetector(OracleKnowledge(), coverage)
+        outcome = adversary.detect(chain, observed, np.random.default_rng(0))
+        assert np.all(np.isneginf(outcome.scores))
+        assert outcome.candidate_indices.tolist() == [0, 1, 2, 3]
+
+    def test_partial_coverage_scores_only_visible_slots(self, chain):
+        coverage = SiteCoverage(0.3, 2)
+        cells = coverage.compromised_cells(chain.n_states)
+        visible = int(cells[0])
+        hidden = next(c for c in range(chain.n_states) if c not in cells)
+        row = np.array([visible, visible, hidden, visible], dtype=np.int64)
+        adversary = AdversaryDetector(OracleKnowledge(), coverage)
+        outcome = adversary.detect(
+            chain, np.stack([row, row]), np.random.default_rng(0)
+        )
+        # Hand-computed per-observed-slot rate: stationary term + one
+        # contiguous transition, over three visible slots.
+        expected = (
+            chain.log_stationary[visible]
+            + chain.log_transition_matrix[visible, visible]
+        ) / 3
+        assert np.allclose(outcome.scores, expected)
+
+    def test_more_coverage_never_hurts_on_average(self, chain):
+        simulation = _fleet(chain, n_users=8)
+        reports = simulate_fleet_reports(simulation, n_runs=6, seed=5)
+        rates = []
+        for fraction in (0.2, 1.0):
+            coverage = (
+                FullCoverage() if fraction >= 1.0 else SiteCoverage(fraction, 3)
+            )
+            stats = run_adversary_monte_carlo(
+                simulation,
+                AdversaryDetector(OracleKnowledge(), coverage),
+                n_runs=6,
+                seed=5,
+                reports=reports,
+            )
+            rates.append(stats.mean_detection)
+        assert rates[1] >= rates[0]
+
+    def test_learning_adversary_observes_crowd_once(self, chain):
+        simulation = _fleet(chain)
+        report = simulation.run(0)
+        adversary = AdversaryDetector(LearnedKnowledge(), FullCoverage())
+        report.evaluate(chain, adversary)
+        plane = report.observations.trajectories
+        expected = plane.shape[0] * (plane.shape[1] - 1)
+        assert adversary.knowledge.n_observed_transitions == expected
+
+
+class TestAdversaryMonteCarlo:
+    def test_report_simulation_is_worker_invariant(self, chain):
+        simulation = _fleet(chain, n_users=4, horizon=12)
+        serial = simulate_fleet_reports(simulation, n_runs=5, seed=7, workers=1)
+        sharded = simulate_fleet_reports(
+            simulation, n_runs=5, seed=7, workers=WORKERS
+        )
+        for a, b in zip(serial, sharded):
+            assert np.array_equal(a.user_trajectories, b.user_trajectories)
+            assert np.array_equal(
+                a.observations.trajectories, b.observations.trajectories
+            )
+            assert a.per_user_cost.tolist() == b.per_user_cost.tolist()
+
+    def test_monte_carlo_worker_invariance_with_learning(self, chain):
+        simulation = _fleet(chain, n_users=4, horizon=12)
+
+        def stats(workers):
+            return run_adversary_monte_carlo(
+                simulation,
+                AdversaryDetector(LearnedKnowledge(), SiteCoverage(0.5, 3)),
+                n_runs=5,
+                seed=7,
+                workers=workers,
+            )
+
+        serial, sharded = stats(1), stats(WORKERS)
+        assert np.array_equal(serial.detection_runs, sharded.detection_runs)
+        assert np.array_equal(serial.tracking_runs, sharded.tracking_runs)
+        assert np.array_equal(serial.cost_runs, sharded.cost_runs)
+
+    def test_learning_is_order_dependent_and_cumulative(self, chain):
+        simulation = _fleet(chain, n_users=4, horizon=12)
+        adversary = AdversaryDetector(LearnedKnowledge(), FullCoverage())
+        run_adversary_monte_carlo(simulation, adversary, n_runs=4, seed=7)
+        n_services = simulation.config.n_services
+        per_run = n_services * (simulation.config.horizon - 1)
+        assert adversary.knowledge.n_observed_transitions == 4 * per_run
+
+    def test_fleet_monte_carlo_rejects_sharded_learning_detector(self, chain):
+        # run_fleet_monte_carlo evaluates inside the shard workers, so a
+        # learning adversary would learn per shard and the numbers would
+        # depend on the worker count; it must refuse instead.
+        from repro.mec.fleet import run_fleet_monte_carlo
+
+        simulation = _fleet(chain, n_users=4, horizon=12)
+        with pytest.raises(ValueError, match="stateful"):
+            run_fleet_monte_carlo(
+                simulation,
+                n_runs=4,
+                seed=1,
+                detector=AdversaryDetector(LearnedKnowledge()),
+                workers=2,
+            )
+        # Serial execution evaluates in run order and stays allowed.
+        statistics = run_fleet_monte_carlo(
+            simulation,
+            n_runs=2,
+            seed=1,
+            detector=AdversaryDetector(LearnedKnowledge()),
+            workers=1,
+        )
+        assert statistics.n_runs == 2
+
+    def test_report_count_mismatch_rejected(self, chain):
+        simulation = _fleet(chain, n_users=4, horizon=12)
+        reports = simulate_fleet_reports(simulation, n_runs=2, seed=7)
+        with pytest.raises(ValueError, match="expected 3 reports"):
+            run_adversary_monte_carlo(
+                simulation,
+                AdversaryDetector(),
+                n_runs=3,
+                seed=7,
+                reports=reports,
+            )
+
+
+class TestAdversaryLadderSemantics:
+    def test_stale_is_oracle_in_a_static_world(self, chain):
+        report = _fleet(chain).run(4)
+        oracle = report.evaluate(chain, AdversaryDetector(OracleKnowledge()))
+        stale = report.evaluate(chain, AdversaryDetector(StaleKnowledge()))
+        assert np.array_equal(oracle.chosen_rows, stale.chosen_rows)
+
+    def test_stale_differs_under_regime_switches(self, chains):
+        report = _dynamic_fleet(chains).run(3)
+        assert report.transition_stack is not None
+        chain = chains["non-skewed"]
+        oracle = report.evaluate(chain, AdversaryDetector(OracleKnowledge()))
+        stale = report.evaluate(chain, AdversaryDetector(StaleKnowledge()))
+        # Same tie-break streams, different scoring model: the decisions
+        # differ for this seed because the regime schedule is withheld.
+        assert not np.array_equal(oracle.chosen_rows, stale.chosen_rows)
+
+    def test_warm_started_learner_beats_cold_start(self, chains):
+        # After many episodes the warm-started model scores future planes
+        # strictly better (closer to the truth) than an amnesiac one.
+        chain = chains["non-skewed"]
+        simulation = _fleet(chain, n_users=8)
+        reports = simulate_fleet_reports(simulation, n_runs=10, seed=9)
+        warm = LearnedKnowledge(warm_start=True)
+        for report in reports:
+            warm.observe(report.observations.trajectories, chain.n_states)
+        warm_chain, _ = warm.scoring_model(chain, None)
+        cold = LearnedKnowledge(warm_start=False)
+        cold.observe(reports[-1].observations.trajectories, chain.n_states)
+        cold_chain, _ = cold.scoring_model(chain, None)
+        warm_error = np.abs(
+            warm_chain.transition_matrix - chain.transition_matrix
+        ).max()
+        cold_error = np.abs(
+            cold_chain.transition_matrix - chain.transition_matrix
+        ).max()
+        assert warm_error < cold_error
+
+
+class TestAdversaryExperiment:
+    def _config(self, **overrides) -> AdversaryExperimentConfig:
+        base = dict(
+            n_users=8,
+            n_cells=9,
+            site_capacity=4,
+            horizon=16,
+            n_runs=3,
+            coverage_fractions=(0.3, 1.0),
+            coalition_sizes=(1, 2),
+        )
+        base.update(overrides)
+        return AdversaryExperimentConfig(**base)
+
+    def test_experiment_shape(self):
+        result = run_adversary_experiment(self._config())
+        assert result.experiment_id == "adversary"
+        assert set(result.groups) == {
+            "coverage-fraction (single view)",
+            "coalition-size (fraction = 0.2 per member)",
+        }
+        coverage_labels = [
+            s.label for s in result.groups["coverage-fraction (single view)"]
+        ]
+        for level in ("oracle", "learned", "stale"):
+            assert f"detection [{level}]" in coverage_labels
+            assert f"tracking [{level}]" in coverage_labels
+        assert "defender_cost_per_user" in result.scalars
+        assert "knowledge_gap_learned" in result.scalars
+
+    def test_workers_do_not_change_the_numbers(self):
+        serial = run_adversary_experiment(self._config())
+        parallel = run_adversary_experiment(self._config(workers=WORKERS))
+        assert serial.to_dict()["groups"] == parallel.to_dict()["groups"]
+        assert serial.to_dict()["scalars"] == parallel.to_dict()["scalars"]
+
+    def test_engines_do_not_change_the_numbers(self):
+        batch = run_adversary_experiment(self._config())
+        loop = run_adversary_experiment(self._config(engine="loop"))
+        assert batch.to_dict()["groups"] == loop.to_dict()["groups"]
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = self._config()
+        first = run_experiment("adversary", config, cache=cache)
+        assert cache.hits == 0
+        second = run_experiment("adversary", config, cache=cache)
+        assert cache.hits == 1
+        assert first.to_dict() == second.to_dict()
+
+    def test_config_round_trip(self):
+        config = self._config()
+        assert AdversaryExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="knowledge level"):
+            self._config(knowledge_levels=("oracle", "psychic"))
+        with pytest.raises(ValueError, match="coverage fractions"):
+            self._config(coverage_fractions=(0.0,))
+        with pytest.raises(ValueError, match="coalition sizes"):
+            self._config(coalition_sizes=(0,))
+        with pytest.raises(ValueError, match="service slots"):
+            AdversaryExperimentConfig(n_users=50, n_cells=9, site_capacity=4)
+
+    def test_scaled_clamps_the_regime_period(self):
+        config = AdversaryExperimentConfig().scaled(horizon=8, n_runs=2)
+        assert config.regime_period == 4
+        assert config.n_runs == 2
+
+    def test_oracle_full_point_matches_the_ml_fleet_path(self):
+        # The experiment's (oracle, full-coverage) point must equal a
+        # plain ML evaluation of the same reports.
+        from repro.experiments.adversary import _build_simulation
+        from repro.sim.seeding import spawn_sequences
+
+        config = self._config(
+            knowledge_levels=("oracle",), coverage_fractions=(1.0,)
+        )
+        result = run_adversary_experiment(config)
+        world_seed, run_seed, _ = spawn_sequences(config.seed, 3, key="adversary")
+        simulation = _build_simulation(config, world_seed)
+        reports = simulate_fleet_reports(
+            simulation, n_runs=config.n_runs, seed=run_seed
+        )
+        detections = [
+            report.evaluate(
+                simulation.chain, MaximumLikelihoodDetector()
+            ).mean_detection
+            for report in reports
+        ]
+        expected = float(np.mean(detections))
+        series = result.groups["coverage-fraction (single view)"][0]
+        assert series.label == "detection [oracle]"
+        assert series.values[-1] == pytest.approx(expected, abs=0)
+
+
+class TestAdversaryCLI:
+    def test_run_adversary_subcommand(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run",
+                "adversary",
+                "--users",
+                "6",
+                "--cells",
+                "9",
+                "--capacity",
+                "4",
+                "--runs",
+                "2",
+                "--horizon",
+                "12",
+                "--knowledge",
+                "oracle,stale",
+                "--coverage",
+                "0.3,1.0",
+                "--coalition-sizes",
+                "1,2",
+                "--no-cache",
+                "--output",
+                str(tmp_path / "adversary.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[adversary]" in out
+        assert "detection [oracle]" in out
+        assert "detection [learned]" not in out
+        assert (tmp_path / "adversary.json").exists()
+
+    def test_adversary_listed(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        assert "adversary" in capsys.readouterr().out.split()
+
+
+class TestObserverCensoring:
+    def _matrix(self, chain):
+        topology = MECTopology.ring(10, capacity=4)
+        simulation = MECSimulation(
+            topology,
+            chain,
+            strategy=get_strategy("IM"),
+            config=MECSimulationConfig(horizon=12, n_chaffs=2),
+        )
+        report = simulation.run(np.random.default_rng(0))
+        return report.observations
+
+    def test_censor_observations(self, chain):
+        matrix = self._matrix(chain)
+        coverage = SiteCoverage(0.4, 7)
+        censored = censor_observations(matrix, coverage, 10)
+        mask = coverage.visible_mask(matrix.trajectories, 10)
+        assert np.array_equal(censored.trajectories == -1, ~mask)
+        assert np.array_equal(censored.service_ids, matrix.service_ids)
+        assert censored.user_row == matrix.user_row
+
+    def test_full_coverage_censors_nothing(self, chain):
+        matrix = self._matrix(chain)
+        censored = censor_observations(matrix, FullCoverage(), 10)
+        assert np.array_equal(censored.trajectories, matrix.trajectories)
+
+    def test_observer_unchanged_by_default(self, chain):
+        observer = EavesdropperObserver(shuffle=False)
+        assert observer.shuffle is False
+
+
+class TestStrategyAwareBatch:
+    """Satellite: the Section VI-A eavesdropper under the batch engine."""
+
+    def _batch(self, chain, strategy_name, runs=5, n=3, horizon=12):
+        rng = np.random.default_rng(1)
+        users = chain.sample_trajectories(runs, horizon, rng)
+        strategy = get_strategy(strategy_name)
+        observed = np.empty((runs, n, horizon), dtype=np.int64)
+        for run in range(runs):
+            observed[run, 0] = users[run]
+            observed[run, 1:] = strategy.generate(
+                chain, users[run], n - 1, np.random.default_rng(50 + run)
+            )
+        return observed
+
+    @pytest.mark.parametrize("strategy_name", ["ML", "IM"])
+    def test_detect_batch_matches_scalar(self, chain, strategy_name):
+        observed = self._batch(chain, strategy_name)
+        detector = StrategyAwareDetector(get_strategy(strategy_name))
+        rngs_a = [np.random.default_rng(200 + k) for k in range(5)]
+        rngs_b = [np.random.default_rng(200 + k) for k in range(5)]
+        batched = detector.detect_batch(chain, observed, rngs_a)
+        for run in range(5):
+            outcome = detector.detect(chain, observed[run], rngs_b[run])
+            assert outcome.chosen_index == batched.chosen_indices[run]
+            assert np.allclose(
+                outcome.scores, batched.scores[run], equal_nan=True
+            )
+            assert np.array_equal(
+                outcome.candidate_indices, batched.candidate_indices[run]
+            )
+
+    def test_all_flagged_runs_guess_identically(self, chain):
+        # Two copies of the ML strategy's (user-independent) deterministic
+        # chaff: each is Gamma of the other, so every trajectory is
+        # flagged and both paths must fall back to the same uniform guess.
+        strategy = get_strategy("ML")
+        user = chain.sample_trajectory(10, np.random.default_rng(2))
+        gamma = strategy.deterministic_map(chain, user)
+        observed = np.stack([gamma, gamma])[None].repeat(3, axis=0)
+        detector = StrategyAwareDetector(strategy)
+        rngs_a = [np.random.default_rng(300 + k) for k in range(3)]
+        rngs_b = [np.random.default_rng(300 + k) for k in range(3)]
+        batched = detector.detect_batch(chain, observed, rngs_a)
+        flagged_any = np.isnan(batched.scores).any()
+        for run in range(3):
+            outcome = detector.detect(chain, observed[run], rngs_b[run])
+            assert outcome.chosen_index == batched.chosen_indices[run]
+        assert flagged_any
+
+    def test_transition_stack_scoring(self, chains):
+        # The ML stage must score under the time-varying chain; chaff
+        # unmasking still uses the deterministic map of the base chain.
+        chain = chains["non-skewed"]
+        regime = chains["temporally-skewed"]
+        horizon = 10
+        stack = np.repeat(regime.transition_matrix[None], horizon - 1, axis=0)
+        observed = chain.sample_trajectories(
+            3, horizon, np.random.default_rng(4)
+        )[None]
+        detector = StrategyAwareDetector(get_strategy("IM"))
+        batched = detector.detect_batch(
+            chain, observed, [np.random.default_rng(0)], transition_stack=stack
+        )
+        expected = chain.log_likelihoods(observed[0], transition_stack=stack)
+        assert np.allclose(batched.scores[0], expected)
+
+    def test_no_longer_raises_under_dynamic_worlds(self, chains):
+        chain = chains["non-skewed"]
+        horizon = 8
+        stack = np.repeat(
+            chains["temporally-skewed"].transition_matrix[None],
+            horizon - 1,
+            axis=0,
+        )
+        observed = chain.sample_trajectories(
+            2, horizon, np.random.default_rng(6)
+        )[None]
+        detector = StrategyAwareDetector(get_strategy("IM"))
+        # Used to raise NotImplementedError through the base detect_batch.
+        outcome = detector.detect_batch(
+            chain, observed, [np.random.default_rng(0)], transition_stack=stack
+        )
+        assert outcome.chosen_indices.shape == (1,)
+
+
+class TestStackAwareTrackers:
+    """Satellite: online trackers scoring under regime switches."""
+
+    def _stack(self, chains, horizon):
+        return np.repeat(
+            chains["temporally-skewed"].transition_matrix[None],
+            horizon - 1,
+            axis=0,
+        )
+
+    def test_prefix_scores_under_a_stack(self, chains):
+        chain = chains["non-skewed"]
+        horizon = 9
+        stack = self._stack(chains, horizon)
+        observed = chain.sample_trajectories(3, horizon, np.random.default_rng(8))
+        scores = prefix_log_likelihood_scores(chain, observed, stack)
+        # Final prefix == full-trajectory log-likelihood under the stack.
+        full = chain.log_likelihoods(observed, transition_stack=stack)
+        assert np.allclose(scores[:, -1], full)
+        # Static call unchanged.
+        static = prefix_log_likelihood_scores(chain, observed)
+        assert np.allclose(static[:, -1], chain.log_likelihoods(observed))
+
+    def test_prefix_scores_stack_shape_validated(self, chains):
+        chain = chains["non-skewed"]
+        observed = chain.sample_trajectories(2, 6, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="transition_stack"):
+            prefix_log_likelihood_scores(chain, observed, np.eye(10)[None])
+
+    @pytest.mark.parametrize(
+        "tracker_cls", [PrefixMLTracker, BayesianPosteriorTracker]
+    )
+    def test_track_batch_matches_track_under_a_stack(self, chains, tracker_cls):
+        chain = chains["non-skewed"]
+        horizon = 10
+        stack = self._stack(chains, horizon)
+        rng = np.random.default_rng(11)
+        observed = chain.sample_trajectories(8, horizon, rng).reshape(2, 4, horizon)
+        users = observed[:, 0, :]
+        tracker = tracker_cls()
+        batched = tracker.track_batch(
+            chain,
+            observed,
+            users,
+            [np.random.default_rng(40 + k) for k in range(2)],
+            transition_stack=stack,
+        )
+        for run in range(2):
+            single = tracker.track(
+                chain,
+                observed[run],
+                users[run],
+                np.random.default_rng(40 + run),
+                transition_stack=stack,
+            )
+            assert np.array_equal(
+                single.estimated_cells, batched[run].estimated_cells
+            )
+            assert np.allclose(single.posteriors, batched[run].posteriors)
+
+    def test_stack_changes_the_tracking_decisions(self, chains):
+        # Scoring under the true regime chain must be able to change the
+        # per-slot decisions relative to the (wrong) static model.
+        chain = chains["non-skewed"]
+        horizon = 30
+        stack = self._stack(chains, horizon)
+        regime = chains["temporally-skewed"]
+        rng = np.random.default_rng(13)
+        observed = np.stack(
+            [
+                regime.sample_trajectory(horizon, rng)
+                for _ in range(4)
+            ]
+        )
+        tracker = PrefixMLTracker()
+        with_stack = tracker.track(
+            chain,
+            observed,
+            observed[0],
+            np.random.default_rng(1),
+            transition_stack=stack,
+        )
+        without = tracker.track(
+            chain, observed, observed[0], np.random.default_rng(1)
+        )
+        assert not np.allclose(with_stack.posteriors, without.posteriors)

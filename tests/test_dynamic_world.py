@@ -786,7 +786,25 @@ class TestReviewRegressions:
         # A regime-only (unmasked) report handed to a detector whose
         # detect() cannot score a time-varying chain must raise a clear
         # NotImplementedError, not a TypeError from kwarg forwarding.
+        # (The strategy-aware detector used to be the example here; it is
+        # stack-aware now, so the regression is pinned with a stub and
+        # the advanced eavesdropper asserted to evaluate cleanly.)
         from repro.core.eavesdropper.advanced import StrategyAwareDetector
+        from repro.core.eavesdropper.detector import (
+            DetectionOutcome,
+            TrajectoryDetector,
+        )
+
+        class StackUnawareDetector(TrajectoryDetector):
+            name = "stack-unaware"
+
+            def detect(self, chain, trajectories, rng):
+                observed = np.asarray(trajectories, dtype=np.int64)
+                return DetectionOutcome(
+                    chosen_index=0,
+                    scores=np.zeros(observed.shape[0]),
+                    candidate_indices=np.arange(observed.shape[0]),
+                )
 
         topology = MECTopology.from_grid(GridTopology(3, 3), capacity=4)
         simulation = FleetSimulation(
@@ -801,7 +819,13 @@ class TestReviewRegressions:
         report = simulation.run(0)
         assert report.transition_stack is not None
         with pytest.raises(NotImplementedError, match="time-varying"):
-            report.evaluate(chain9, StrategyAwareDetector(get_strategy("IM")))
+            report.evaluate(chain9, StackUnawareDetector())
+        # The Section VI-A eavesdropper is stack-aware now and scores the
+        # regime report without complaint.
+        evaluation = report.evaluate(
+            chain9, StrategyAwareDetector(get_strategy("IM"))
+        )
+        assert evaluation.chosen_rows.shape == (3,)
 
     def test_fleet_subcommand_enables_only_requested_dynamics(self):
         # `fleet --failure-rate X` alone must not drag in regime
