@@ -1,0 +1,159 @@
+"""Dense-vs-sparse crossover benchmarks for the Markov kernels.
+
+The sparse backend exists for city-scale state spaces: on a grid of
+``L`` cells the chain has ~5 nonzeros per row, so CSR kernels cost
+``O(T nnz)`` where dense costs ``O(T L^2)``.  These benchmarks time the
+four hot kernels — batch sampling, trajectory scoring, the Viterbi solve
+and the stationary solve — at ``L = 10, 10^2, 10^3, 10^4``.  Dense
+numbers stop at ``10^3``: a dense ``10^4 x 10^4`` transition matrix is
+800 MB before a single kernel runs, which is exactly the point.
+
+``test_sparse_crossover_at_thousand_cells`` asserts the headline claim
+(sparse at least 5x faster end to end at ``L = 10^3``), so a kernel
+regression that erases the crossover fails CI rather than only shifting
+a chart.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.trellis import most_likely_trajectory
+from repro.mobility import (
+    GridTopology,
+    SparseMarkovChain,
+    grid_random_walk,
+    stationary_distribution,
+)
+
+#: (rows, cols) grid factorisations of the swept state-space sizes.
+GRID_SIZES = {10: (2, 5), 100: (10, 10), 1_000: (25, 40), 10_000: (100, 100)}
+#: Largest L at which the dense baseline is still benchmarked.
+DENSE_LIMIT = 1_000
+
+_RUNS = 32
+_HORIZON = 64
+
+
+def _grid_pair(n_cells: int):
+    """The grid walk at ``n_cells`` as ``(dense | None, sparse)`` chains."""
+    topology = GridTopology(*GRID_SIZES[n_cells])
+    sparse = grid_random_walk(topology, backend="sparse")
+    dense = grid_random_walk(topology) if n_cells <= DENSE_LIMIT else None
+    return dense, sparse
+
+
+@pytest.fixture(scope="module", params=sorted(GRID_SIZES), ids=lambda n: f"L={n}")
+def grid_pair(request):
+    return request.param, *_grid_pair(request.param)
+
+
+def _sample(chain):
+    return chain.sample_trajectories(_RUNS, _HORIZON, np.random.default_rng(0))
+
+
+def _score(chain, batch):
+    return chain.log_likelihoods(batch)
+
+
+def _viterbi(chain):
+    # Memoised trellis structure is part of what is being measured: drop it.
+    chain.__dict__.pop("_trellis_predecessors", None)
+    return most_likely_trajectory(chain, _HORIZON)
+
+
+def test_bench_sampling_dense(benchmark, grid_pair):
+    n_cells, dense, _ = grid_pair
+    if dense is None:
+        pytest.skip(f"dense baseline not built above L = {DENSE_LIMIT}")
+    assert benchmark(_sample, dense).shape == (_RUNS, _HORIZON)
+
+
+def test_bench_sampling_sparse(benchmark, grid_pair):
+    _, _, sparse = grid_pair
+    assert benchmark(_sample, sparse).shape == (_RUNS, _HORIZON)
+
+
+def test_bench_scoring_dense(benchmark, grid_pair):
+    n_cells, dense, _ = grid_pair
+    if dense is None:
+        pytest.skip(f"dense baseline not built above L = {DENSE_LIMIT}")
+    batch = _sample(dense)
+    assert benchmark(_score, dense, batch).shape == (_RUNS,)
+
+
+def test_bench_scoring_sparse(benchmark, grid_pair):
+    _, _, sparse = grid_pair
+    batch = _sample(sparse)
+    assert benchmark(_score, sparse, batch).shape == (_RUNS,)
+
+
+def test_bench_viterbi_dense(benchmark, grid_pair):
+    n_cells, dense, _ = grid_pair
+    if dense is None:
+        pytest.skip(f"dense baseline not built above L = {DENSE_LIMIT}")
+    assert benchmark(_viterbi, dense).shape == (_HORIZON,)
+
+
+def test_bench_viterbi_sparse(benchmark, grid_pair):
+    _, _, sparse = grid_pair
+    assert benchmark(_viterbi, sparse).shape == (_HORIZON,)
+
+
+def test_bench_stationary_dense(benchmark, grid_pair):
+    n_cells, dense, _ = grid_pair
+    if dense is None:
+        pytest.skip(f"dense baseline not built above L = {DENSE_LIMIT}")
+    pi = benchmark(stationary_distribution, dense.transition_matrix)
+    assert pi.shape == (n_cells,)
+
+
+def test_bench_stationary_sparse(benchmark, grid_pair):
+    n_cells, _, sparse = grid_pair
+    pi = benchmark(
+        stationary_distribution, sparse.transition_matrix, method="power"
+    )
+    assert pi.shape == (n_cells,)
+
+
+def _kernel_sweep_seconds(chain) -> float:
+    """One pass over the three simulation kernels, wall-clock seconds."""
+    start = time.perf_counter()
+    batch = _sample(chain)
+    _score(chain, batch)
+    _viterbi(chain)
+    return time.perf_counter() - start
+
+
+def test_sparse_crossover_at_thousand_cells():
+    """The headline guarantee: sparse wins >= 5x at L = 10^3.
+
+    Measured over the simulation kernels (sampling + scoring + Viterbi)
+    with a warm-up pass each, best of three, so one scheduler hiccup
+    cannot fail the assertion.
+    """
+    dense, sparse = _grid_pair(1_000)
+    _kernel_sweep_seconds(dense)  # warm-up: caches, allocator
+    _kernel_sweep_seconds(sparse)
+    dense_s = min(_kernel_sweep_seconds(dense) for _ in range(3))
+    sparse_s = min(_kernel_sweep_seconds(sparse) for _ in range(3))
+    assert sparse_s * 5.0 <= dense_s, (
+        f"sparse kernels took {sparse_s:.4f}s vs dense {dense_s:.4f}s at "
+        f"L=1000 (speed-up {dense_s / sparse_s:.1f}x < 5x)"
+    )
+
+
+def test_city_scale_runs_without_dense_arrays():
+    """L = 10^4 end to end: construct, sample, score, solve — all sparse."""
+    _, sparse = _grid_pair(10_000)
+    assert isinstance(sparse, SparseMarkovChain)
+    batch = _sample(sparse)
+    scores = _score(sparse, batch)
+    assert np.all(np.isfinite(scores))
+    path = most_likely_trajectory(sparse, 20, top_k=4)
+    assert path.shape == (20,)
+    with pytest.raises(ValueError):
+        _ = sparse.log_transition_matrix  # never densify 800 MB silently

@@ -143,7 +143,7 @@ class AdversaryDetector(TrajectoryDetector):
             prev = np.clip(censored[..., :-1], 0, None)
             nxt = np.clip(censored[..., 1:], 0, None)
             if stack is None:
-                step_logs = chain.log_transition_matrix[prev, nxt]
+                step_logs = chain.log_transition_entries(prev, nxt)
             else:
                 step_logs = safe_log(stack)[np.arange(horizon - 1), prev, nxt]
             valid = mask[..., 1:] & mask[..., :-1]
@@ -167,7 +167,7 @@ class AdversaryDetector(TrajectoryDetector):
             prev = np.clip(row[:-1], 0, None)
             nxt = np.clip(row[1:], 0, None)
             if stack is None:
-                step_logs = chain.log_transition_matrix[prev, nxt]
+                step_logs = chain.log_transition_entries(prev, nxt)
             else:
                 step_logs = safe_log(stack)[np.arange(row.size - 1), prev, nxt]
             valid = row_mask[1:] & row_mask[:-1]

@@ -97,12 +97,8 @@ def likelihood_gap_constants(chain: MarkovChain) -> LikelihoodGapConstants:
         raise ValueError("need at least two cells")
     sorted_pi = np.sort(pi)[::-1]
     pi_max, pi_2 = float(sorted_pi[0]), float(max(sorted_pi[1], LOG_FLOOR))
-    P = chain.transition_matrix
-    positive = P[P > 0]
-    p_max = float(positive.max())
-    p_min = float(positive.min())
-    second_largest_rows = np.sort(P, axis=1)[:, -2]
-    p_2 = float(max(second_largest_rows.min(), LOG_FLOOR))
+    p_min, p_max, second_min = chain.positive_transition_extrema()
+    p_2 = float(max(second_min, LOG_FLOOR))
     return LikelihoodGapConstants(
         c0=math.log(pi_max / pi_2),
         c_min=math.log(p_min / p_max),

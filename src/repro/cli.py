@@ -91,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = serial, 0 = all cores; identical results)",
     )
     run_parser.add_argument(
+        "--backend",
+        choices=("dense", "sparse", "auto"),
+        default="dense",
+        help="Markov-chain storage backend (synthetic/fleet experiments; "
+        "bit-identical results, sparse wins at large L)",
+    )
+    run_parser.add_argument(
         "--cache-dir",
         type=str,
         default=None,
@@ -166,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = serial, 0 = all cores; identical results)",
     )
     fleet_parser.add_argument(
+        "--backend",
+        choices=("dense", "sparse", "auto"),
+        default="dense",
+        help="Markov-chain storage backend (bit-identical results, sparse "
+        "wins at large L)",
+    )
+    fleet_parser.add_argument(
         "--cache-dir",
         type=str,
         default=None,
@@ -236,6 +250,7 @@ def _build_config(args: argparse.Namespace, experiment_id: str):
     """Construct the appropriate config object for the chosen experiment."""
     engine = getattr(args, "engine", "batch")
     workers = getattr(args, "workers", 1)
+    backend = getattr(args, "backend", "dense")
     if experiment_id == "adversary":
         defaults = AdversaryExperimentConfig()
         knowledge = _csv(getattr(args, "knowledge", None), str)
@@ -303,6 +318,7 @@ def _build_config(args: argparse.Namespace, experiment_id: str):
             seed=args.seed,
             engine=engine,
             workers=workers,
+            backend=backend,
         )
     if experiment_id in _TRACE_EXPERIMENTS:
         config = TraceExperimentConfig(seed=args.seed, engine=engine, workers=workers)
@@ -316,6 +332,7 @@ def _build_config(args: argparse.Namespace, experiment_id: str):
         horizon=args.horizon if args.horizon is not None else 100,
         engine=engine,
         workers=workers,
+        backend=backend,
     )
     return config
 

@@ -61,9 +61,9 @@ def prefix_log_likelihood_scores(
     steps[..., 0] = chain.log_stationary[traj[..., 0]]
     if traj.shape[-1] > 1:
         if transition_stack is None:
-            steps[..., 1:] = chain.log_transition_matrix[
+            steps[..., 1:] = chain.log_transition_entries(
                 traj[..., :-1], traj[..., 1:]
-            ]
+            )
         else:
             stack = np.asarray(transition_stack, dtype=float)
             n = chain.n_states

@@ -49,7 +49,6 @@ def run_myopic_batch(chain: MarkovChain, user_trajectories: np.ndarray) -> np.nd
         raise ValueError("the myopic controller needs at least 2 states")
     n_runs, horizon = users.shape
     log_pi = chain.log_stationary
-    log_P = chain.log_transition_matrix
     top1_row, top2_row = chain.top_two_successors()
     top1_pi, top2_pi = chain.top_two_stationary()
     pi = chain.stationary
@@ -68,11 +67,11 @@ def run_myopic_batch(chain: MarkovChain, user_trajectories: np.ndarray) -> np.nd
         user_t = users[:, t]
         ml = top1_row[previous_chaff]
         second = top2_row[previous_chaff]
-        user_step = log_P[previous_user, user_t]
-        second_step = log_P[previous_chaff, second]
+        user_step = chain.log_transition_entries(previous_user, user_t)
+        second_step = chain.log_transition_entries(previous_chaff, second)
         use_second = (ml == user_t) & (gamma + user_step - second_step <= 0.0)
         chaff = np.where(use_second, second, ml)
-        chaff_step = log_P[previous_chaff, chaff]
+        chaff_step = chain.log_transition_entries(previous_chaff, chaff)
         gamma = gamma + user_step - chaff_step
         chaffs[:, t] = chaff
         previous_chaff = chaff
@@ -134,20 +133,25 @@ class MyopicOnlineController:
         else:
             assert self.previous_chaff is not None and self.previous_user is not None
             ml_cell = chain.restricted_argmax_row(self.previous_chaff, excluded)
-            log_P = chain.log_transition_matrix
-            user_step = float(log_P[self.previous_user, user_location])
+            user_step = float(
+                chain.log_transition_entries(self.previous_user, user_location)
+            )
             if ml_cell != user_location:
                 chaff = ml_cell
             else:
                 second = chain.restricted_argmax_row(
                     self.previous_chaff, excluded | {user_location}
                 )
-                second_step = float(log_P[self.previous_chaff, second])
+                second_step = float(
+                    chain.log_transition_entries(self.previous_chaff, second)
+                )
                 if self.gamma + user_step - second_step <= 0.0:
                     chaff = second
                 else:
                     chaff = ml_cell
-            chaff_step = float(log_P[self.previous_chaff, chaff])
+            chaff_step = float(
+                chain.log_transition_entries(self.previous_chaff, chaff)
+            )
             self.gamma = self.gamma + user_step - chaff_step
 
         self.previous_chaff = chaff

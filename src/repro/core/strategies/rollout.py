@@ -113,7 +113,7 @@ class RolloutController:
             weights = chain.stationary
         else:
             assert self.previous_chaff is not None
-            weights = chain.transition_matrix[self.previous_chaff]
+            weights = chain.transition_row(self.previous_chaff)
         order = np.argsort(-weights)
         return order[: min(self.n_candidates, chain.n_states)]
 
@@ -125,9 +125,9 @@ class RolloutController:
                 chain.log_stationary[user_cell] - chain.log_stationary[chaff_cell]
             )
         assert self.previous_chaff is not None and self.previous_user is not None
-        log_P = chain.log_transition_matrix
         return float(
-            log_P[self.previous_user, user_cell] - log_P[self.previous_chaff, chaff_cell]
+            chain.log_transition_entries(self.previous_user, user_cell)
+            - chain.log_transition_entries(self.previous_chaff, chaff_cell)
         )
 
     def _evaluate_candidate(self, chaff_cell: int, user_cell: int) -> float:

@@ -27,6 +27,7 @@ import networkx as nx
 import numpy as np
 
 from ..mobility.markov import MarkovChain
+from ..numerics import LOG_FLOOR, safe_log
 
 __all__ = [
     "InfeasibleTrellisError",
@@ -41,6 +42,12 @@ __all__ = [
 #: Cost used for structurally forbidden moves; large but finite so that
 #: numpy reductions stay well-defined.
 _INF = np.inf
+
+#: What the dense DP charges for traversing a zero-probability edge: the
+#: floored log of zero.  The sparse kernel adds this as an explicit
+#: fallback candidate so pruned/missing edges cost exactly what the dense
+#: log matrix charges them.
+_FLOOR_COST = float(-np.log(LOG_FLOOR))
 
 
 class InfeasibleTrellisError(RuntimeError):
@@ -71,11 +78,122 @@ def validate_allowed_mask(
     return mask
 
 
+def _predecessor_structure(
+    chain: MarkovChain, top_k: int | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Successor-major (CSC) edge structure ``(indptr, prev_rows, neg_log_w)``.
+
+    Column ``j``'s slice holds the predecessor states with a nonzero
+    transition into ``j`` (ascending, so position order matches the dense
+    argmin's first-index tie-break) and the corresponding ``-log P`` edge
+    costs.  With ``top_k``, each state keeps only its ``top_k``
+    highest-probability successors (ties broken toward smaller columns);
+    pruned edges fall back to the floor cost like structural zeros.
+
+    Memoised per ``(chain, top_k)`` on the chain instance.
+    """
+    cache = getattr(chain, "_trellis_predecessors", None)
+    if cache is not None and top_k in cache:
+        return cache[top_k]
+    n = chain.n_states
+    if getattr(chain, "is_sparse", False):
+        rows, cols, probs = chain.transition_edges()
+    else:
+        rows, cols = np.nonzero(chain.transition_matrix)
+        probs = chain.transition_matrix[rows, cols]
+    if top_k is not None:
+        if top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        order = np.lexsort((cols, -probs, rows))
+        counts = np.bincount(rows, minlength=n)
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        rank_in_row = np.arange(rows.size) - np.repeat(starts, counts)
+        keep = order[rank_in_row < top_k]
+        rows, cols, probs = rows[keep], cols[keep], probs[keep]
+    order = np.lexsort((rows, cols))
+    prev_rows = rows[order].astype(np.int64)
+    neg_log_w = -safe_log(probs[order])
+    col_counts = np.bincount(cols[order], minlength=n)
+    indptr = np.concatenate([[0], np.cumsum(col_counts)]).astype(np.int64)
+    structure = (indptr, prev_rows, neg_log_w)
+    if cache is None:
+        cache = {}
+        chain._trellis_predecessors = cache
+    cache[top_k] = structure
+    return structure
+
+
+def _sparse_viterbi(
+    chain: MarkovChain,
+    horizon: int,
+    masks: np.ndarray,
+    top_k: int | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched Viterbi over nonzero-predecessor edges only.
+
+    Produces exactly the dense DP's trajectories (values *and* first-argmin
+    tie-breaks): per successor the best nonzero-edge candidate competes
+    with a floor-fallback candidate ``min(cost) + _FLOOR_COST`` — what the
+    dense kernel charges the cheapest predecessor for a zero edge.  Since
+    every stored edge costs at most ``_FLOOR_COST``, the fallback wins
+    strictly only when the dense argmin would land on a zero edge, and
+    exact ties resolve to the smaller predecessor index, as dense argmin
+    does.  Work per step is O(R * nnz) instead of O(R * L^2).
+    """
+    indptr, prev_rows, neg_w = _predecessor_structure(chain, top_k)
+    n_batch = masks.shape[0]
+    n = chain.n_states
+    nnz = prev_rows.size
+    col_counts = np.diff(indptr)
+    empty = col_counts == 0
+    starts = indptr[:-1]
+    positions = np.arange(nnz)
+    prev_ext = np.append(prev_rows, n)
+    batch_idx = np.arange(n_batch)
+    pad_inf = np.full((n_batch, 1), _INF)
+    pad_pos = np.full((n_batch, 1), nnz, dtype=np.int64)
+
+    neg_log_pi = -chain.log_stationary
+    cost = np.where(masks[:, 0], neg_log_pi[None, :], _INF)
+    backpointers = np.zeros((n_batch, horizon, n), dtype=np.int64)
+    for t in range(1, horizon):
+        candidate = cost[:, prev_rows] + neg_w[None, :]
+        nz_best = np.minimum.reduceat(
+            np.concatenate([candidate, pad_inf], axis=1), starts, axis=1
+        )
+        nz_best[:, empty] = _INF
+        matches = candidate == np.repeat(nz_best, col_counts, axis=1)
+        masked_pos = np.where(matches, positions[None, :], nnz)
+        first_pos = np.minimum.reduceat(
+            np.concatenate([masked_pos, pad_pos], axis=1), starts, axis=1
+        )
+        first_pos[:, empty] = nnz
+        nz_prev = prev_ext[first_pos]
+        floor_prev = np.argmin(cost, axis=1)[:, None]
+        floor_best = cost[batch_idx, floor_prev[:, 0]][:, None] + _FLOOR_COST
+        use_floor = floor_best < nz_best
+        best = np.where(use_floor, floor_best, nz_best)
+        prev = np.where(use_floor, floor_prev, nz_prev)
+        prev = np.where(
+            floor_best == nz_best, np.minimum(nz_prev, floor_prev), prev
+        )
+        backpointers[:, t] = prev
+        cost = np.where(masks[:, t], best, _INF)
+    final = np.argmin(cost, axis=1)
+    infeasible = ~np.isfinite(cost[batch_idx, final])
+    trajectories = np.empty((n_batch, horizon), dtype=np.int64)
+    trajectories[:, -1] = final
+    for t in range(horizon - 1, 0, -1):
+        trajectories[:, t - 1] = backpointers[batch_idx, t, trajectories[:, t]]
+    return trajectories, infeasible
+
+
 def most_likely_trajectory(
     chain: MarkovChain,
     horizon: int,
     *,
     allowed: np.ndarray | None = None,
+    top_k: int | None = None,
 ) -> np.ndarray:
     """Most likely trajectory of length ``horizon`` (Viterbi DP).
 
@@ -83,9 +201,20 @@ def most_likely_trajectory(
     ``pi(x_1) * prod_t P(x_t | x_{t-1})`` subject to the optional
     per-slot ``allowed`` mask.
 
+    Sparse chains (and any chain when ``top_k`` successor pruning is
+    requested) run the edge-iterating kernel, which matches the dense DP's
+    paths exactly; dense chains keep the reference ``O(T L^2)`` DP.
+
     Returns an integer array of length ``horizon``.
     """
     mask = validate_allowed_mask(allowed, horizon, chain.n_states)
+    if getattr(chain, "is_sparse", False) or top_k is not None:
+        trajectories, infeasible = _sparse_viterbi(
+            chain, horizon, mask[None], top_k
+        )
+        if infeasible[0]:
+            raise InfeasibleTrellisError("no feasible trajectory under the mask")
+        return trajectories[0]
     neg_log_pi = -chain.log_stationary
     neg_log_P = -chain.log_transition_matrix
 
@@ -113,6 +242,8 @@ def most_likely_trajectories(
     chain: MarkovChain,
     horizon: int,
     allowed_batch: np.ndarray,
+    *,
+    top_k: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Batched Viterbi: one masked most-likely trajectory per batch row.
 
@@ -124,6 +255,9 @@ def most_likely_trajectories(
     (those rows' trajectories are meaningless); batched callers handle
     infeasible rows instead of raising, so one bad mask cannot abort a
     whole Monte-Carlo batch.
+
+    Sparse chains (and ``top_k`` pruning) use the edge-iterating kernel
+    instead of materialising ``(R, L, L)`` candidate tensors.
     """
     if horizon <= 0:
         raise ValueError("horizon must be positive")
@@ -137,6 +271,8 @@ def most_likely_trajectories(
     n_batch = masks.shape[0]
     if n_batch == 0:
         raise ValueError("allowed_batch must contain at least one mask")
+    if getattr(chain, "is_sparse", False) or top_k is not None:
+        return _sparse_viterbi(chain, horizon, masks, top_k)
     neg_log_pi = -chain.log_stationary
     neg_log_P = -chain.log_transition_matrix
 

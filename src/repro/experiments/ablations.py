@@ -73,7 +73,9 @@ def run_chaff_budget_sweep(
 ) -> ExperimentResult:
     """IM tracking accuracy versus ``N``, simulated and closed form (Eq. 11)."""
     config = config or SyntheticExperimentConfig()
-    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    models = paper_synthetic_models(
+        config.n_cells, seed=config.seed, backend=config.backend
+    )
     strategy = get_strategy("IM")
     labels = list(config.mobility_models)
     children = spawn_sequences(
@@ -144,7 +146,9 @@ def run_cost_privacy_tradeoff(
 ) -> ExperimentResult:
     """Tracking accuracy versus total MEC cost as chaffs are added."""
     config = config or SyntheticExperimentConfig()
-    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    models = paper_synthetic_models(
+        config.n_cells, seed=config.seed, backend=config.backend
+    )
     label = config.mobility_models[0]
     chain = models[label]
     topology = MECTopology.ring(config.n_cells)
@@ -208,7 +212,9 @@ def run_migration_policy_comparison(
 ) -> ExperimentResult:
     """Compare migration policies on cost and user/service co-location."""
     config = config or SyntheticExperimentConfig()
-    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    models = paper_synthetic_models(
+        config.n_cells, seed=config.seed, backend=config.backend
+    )
     label = config.mobility_models[0]
     chain = models[label]
     topology = MECTopology.ring(config.n_cells)
@@ -280,7 +286,9 @@ def run_rollout_vs_myopic(
     against the basic ML eavesdropper.
     """
     config = config or SyntheticExperimentConfig()
-    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    models = paper_synthetic_models(
+        config.n_cells, seed=config.seed, backend=config.backend
+    )
     strategies = {
         "MO": get_strategy("MO"),
         "ROLLOUT": RolloutOnlineStrategy(
@@ -364,7 +372,9 @@ def run_online_eavesdropper_comparison(
     Bayesian-posterior online trackers, all against the same chaff strategy.
     """
     config = config or SyntheticExperimentConfig()
-    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    models = paper_synthetic_models(
+        config.n_cells, seed=config.seed, backend=config.backend
+    )
     strategy = get_strategy(strategy_name)
     runs = min(config.n_runs, n_runs)
     labels = list(config.mobility_models)

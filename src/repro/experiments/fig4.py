@@ -23,7 +23,9 @@ def run_fig4(config: SyntheticExperimentConfig | None = None) -> ExperimentResul
     ``kl/<model>`` (temporal skewness) and ``spatial/<model>``.
     """
     config = config or SyntheticExperimentConfig()
-    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    models = paper_synthetic_models(
+        config.n_cells, seed=config.seed, backend=config.backend
+    )
     groups: dict[str, list[SeriesResult]] = {}
     scalars: dict[str, float] = {}
     for label in config.mobility_models:

@@ -31,7 +31,9 @@ FIG5_SERIES: tuple[tuple[str, str, int], ...] = (
 def run_fig5(config: SyntheticExperimentConfig | None = None) -> ExperimentResult:
     """Run the Fig. 5 sweep and return per-slot accuracy curves."""
     config = config or SyntheticExperimentConfig()
-    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    models = paper_synthetic_models(
+        config.n_cells, seed=config.seed, backend=config.backend
+    )
     detector = MaximumLikelihoodDetector()
     groups: dict[str, list[SeriesResult]] = {}
     scalars: dict[str, float] = {}

@@ -29,7 +29,9 @@ def run_fig6(
     config = config or SyntheticExperimentConfig()
     if n_cdf_points < 2:
         raise ValueError("n_cdf_points must be at least 2")
-    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    models = paper_synthetic_models(
+        config.n_cells, seed=config.seed, backend=config.backend
+    )
     groups: dict[str, list[SeriesResult]] = {}
     scalars: dict[str, float] = {}
     # Fig. 6 pools c_t over runs; far fewer runs than Fig. 5 are needed for

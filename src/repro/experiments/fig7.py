@@ -40,7 +40,9 @@ def run_fig7(
     config = config or SyntheticExperimentConfig()
     if n_services < 2:
         raise ValueError("n_services must be at least 2")
-    models = paper_synthetic_models(config.n_cells, seed=config.seed)
+    models = paper_synthetic_models(
+        config.n_cells, seed=config.seed, backend=config.backend
+    )
     groups: dict[str, list[SeriesResult]] = {}
     scalars: dict[str, float] = {}
     n_models = len(config.mobility_models)

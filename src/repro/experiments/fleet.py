@@ -115,9 +115,9 @@ def run_fleet_experiment(
 ) -> ExperimentResult:
     """Crowd privacy and per-user cost vs population size and site capacity."""
     config = config or FleetExperimentConfig()
-    chain = paper_synthetic_models(config.n_cells, seed=config.seed)[
-        config.mobility_model
-    ]
+    chain = paper_synthetic_models(
+        config.n_cells, seed=config.seed, backend=config.backend
+    )[config.mobility_model]
     populations = list(config.populations())
     capacities = list(config.capacities())
     children = spawn_sequences(

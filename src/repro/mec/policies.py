@@ -138,7 +138,7 @@ class MDPMigrationPolicy(MigrationPolicy):
     # ------------------------------------------------------------------
     def _movement_probability(self) -> float:
         """Probability that the user changes cell in one slot (model average)."""
-        stay = float(np.mean(np.diag(self.chain.transition_matrix)))
+        stay = float(np.mean(self.chain.transition_diagonal()))
         return min(max(1.0 - stay, 0.0), 1.0)
 
     def _solve(self, max_iterations: int, tolerance: float) -> np.ndarray:

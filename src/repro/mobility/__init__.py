@@ -18,6 +18,14 @@ from .models import (
     temporally_skewed_model,
     uniform_iid_model,
 )
+from .sparse import (
+    BACKENDS,
+    SparseMarkovChain,
+    as_backend,
+    chain_density,
+    resolve_backend,
+    validate_sparse_transition_matrix,
+)
 from .grid import GridTopology, grid_drift_walk, grid_random_walk
 from .estimation import (
     count_transitions,
@@ -33,6 +41,12 @@ __all__ = [
     "stationary_distribution",
     "total_variation_distance",
     "validate_transition_matrix",
+    "BACKENDS",
+    "SparseMarkovChain",
+    "as_backend",
+    "chain_density",
+    "resolve_backend",
+    "validate_sparse_transition_matrix",
     "SYNTHETIC_MODEL_BUILDERS",
     "lazy_uniform_model",
     "paper_synthetic_models",

@@ -13,10 +13,15 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 from .markov import MarkovChain, validate_transition_matrix
+from .sparse import SparseMarkovChain, resolve_backend
 
 __all__ = ["GridTopology", "grid_random_walk", "grid_drift_walk"]
+
+#: The four grid moves in the order the drift weights refer to them.
+_DIRECTIONS = ((1, 0), (-1, 0), (0, 1), (0, -1))
 
 
 @dataclass(frozen=True)
@@ -73,20 +78,83 @@ class GridTopology:
         return abs(ra - rb) + abs(ca - cb)
 
 
+def _resolve_grid_backend(
+    topology: GridTopology, backend: str, epsilon: float, builder: str
+) -> str:
+    """Resolve the backend for a grid chain; sparse forbids teleports."""
+    n = topology.n_cells
+    resolved = resolve_backend(backend, n_states=n, density=min(5.0 / n, 1.0))
+    if resolved == "sparse" and epsilon > 0:
+        if backend == "auto":
+            return "dense"
+        raise ValueError(
+            f"{builder} with epsilon > 0 teleports to every cell, which "
+            "densifies the matrix; pass epsilon=0 for the sparse backend"
+        )
+    return resolved
+
+
+def _grid_neighbor_steps(
+    topology: GridTopology,
+) -> Iterator[tuple[tuple[int, int], np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield ``(direction, valid_mask, sources, destinations)`` per move."""
+    n = topology.n_cells
+    coords_r, coords_c = np.divmod(np.arange(n), topology.cols)
+    for dr, dc in _DIRECTIONS:
+        r2 = coords_r + dr
+        c2 = coords_c + dc
+        valid = (
+            (r2 >= 0) & (r2 < topology.rows) & (c2 >= 0) & (c2 < topology.cols)
+        )
+        yield (dr, dc), valid, np.flatnonzero(valid), (r2 * topology.cols + c2)[
+            valid
+        ]
+
+
 def grid_random_walk(
-    topology: GridTopology, *, stay_probability: float = 0.2, epsilon: float = 0.0
+    topology: GridTopology,
+    *,
+    stay_probability: float = 0.2,
+    epsilon: float = 0.0,
+    backend: str = "dense",
 ) -> MarkovChain:
     """Uniform random walk on the grid's 4-neighbourhood.
 
     The walker stays put with ``stay_probability`` and otherwise moves to a
     uniformly random neighbour.  A small ``epsilon`` teleport probability to
     any cell keeps the chain ergodic even on degenerate grids.
+
+    With ``backend="sparse"`` (or ``"auto"`` on a large grid) the ~5
+    nonzeros per row are assembled directly in CSR coordinates — no dense
+    ``(L, L)`` array is ever materialised, which is what makes city-scale
+    grids (``L = 10^4 .. 10^5``) constructible.  Teleports (``epsilon > 0``)
+    are dense by nature and therefore rejected by the sparse backend.
     """
     if not 0 <= stay_probability < 1:
         raise ValueError("stay_probability must be in [0, 1)")
     n = topology.n_cells
     if epsilon < 0 or epsilon * n >= 1:
         raise ValueError("epsilon too large")
+    if _resolve_grid_backend(topology, backend, epsilon, "grid_random_walk") == "sparse":
+        degree = np.zeros(n, dtype=np.int64)
+        edge_rows, edge_cols = [], []
+        for _, _, sources, destinations in _grid_neighbor_steps(topology):
+            degree[sources] += 1
+            edge_rows.append(sources)
+            edge_cols.append(destinations)
+        stay = np.full(n, stay_probability)
+        stay[degree == 0] += 1.0 - stay_probability
+        share = np.divide(
+            1.0 - stay_probability,
+            degree,
+            out=np.zeros(n, dtype=float),
+            where=degree > 0,
+        )
+        rows = np.concatenate([np.arange(n), *edge_rows])
+        cols = np.concatenate([np.arange(n), *edge_cols])
+        data = np.concatenate([stay, *(share[src] for src in edge_rows)])
+        matrix = sp.csr_array((data, (rows, cols)), shape=(n, n))
+        return SparseMarkovChain(matrix)
     matrix = np.zeros((n, n), dtype=float)
     for index in range(n):
         neighbors = topology.neighbors(index)
@@ -108,6 +176,7 @@ def grid_drift_walk(
     drift: Sequence[float] = (0.4, 0.2, 0.2, 0.1),
     stay_probability: float = 0.1,
     epsilon: float = 1e-6,
+    backend: str = "dense",
 ) -> MarkovChain:
     """Biased grid walk with a directional drift (commuter-like mobility).
 
@@ -116,6 +185,10 @@ def grid_drift_walk(
     folded into staying.  This produces the spatially and temporally skewed
     behaviour that makes users easy to track, mirroring the paper's
     observation that predictable users need stronger chaff strategies.
+
+    ``backend="sparse"`` assembles the chain directly in CSR coordinates
+    (see :func:`grid_random_walk`); it requires ``epsilon=0`` since the
+    teleport term densifies every row.
     """
     if len(drift) != 4:
         raise ValueError("drift must have four entries: down, up, right, left")
@@ -127,8 +200,26 @@ def grid_drift_walk(
     if total_drift <= 0:
         raise ValueError("at least one drift entry must be positive")
     move_mass = 1.0 - stay_probability
-    directions = ((1, 0), (-1, 0), (0, 1), (0, -1))
+    directions = _DIRECTIONS
     n = topology.n_cells
+    if _resolve_grid_backend(topology, backend, epsilon, "grid_drift_walk") == "sparse":
+        masses = [move_mass * float(w) / total_drift for w in drift]
+        stay = np.full(n, stay_probability)
+        edge_rows, edge_cols, edge_data = [], [], []
+        for mass, (_, valid, sources, destinations) in zip(
+            masses, _grid_neighbor_steps(topology)
+        ):
+            if mass <= 0:
+                continue
+            edge_rows.append(sources)
+            edge_cols.append(destinations)
+            edge_data.append(np.full(sources.size, mass))
+            stay[~valid] += mass
+        rows = np.concatenate([np.arange(n), *edge_rows])
+        cols = np.concatenate([np.arange(n), *edge_cols])
+        data = np.concatenate([stay, *edge_data])
+        matrix = sp.csr_array((data, (rows, cols)), shape=(n, n))
+        return SparseMarkovChain(matrix)
     matrix = np.zeros((n, n), dtype=float)
     for index in range(n):
         row, col = topology.coordinates(index)

@@ -24,6 +24,7 @@ from typing import Callable, Dict
 import numpy as np
 
 from .markov import MarkovChain, validate_transition_matrix
+from .sparse import as_backend
 
 __all__ = [
     "random_mobility_model",
@@ -181,7 +182,7 @@ SYNTHETIC_MODEL_BUILDERS: Dict[str, Callable[..., MarkovChain]] = {
 
 
 def paper_synthetic_models(
-    n_cells: int = 10, *, seed: int = 2017
+    n_cells: int = 10, *, seed: int = 2017, backend: str = "dense"
 ) -> Dict[str, MarkovChain]:
     """Build the four mobility models (a)-(d) used in Figs. 4-7.
 
@@ -192,12 +193,20 @@ def paper_synthetic_models(
     seed:
         Seed for the random matrices of models (a) and (b); models (c)
         and (d) are deterministic.
+    backend:
+        Chain storage backend (``"dense"``, ``"sparse"`` or ``"auto"``).
+        The transition matrices are built densely either way — these
+        models are fully connected — so this only switches the kernels a
+        downstream simulation exercises; results are bit-identical.
     """
     rng_a = np.random.default_rng(seed)
     rng_b = np.random.default_rng(seed + 1)
-    return {
+    models = {
         "non-skewed": random_mobility_model(n_cells, rng=rng_a),
         "spatially-skewed": spatially_skewed_model(n_cells, rng=rng_b),
         "temporally-skewed": temporally_skewed_model(n_cells),
         "spatially&temporally-skewed": spatially_temporally_skewed_model(n_cells),
     }
+    if backend == "dense":
+        return models
+    return {name: as_backend(chain, backend) for name, chain in models.items()}

@@ -12,9 +12,9 @@ Keying rules:
 * the configuration enters the key as its canonical JSON form (sorted
   keys, no whitespace);
 * execution-only settings that are proven not to affect the numbers —
-  the ``engine`` choice and the ``workers`` count, both bit-identical by
-  construction — are stripped first, so a cached serial result satisfies
-  a parallel re-run and vice versa;
+  the ``engine`` choice, the ``workers`` count and the chain storage
+  ``backend``, all bit-identical by construction — are stripped first,
+  so a cached serial result satisfies a parallel re-run and vice versa;
 * the package version is included, so upgrading the code invalidates
   every stale entry at once;
 * anything that cannot be serialised deterministically (non-JSON keyword
@@ -40,8 +40,8 @@ __all__ = [
 ]
 
 #: Config keys that change how an experiment executes but never what it
-#: computes (pinned by the engine/worker equivalence test suites).
-EXECUTION_ONLY_KEYS = ("engine", "workers")
+#: computes (pinned by the engine/worker/backend equivalence test suites).
+EXECUTION_ONLY_KEYS = ("engine", "workers", "backend")
 
 
 def default_cache_dir() -> Path:

@@ -51,6 +51,11 @@ class SyntheticExperimentConfig:
         shards (``1`` = serial, ``0`` = all CPU cores).  Results are
         bit-identical for any value, so ``workers`` never enters the
         result-cache key.
+    backend:
+        Markov-chain storage backend: ``"dense"`` (the paper-scale
+        reference), ``"sparse"`` (CSR kernels for city-scale ``L``), or
+        ``"auto"`` (size/density heuristic).  At small ``L`` the sparse
+        backend is bit-identical to dense.
     """
 
     n_cells: int = 10
@@ -67,6 +72,7 @@ class SyntheticExperimentConfig:
     seed: int = 2017
     engine: str = "batch"
     workers: int = 1
+    backend: str = "dense"
 
     def __post_init__(self) -> None:
         if self.n_cells < 2:
@@ -85,6 +91,8 @@ class SyntheticExperimentConfig:
             raise ValueError("engine must be 'batch' or 'loop'")
         if self.workers < 0:
             raise ValueError("workers must be non-negative (0 = all cores)")
+        if self.backend not in ("dense", "sparse", "auto"):
+            raise ValueError("backend must be 'dense', 'sparse' or 'auto'")
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-serialisable)."""
@@ -115,6 +123,7 @@ class SyntheticExperimentConfig:
             seed=self.seed,
             engine=self.engine,
             workers=self.workers,
+            backend=self.backend,
         )
 
 
@@ -248,6 +257,10 @@ class FleetExperimentConfig:
     workers:
         Worker processes for independent sweep points and run shards
         (``1`` = serial, ``0`` = all cores); never changes the numbers.
+    backend:
+        Markov-chain storage backend (``"dense"``, ``"sparse"`` or
+        ``"auto"``); bit-identical results, sparse wins at large
+        ``n_cells``.
     """
 
     n_users: int = 50
@@ -263,6 +276,7 @@ class FleetExperimentConfig:
     seed: int = 2017
     engine: str = "batch"
     workers: int = 1
+    backend: str = "dense"
 
     def __post_init__(self) -> None:
         if self.n_users < 1:
@@ -281,6 +295,8 @@ class FleetExperimentConfig:
             raise ValueError("engine must be 'batch' or 'loop'")
         if self.workers < 0:
             raise ValueError("workers must be non-negative (0 = all cores)")
+        if self.backend not in ("dense", "sparse", "auto"):
+            raise ValueError("backend must be 'dense', 'sparse' or 'auto'")
         # Feasibility is validated for the sweep points the experiment
         # actually runs, not just the nominal (n_users, site_capacity)
         # point, so an infeasible config fails here with a clear message
@@ -373,6 +389,7 @@ class FleetExperimentConfig:
             seed=self.seed,
             engine=self.engine,
             workers=self.workers,
+            backend=self.backend,
         )
 
 

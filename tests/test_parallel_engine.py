@@ -374,9 +374,9 @@ class TestResultCache:
         assert cache.get(key_c) is None
 
     def test_execution_only_keys_shared(self):
-        assert set(EXECUTION_ONLY_KEYS) == {"engine", "workers"}
-        base = {"n_runs": 3, "engine": "batch", "workers": 1}
-        variant = {"n_runs": 3, "engine": "loop", "workers": 8}
+        assert set(EXECUTION_ONLY_KEYS) == {"engine", "workers", "backend"}
+        base = {"n_runs": 3, "engine": "batch", "workers": 1, "backend": "dense"}
+        variant = {"n_runs": 3, "engine": "loop", "workers": 8, "backend": "sparse"}
         assert experiment_cache_key("dummy", base) == experiment_cache_key(
             "dummy", variant
         )

@@ -1,0 +1,520 @@
+"""Sparse-backend equivalence suite.
+
+The CSR backend's contract is that at any ``L`` where a dense chain
+exists, the sparse chain built from the *same validated floats* produces
+**bit-identical** samples (same uniforms, same draw order), exact score
+equality, and identical Viterbi paths — so switching backends at paper
+scale (L = 10) changes nothing, while city-scale runs (L = 10^4) become
+possible at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.eavesdropper import (
+    BayesianPosteriorTracker,
+    MaximumLikelihoodDetector,
+    PrefixMLTracker,
+    RandomGuessDetector,
+    StrategyAwareDetector,
+    prefix_log_likelihood_scores,
+    trajectory_log_likelihoods,
+)
+from repro.core.game import PrivacyGame
+from repro.core.strategies import available_strategies, get_strategy
+from repro.core.trellis import (
+    InfeasibleTrellisError,
+    most_likely_trajectories,
+    most_likely_trajectory,
+)
+from repro.mobility import (
+    GridTopology,
+    SparseMarkovChain,
+    as_backend,
+    chain_density,
+    grid_drift_walk,
+    grid_random_walk,
+    is_ergodic,
+    paper_synthetic_models,
+    resolve_backend,
+    stationary_distribution,
+)
+from repro.mobility.markov import StationaryDistributionError
+from repro.mobility.sparse import DENSE_MATERIALISE_LIMIT, SPARSE_AUTO_THRESHOLD
+from repro.sim.config import FleetExperimentConfig, SyntheticExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def model_pairs():
+    """The four paper models, each as a (dense, sparse) pair."""
+    dense = paper_synthetic_models(10)
+    return {name: (chain, SparseMarkovChain.from_chain(chain)) for name, chain in dense.items()}
+
+
+@pytest.fixture(scope="module")
+def banded_pair():
+    """A genuinely sparse chain (tridiagonal ring) as a (dense, sparse) pair."""
+    n = 30
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        matrix[i, i] = 0.5
+        matrix[i, (i + 1) % n] = 0.3
+        matrix[i, (i - 1) % n] = 0.2
+    from repro.mobility.markov import MarkovChain
+
+    dense = MarkovChain(matrix)
+    return dense, SparseMarkovChain.from_chain(dense)
+
+
+class TestBackendResolution:
+    def test_explicit_backends_pass_through(self):
+        assert resolve_backend("dense", n_states=10**6) == "dense"
+        assert resolve_backend("sparse", n_states=2) == "sparse"
+
+    def test_auto_prefers_dense_at_paper_scale(self):
+        assert resolve_backend("auto", n_states=10, density=1.0) == "dense"
+
+    def test_auto_switches_on_size(self):
+        assert resolve_backend("auto", n_states=SPARSE_AUTO_THRESHOLD) == "sparse"
+
+    def test_auto_switches_on_sparsity(self):
+        assert resolve_backend("auto", n_states=100, density=0.05) == "sparse"
+        assert resolve_backend("auto", n_states=100, density=0.9) == "dense"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("csc", n_states=10)
+
+    def test_as_backend_round_trip(self, model_pairs):
+        dense, _ = model_pairs["non-skewed"]
+        converted = as_backend(dense, "sparse")
+        assert converted.is_sparse
+        assert np.array_equal(
+            converted.transition_matrix.toarray(), dense.transition_matrix
+        )
+        assert np.array_equal(converted.stationary, dense.stationary)
+        back = as_backend(converted, "dense")
+        assert not back.is_sparse
+
+    def test_as_backend_is_identity_when_matching(self, model_pairs):
+        dense, sparse = model_pairs["non-skewed"]
+        assert as_backend(dense, "dense") is dense
+        assert as_backend(sparse, "sparse") is sparse
+
+    def test_chain_density(self, banded_pair):
+        dense, sparse = banded_pair
+        assert chain_density(dense) == pytest.approx(3.0 / 30.0)
+        assert chain_density(sparse) == pytest.approx(3.0 / 30.0)
+
+
+class TestBitIdenticalSampling:
+    """Same seed => same trajectories, bit for bit, at paper scale."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "non-skewed",
+            "spatially-skewed",
+            "temporally-skewed",
+            "spatially&temporally-skewed",
+        ],
+    )
+    def test_batch_sampling_identical(self, model_pairs, name):
+        dense, sparse = model_pairs[name]
+        a = dense.sample_trajectories(20, 50, np.random.default_rng(3))
+        b = sparse.sample_trajectories(20, 50, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", ["non-skewed", "temporally-skewed"])
+    def test_scalar_sampling_identical(self, model_pairs, name):
+        dense, sparse = model_pairs[name]
+        a = dense.sample_trajectory(40, np.random.default_rng(11))
+        b = sparse.sample_trajectory(40, np.random.default_rng(11))
+        assert np.array_equal(a, b)
+
+    def test_sample_next_state_identical(self, model_pairs):
+        dense, sparse = model_pairs["spatially-skewed"]
+        for state in range(dense.n_states):
+            assert dense.sample_next_state(
+                state, np.random.default_rng(state)
+            ) == sparse.sample_next_state(state, np.random.default_rng(state))
+
+    def test_sparse_structure_sampling_identical(self, banded_pair):
+        dense, sparse = banded_pair
+        a = dense.sample_trajectories(10, 30, np.random.default_rng(5))
+        b = sparse.sample_trajectories(10, 30, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestExactScores:
+    def test_log_likelihoods_exact(self, model_pairs, rng):
+        dense, sparse = model_pairs["non-skewed"]
+        trajectories = dense.sample_trajectories(8, 25, rng)
+        assert np.array_equal(
+            dense.log_likelihoods(trajectories), sparse.log_likelihoods(trajectories)
+        )
+
+    def test_prefix_scores_exact(self, model_pairs, rng):
+        dense, sparse = model_pairs["temporally-skewed"]
+        observed = dense.sample_trajectories(6, 20, rng)
+        assert np.array_equal(
+            prefix_log_likelihood_scores(dense, observed),
+            prefix_log_likelihood_scores(sparse, observed),
+        )
+
+    def test_zero_probability_steps_share_floor(self, banded_pair):
+        dense, sparse = banded_pair
+        # 0 -> 15 is not an edge of the banded chain: both backends must
+        # score the impossible step with the same log floor.
+        impossible = np.array([0, 15, 16])
+        assert dense.log_likelihood(impossible) == sparse.log_likelihood(impossible)
+
+    def test_accessors_match(self, model_pairs, banded_pair):
+        for dense, sparse in (model_pairs["non-skewed"], banded_pair):
+            assert np.array_equal(
+                dense.transition_diagonal(), sparse.transition_diagonal()
+            )
+            for state in (0, dense.n_states - 1):
+                assert np.array_equal(
+                    dense.transition_row(state), sparse.transition_row(state)
+                )
+            assert dense.positive_transition_extrema() == pytest.approx(
+                sparse.positive_transition_extrema(), abs=0
+            )
+            t1d, t2d = dense.top_two_successors()
+            t1s, t2s = sparse.top_two_successors()
+            assert np.array_equal(t1d, t1s) and np.array_equal(t2d, t2s)
+            assert dense.entropy_rate() == pytest.approx(sparse.entropy_rate())
+            for excluded in ((), (0,), (0, 1)):
+                assert dense.restricted_argmax_row(
+                    2, excluded
+                ) == sparse.restricted_argmax_row(2, excluded)
+
+
+class TestViterbiEquivalence:
+    def test_unmasked_paths_identical(self, model_pairs):
+        for dense, sparse in model_pairs.values():
+            for horizon in (1, 2, 9, 30):
+                assert np.array_equal(
+                    most_likely_trajectory(dense, horizon),
+                    most_likely_trajectory(sparse, horizon),
+                )
+
+    def test_masked_batch_identical(self, model_pairs):
+        dense, sparse = model_pairs["spatially&temporally-skewed"]
+        rng = np.random.default_rng(17)
+        masks = rng.random((25, 12, dense.n_states)) > 0.35
+        paths_d, infeasible_d = most_likely_trajectories(dense, 12, masks)
+        paths_s, infeasible_s = most_likely_trajectories(sparse, 12, masks)
+        assert np.array_equal(infeasible_d, infeasible_s)
+        assert np.array_equal(paths_d, paths_s)
+
+    def test_all_slots_blocked_is_infeasible(self, banded_pair):
+        _, sparse = banded_pair
+        mask = np.ones((5, sparse.n_states), dtype=bool)
+        mask[2] = False
+        with pytest.raises(InfeasibleTrellisError):
+            most_likely_trajectory(sparse, 5, allowed=mask)
+
+    def test_isolated_state_uses_floor_edges(self):
+        """A masked-in cell with no positive-probability predecessors is
+        still reachable through the log-floor edge, exactly as in dense."""
+        from repro.mobility.markov import MarkovChain
+
+        matrix = np.array(
+            [
+                [0.5, 0.5, 0.0, 0.0],
+                [0.5, 0.5, 0.0, 0.0],
+                [0.25, 0.25, 0.25, 0.25],
+                [0.25, 0.25, 0.25, 0.25],
+            ]
+        )
+        dense = MarkovChain(matrix)
+        sparse = SparseMarkovChain.from_chain(dense)
+        mask = np.ones((5, 4), dtype=bool)
+        mask[2] = [False, False, True, True]  # force the walk through {2, 3}
+        assert np.array_equal(
+            most_likely_trajectory(dense, 5, allowed=mask),
+            most_likely_trajectory(sparse, 5, allowed=mask),
+        )
+
+    def test_top_k_full_equals_exact(self, model_pairs):
+        dense, sparse = model_pairs["non-skewed"]
+        exact = most_likely_trajectory(sparse, 15)
+        assert np.array_equal(
+            exact, most_likely_trajectory(sparse, 15, top_k=dense.n_states)
+        )
+        # Dense chains accept top_k too (routed through the sparse kernel).
+        assert np.array_equal(
+            exact, most_likely_trajectory(dense, 15, top_k=dense.n_states)
+        )
+
+    def test_top_k_pruning_never_beats_exact(self, model_pairs):
+        dense, sparse = model_pairs["temporally-skewed"]
+        exact_ll = dense.log_likelihood(most_likely_trajectory(dense, 20))
+        previous = -np.inf
+        for top_k in (1, 2, 4, dense.n_states):
+            pruned = most_likely_trajectory(sparse, 20, top_k=top_k)
+            pruned_ll = dense.log_likelihood(pruned)
+            assert pruned_ll <= exact_ll + 1e-12
+            # More retained successors can only improve the pruned optimum.
+            assert pruned_ll >= previous - 1e-12
+            previous = pruned_ll
+
+
+class TestStrategyAndDetectorEquivalence:
+    """Full game episodes are bit-identical under either backend."""
+
+    @pytest.mark.parametrize("strategy_name", sorted(available_strategies()))
+    def test_episode_identical_per_strategy(self, model_pairs, strategy_name):
+        dense, sparse = model_pairs["non-skewed"]
+        detector = MaximumLikelihoodDetector()
+        episodes = []
+        for chain in (dense, sparse):
+            game = PrivacyGame(chain, get_strategy(strategy_name), detector)
+            episodes.append(game.run_episode(np.random.default_rng(23), horizon=15))
+        first, second = episodes
+        assert np.array_equal(
+            first.observed_trajectories, second.observed_trajectories
+        )
+        assert first.detection.chosen_index == second.detection.chosen_index
+        assert np.array_equal(first.tracked_per_slot, second.tracked_per_slot)
+
+    @pytest.mark.parametrize(
+        "detector",
+        [
+            MaximumLikelihoodDetector(),
+            RandomGuessDetector(),
+            StrategyAwareDetector(get_strategy("ML")),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_detectors_identical(self, model_pairs, detector):
+        dense, sparse = model_pairs["spatially-skewed"]
+        observed = dense.sample_trajectories(5, 18, np.random.default_rng(29))
+        out_d = detector.detect(dense, observed, np.random.default_rng(31))
+        out_s = detector.detect(sparse, observed, np.random.default_rng(31))
+        assert out_d.chosen_index == out_s.chosen_index
+        assert np.array_equal(out_d.scores, out_s.scores, equal_nan=True)
+
+    def test_online_trackers_identical(self, model_pairs):
+        dense, sparse = model_pairs["temporally-skewed"]
+        observed = dense.sample_trajectories(4, 16, np.random.default_rng(37))
+        user = observed[0]
+        for tracker in (PrefixMLTracker(), BayesianPosteriorTracker()):
+            res_d = tracker.track(dense, observed, user, np.random.default_rng(41))
+            res_s = tracker.track(sparse, observed, user, np.random.default_rng(41))
+            assert np.array_equal(res_d.chosen_indices, res_s.chosen_indices)
+            assert np.array_equal(res_d.posteriors, res_s.posteriors)
+
+    def test_trajectory_log_likelihoods_exact(self, model_pairs, rng):
+        dense, sparse = model_pairs["non-skewed"]
+        observed = dense.sample_trajectories(7, 22, rng)
+        assert np.array_equal(
+            trajectory_log_likelihoods(dense, observed),
+            trajectory_log_likelihoods(sparse, observed),
+        )
+
+
+class TestStationarySolvers:
+    def _ring_chain(self, n, seed=0):
+        """Strongly connected ring with one random chord per row."""
+        rng = np.random.default_rng(seed)
+        rows = np.arange(n)
+        coo_rows = np.concatenate([rows, rows, rows])
+        coo_cols = np.concatenate(
+            [(rows + 1) % n, rows, rng.integers(0, n, size=n)]
+        )
+        coo_data = np.concatenate(
+            [np.full(n, 0.6), np.full(n, 0.3), np.full(n, 0.1)]
+        )
+        return sp.csr_array((coo_data, (coo_rows, coo_cols)), shape=(n, n))
+
+    def test_power_matches_dense(self):
+        P = self._ring_chain(120)
+        pi_dense = stationary_distribution(P.toarray())
+        pi_power = stationary_distribution(P, method="power")
+        assert np.max(np.abs(pi_dense - pi_power)) < 1e-9
+
+    def test_eigs_matches_dense(self):
+        P = self._ring_chain(120, seed=1)
+        pi_dense = stationary_distribution(P.toarray())
+        pi_eigs = stationary_distribution(P, method="eigs")
+        assert np.max(np.abs(pi_dense - pi_eigs)) < 1e-9
+
+    def test_power_handles_periodic_chain(self):
+        n = 6
+        P = sp.csr_array(
+            (np.ones(n), (np.arange(n), (np.arange(n) + 1) % n)), shape=(n, n)
+        )
+        pi = stationary_distribution(P, method="power")
+        assert np.allclose(pi, np.full(n, 1.0 / n), atol=1e-12)
+
+    def test_small_sparse_input_uses_exact_dense_path(self, model_pairs):
+        dense, _ = model_pairs["non-skewed"]
+        via_sparse = stationary_distribution(
+            sp.csr_array(dense.transition_matrix)
+        )
+        # Both inputs route to the exact lstsq reference below the size
+        # threshold; re-validation may renormalise rows by 1 +/- 1 ulp, so
+        # the comparison is exact up to that rounding.
+        via_dense = stationary_distribution(dense.transition_matrix)
+        assert np.max(np.abs(via_sparse - via_dense)) < 1e-14
+
+    def test_tiny_stationary_mass_is_preserved(self):
+        # Regression: the old implementation zeroed any |pi| < atol BEFORE
+        # validating the residual, silently truncating legitimate small
+        # masses.  A near-absorbing state keeps its ~1e-12 mass now.
+        eps = 1e-12
+        matrix = np.array([[1.0 - eps, eps], [0.5, 0.5]])
+        pi = stationary_distribution(matrix)
+        assert pi[1] > 0
+        assert pi[1] == pytest.approx(2 * eps, rel=1e-3)
+
+    def test_numerical_noise_still_truncated(self):
+        # A 2-block reducible chain restricted to one recurrent class:
+        # lstsq leaves ~1e-17 noise on the transient states, which must
+        # still come out exactly zero.
+        matrix = np.array(
+            [
+                [0.9, 0.1, 0.0],
+                [0.4, 0.6, 0.0],
+                [0.2, 0.3, 0.5],
+            ]
+        )
+        pi = stationary_distribution(matrix)
+        assert pi[2] == 0.0
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            stationary_distribution(np.eye(2), method="magic")
+
+    def test_unnormalisable_matrix_raises(self):
+        bad = sp.csr_array(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        # Identity has no unique stationary distribution but every
+        # distribution is stationary; the solver should still return a
+        # valid one rather than raising.
+        pi = stationary_distribution(bad, method="power")
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_negative_entries_raise(self):
+        with pytest.raises((ValueError, StationaryDistributionError)):
+            stationary_distribution(np.array([[1.2, -0.2], [0.5, 0.5]]))
+
+
+class TestErgodicity:
+    def test_sparse_and_dense_agree(self, model_pairs, banded_pair):
+        for dense, sparse in (*model_pairs.values(), banded_pair):
+            assert is_ergodic(dense.transition_matrix) == is_ergodic(
+                sparse.transition_matrix
+            )
+
+    def test_reducible_chain_rejected(self):
+        block = np.array(
+            [
+                [0.5, 0.5, 0.0],
+                [0.5, 0.5, 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        assert not is_ergodic(block)
+        assert not is_ergodic(sp.csr_array(block))
+
+    def test_periodic_chain_rejected(self):
+        n = 4
+        cycle = np.zeros((n, n))
+        cycle[np.arange(n), (np.arange(n) + 1) % n] = 1.0
+        assert not is_ergodic(cycle)
+        assert not is_ergodic(sp.csr_array(cycle))
+
+    def test_aperiodic_cycle_with_self_loop_accepted(self):
+        n = 4
+        cycle = np.zeros((n, n))
+        cycle[np.arange(n), (np.arange(n) + 1) % n] = 1.0
+        cycle[0, 1] = 0.5
+        cycle[0, 0] = 0.5
+        assert is_ergodic(cycle)
+        assert is_ergodic(sp.csr_array(cycle))
+
+
+class TestGridConstructors:
+    @pytest.mark.parametrize("builder", [grid_random_walk, grid_drift_walk])
+    def test_sparse_matches_dense(self, builder):
+        topology = GridTopology(6, 5)
+        dense = builder(topology, epsilon=0.0)
+        sparse = builder(topology, epsilon=0.0, backend="sparse")
+        assert sparse.is_sparse
+        assert np.allclose(
+            sparse.transition_matrix.toarray(),
+            dense.transition_matrix,
+            atol=1e-15,
+        )
+        assert np.allclose(sparse.stationary, dense.stationary, atol=1e-10)
+
+    def test_sparse_rejects_teleport(self):
+        with pytest.raises(ValueError):
+            grid_random_walk(GridTopology(4, 4), epsilon=1e-4, backend="sparse")
+        with pytest.raises(ValueError):
+            grid_drift_walk(GridTopology(4, 4), backend="sparse")  # default eps > 0
+
+    def test_auto_with_teleport_falls_back_to_dense(self):
+        chain = grid_random_walk(GridTopology(20, 20), epsilon=1e-6, backend="auto")
+        assert not chain.is_sparse
+
+    def test_auto_without_teleport_goes_sparse_on_big_grids(self):
+        chain = grid_random_walk(GridTopology(20, 20), backend="auto")
+        assert chain.is_sparse
+
+    def test_city_scale_never_materialises_dense(self):
+        topology = GridTopology(60, 60)  # L = 3600 > DENSE_MATERIALISE_LIMIT
+        assert topology.n_cells > DENSE_MATERIALISE_LIMIT
+        chain = grid_random_walk(topology, backend="sparse")
+        rng = np.random.default_rng(2)
+        batch = chain.sample_trajectories(8, 40, rng)
+        assert batch.shape == (8, 40)
+        assert chain.log_likelihoods(batch).shape == (8,)
+        path = most_likely_trajectory(chain, 10, top_k=3)
+        assert path.shape == (10,)
+        # The O(L^2) diagnostics must refuse rather than densify.
+        with pytest.raises(ValueError):
+            _ = chain.log_transition_matrix
+        with pytest.raises(ValueError):
+            chain.to_dense()
+
+
+class TestConfigPlumbing:
+    def test_synthetic_config_carries_backend(self):
+        config = SyntheticExperimentConfig(backend="sparse")
+        assert config.scaled(n_runs=3).backend == "sparse"
+        assert SyntheticExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_fleet_config_carries_backend(self):
+        config = FleetExperimentConfig(backend="auto")
+        assert config.scaled(n_runs=2).backend == "auto"
+        assert FleetExperimentConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize("cls", [SyntheticExperimentConfig, FleetExperimentConfig])
+    def test_invalid_backend_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(backend="csc")
+
+    def test_paper_models_backend_flows(self):
+        sparse_models = paper_synthetic_models(10, backend="sparse")
+        assert all(chain.is_sparse for chain in sparse_models.values())
+
+    def test_fig5_identical_across_backends(self):
+        from repro.experiments.fig5 import run_fig5
+
+        base = SyntheticExperimentConfig(n_runs=5, horizon=8)
+        result_dense = run_fig5(base)
+        result_sparse = run_fig5(
+            SyntheticExperimentConfig(n_runs=5, horizon=8, backend="sparse")
+        )
+        for group, series_list in result_dense.groups.items():
+            for series_d, series_s in zip(series_list, result_sparse.groups[group]):
+                assert np.array_equal(
+                    np.asarray(series_d.values), np.asarray(series_s.values)
+                )
