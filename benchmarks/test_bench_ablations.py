@@ -27,7 +27,7 @@ def test_bench_chaff_budget_sweep(benchmark, synthetic_config):
         analytic = result.series(label, "eq11").values
         # ~3 standard errors at the benchmark's 100-run budget; the gap
         # shrinks well below 0.05 at the paper's 1000 runs.
-        assert all(abs(s - a) < 0.15 for s, a in zip(simulated, analytic))
+        assert all(abs(s - a) < 0.15 for s, a in zip(simulated, analytic, strict=True))
         assert simulated[0] >= simulated[-1] - 0.05  # more chaffs never hurt
     benchmark.extra_info["limits"] = {
         key: round(value, 3) for key, value in result.scalars.items()

@@ -23,7 +23,7 @@ def test_bench_fig6(benchmark, synthetic_config):
         assert result.scalars[f"{label}/CML/mean_ct"] < 0.05, label
 
     # CDFs are valid distribution functions.
-    for label, series_list in result.groups.items():
+    for series_list in result.groups.values():
         for series in series_list:
             values = np.asarray(series.values)
             assert np.all(np.diff(values) >= -1e-12)

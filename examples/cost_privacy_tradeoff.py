@@ -21,6 +21,7 @@ import numpy as np
 
 from repro import MaximumLikelihoodDetector, get_strategy, paper_synthetic_models
 from repro.mec import CostModel, MECSimulation, MECSimulationConfig, MECTopology
+from repro.sim.seeding import spawn_generators
 
 
 def evaluate(chain, topology, strategy_name, n_chaffs, horizon, n_runs, seed):
@@ -35,8 +36,7 @@ def evaluate(chain, topology, strategy_name, n_chaffs, horizon, n_runs, seed):
     )
     detector = MaximumLikelihoodDetector()
     accuracies, costs = [], []
-    for run_index in range(n_runs):
-        rng = np.random.default_rng(seed + run_index)
+    for rng in spawn_generators(seed, n_runs, key="cost-privacy"):
         report = simulation.run(rng)
         outcome = report.evaluate(chain, detector, rng)
         accuracies.append(outcome["tracking_accuracy"])

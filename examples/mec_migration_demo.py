@@ -28,6 +28,7 @@ from repro.mec import (
     MECTopology,
     NeverMigratePolicy,
 )
+from repro.sim.seeding import spawn_generators
 
 
 def main() -> None:
@@ -77,8 +78,7 @@ def main() -> None:
             config=MECSimulationConfig(horizon=60, n_chaffs=0),
         )
         costs, colocations = [], []
-        for run_index in range(20):
-            run_rng = np.random.default_rng(100 + run_index)
+        for run_rng in spawn_generators(100, 20, key="migration-demo"):
             run_report = simulation.run(run_rng)
             costs.append(run_report.total_cost)
             service = np.asarray(run_report.real_service.location_history)

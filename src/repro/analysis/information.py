@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mobility.markov import MarkovChain
-from ..numerics import LOG_FLOOR
+from ..numerics import safe_log
 
 __all__ = [
     "entropy",
@@ -38,7 +38,8 @@ def entropy(distribution: np.ndarray) -> float:
     if np.any(p < -1e-12) or not np.isclose(p.sum(), 1.0, atol=1e-6):
         raise ValueError("distribution must be a probability vector")
     mask = p > 0
-    return float(-(p[mask] * np.log(p[mask])).sum())
+    # p[mask] is strictly positive, so the floored log is the raw log.
+    return float(-(p[mask] * safe_log(p[mask])).sum())
 
 
 def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
@@ -48,9 +49,7 @@ def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
     if p.shape != q.shape:
         raise ValueError("distributions must have the same shape")
     mask = p > 0
-    return float(
-        np.sum(p[mask] * (np.log(p[mask]) - np.log(np.maximum(q[mask], LOG_FLOOR))))
-    )
+    return float(np.sum(p[mask] * (safe_log(p[mask]) - safe_log(q[mask]))))
 
 
 def spatial_skewness(chain: MarkovChain) -> float:

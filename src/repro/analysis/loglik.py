@@ -23,7 +23,6 @@ import numpy as np
 from ..mobility.markov import MarkovChain
 from ..core.strategies.constrained_ml import ConstrainedMLController
 from ..core.strategies.myopic_online import MyopicOnlineController
-from ..numerics import LOG_FLOOR
 
 __all__ = [
     "ct_series",
@@ -32,9 +31,6 @@ __all__ = [
     "build_cml_induced_chain",
     "estimate_expected_ct",
 ]
-
-def _log(values: np.ndarray | float) -> np.ndarray | float:
-    return np.log(np.maximum(values, LOG_FLOOR))
 
 
 def ct_series(
@@ -148,7 +144,9 @@ def build_cml_induced_chain(chain: MarkovChain) -> CMLInducedChain:
     L = chain.n_states
     if L < 2:
         raise ValueError("need at least two cells for the CML strategy")
-    P = chain.transition_matrix
+    # The pair chain is an (L^2, L^2) dense construction; the accessor's
+    # size guard keeps a city-scale sparse chain from landing here.
+    P = chain.dense_transition()
     log_P = chain.log_transition_matrix
     size = L * L
     pair_matrix = np.zeros((size, size), dtype=float)

@@ -92,15 +92,11 @@ def _predecessor_structure(
 
     Memoised per ``(chain, top_k)`` on the chain instance.
     """
-    cache = getattr(chain, "_trellis_predecessors", None)
+    cache = chain._trellis_predecessors
     if cache is not None and top_k in cache:
         return cache[top_k]
     n = chain.n_states
-    if getattr(chain, "is_sparse", False):
-        rows, cols, probs = chain.transition_edges()
-    else:
-        rows, cols = np.nonzero(chain.transition_matrix)
-        probs = chain.transition_matrix[rows, cols]
+    rows, cols, probs = chain.transition_edges()
     if top_k is not None:
         if top_k < 1:
             raise ValueError("top_k must be at least 1")

@@ -1,0 +1,5 @@
+"""Developer tooling that ships with the package but never runs in the hot path.
+
+Currently one subpackage: :mod:`repro.devtools.lint`, the determinism-contract
+linter (``repro-lint``).
+"""

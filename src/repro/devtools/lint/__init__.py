@@ -1,0 +1,27 @@
+"""Determinism-contract linter (``repro-lint``).
+
+Six PRs of bit-identity contracts — batch == loop, serial == workers,
+dense == sparse, empty-timeline == static — rest on conventions that this
+package enforces mechanically: SeedSequence-only seeding, floor-guarded
+log-domain numerics, backend-agnostic chain access, guarded dense
+materialisation, pure simulation layers, and cache-key-stable experiment
+configs.  See :mod:`repro.devtools.lint.rules` for the rule catalogue and
+the README's "Determinism contracts" section for the invariant each rule
+guards.
+"""
+
+from .contract import check_config_contracts
+from .engine import iter_python_files, lint_paths, lint_source
+from .findings import DisableDirectives, Finding
+from .rules import RULES, rule_codes
+
+__all__ = [
+    "Finding",
+    "DisableDirectives",
+    "RULES",
+    "rule_codes",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "check_config_contracts",
+]

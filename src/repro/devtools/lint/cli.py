@@ -1,0 +1,104 @@
+"""``repro-lint`` — the determinism-contract linter's command line.
+
+Usage::
+
+    repro-lint src/ tests/              # AST rules + registry contract
+    repro-lint --no-contract examples/  # AST rules only
+    repro-lint --list-rules
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .contract import check_config_contracts
+from .engine import lint_paths
+from .rules import RULES, rule_codes
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism-contract linter for repro-mec.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "examples", "benchmarks"],
+        help="files or directories to lint (default: src tests examples benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="only report these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODE",
+        help="never report these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--no-contract",
+        action="store_true",
+        help="skip the RPL006 registry round-trip check (no repro import)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its one-line summary and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the final summary line",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.summary}")
+        print(
+            "RPL006  registered experiment configs must round-trip the "
+            "canonical cache-key JSON"
+        )
+        return 0
+    for code_list in (args.select, args.ignore):
+        for code in code_list or ():
+            if code.upper() not in {*rule_codes(), "RPL000"}:
+                print(f"repro-lint: unknown rule code {code!r}", file=sys.stderr)
+                return 2
+    try:
+        findings = lint_paths(args.paths, select=args.select, ignore=args.ignore)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    run_contract = not args.no_contract and (
+        args.select is None or "RPL006" in {c.upper() for c in args.select}
+    )
+    if run_contract and "RPL006" not in {
+        c.upper() for c in args.ignore or ()
+    }:
+        findings.extend(check_config_contracts())
+    for finding in findings:
+        print(finding.format())
+    if not args.quiet:
+        label = "finding" if len(findings) == 1 else "findings"
+        print(f"repro-lint: {len(findings)} {label}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""File discovery and rule execution for ``repro-lint``."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .findings import DisableDirectives, Finding
+from .rules import RULES, FileContext, build_aliases
+
+__all__ = ["iter_python_files", "lint_source", "lint_paths"]
+
+#: Directories never descended into.
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", ".venv", "node_modules"}
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through as-is)."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+def _select(
+    findings: Iterable[Finding],
+    select: Sequence[str] | None,
+    ignore: Sequence[str] | None,
+) -> list[Finding]:
+    chosen = {code.upper() for code in select} if select else None
+    dropped = {code.upper() for code in ignore} if ignore else set()
+    return [
+        finding
+        for finding in findings
+        if (chosen is None or finding.code in chosen) and finding.code not in dropped
+    ]
+
+
+def lint_source(
+    source: str,
+    path: str | Path,
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint one file's source text.  ``path`` decides which rules apply."""
+    path = Path(path)
+    display = str(path)
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return _select(
+            [
+                Finding(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    code="RPL000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ],
+            select,
+            ignore,
+        )
+    ctx = FileContext(
+        path=display,
+        parts=path.parts,
+        source=source,
+        tree=tree,
+        aliases=build_aliases(tree),
+    )
+    directives = DisableDirectives.parse(source)
+    findings = [
+        finding
+        for rule in RULES
+        for finding in rule.run(ctx)
+        if not directives.suppresses(finding)
+    ]
+    return sorted(_select(findings, select, ignore))
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint every python file under ``paths`` with the AST rule set."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(
+            lint_source(
+                file.read_text(encoding="utf-8"),
+                file,
+                select=select,
+                ignore=ignore,
+            )
+        )
+    return findings

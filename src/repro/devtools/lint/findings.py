@@ -1,0 +1,64 @@
+"""Finding records and the ``# repro-lint: disable=`` escape hatch."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "DisableDirectives"]
+
+#: ``# repro-lint: disable=RPL001,RPL003`` (or ``disable=all``) on the line of
+#: the finding suppresses it; ``disable-file=...`` anywhere suppresses the
+#: whole file.  Rule codes are comma-separated, case-insensitive.
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+?)\s*(?:#|$)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class DisableDirectives:
+    """Parsed suppression directives for one file."""
+
+    #: line number -> set of codes (or {"all"}) disabled on that line.
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: codes (or {"all"}) disabled for the entire file.
+    file_wide: set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, source: str) -> "DisableDirectives":
+        directives = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _DIRECTIVE.search(text)
+            if match is None:
+                continue
+            codes = {
+                token.strip().upper() if token.strip().lower() != "all" else "all"
+                for token in match.group("codes").split(",")
+                if token.strip()
+            }
+            if match.group("kind") == "disable-file":
+                directives.file_wide |= codes
+            else:
+                directives.by_line.setdefault(lineno, set()).update(codes)
+        return directives
+
+    def suppresses(self, finding: Finding) -> bool:
+        for scope in (self.file_wide, self.by_line.get(finding.line, set())):
+            if "all" in scope or finding.code.upper() in scope:
+                return True
+        return False

@@ -156,7 +156,7 @@ def run_cost_privacy_tradeoff(
         config.seed, len(chaff_counts), key="ablation-cost-privacy"
     )
     tasks = []
-    for child, n_chaffs in zip(children, chaff_counts):
+    for child, n_chaffs in zip(children, chaff_counts, strict=True):
         strategy = get_strategy(strategy_name) if n_chaffs > 0 else None
         simulation = MECSimulation(
             topology,
@@ -254,12 +254,12 @@ def run_migration_policy_comparison(
         ]
     }
     scalars = {
-        f"{name}/cost": cost for name, cost in zip(policy_names, cost_values)
+        f"{name}/cost": cost for name, cost in zip(policy_names, cost_values, strict=True)
     }
     scalars.update(
         {
             f"{name}/colocation": value
-            for name, value in zip(policy_names, colocation_values)
+            for name, value in zip(policy_names, colocation_values, strict=True)
         }
     )
     return ExperimentResult(
@@ -383,12 +383,12 @@ def run_online_eavesdropper_comparison(
     )
     tasks = [
         (models[label], strategy, config.horizon, runs, child)
-        for label, child in zip(labels, children)
+        for label, child in zip(labels, children, strict=True)
     ]
     points = parallel_map(_online_eavesdropper_point, tasks, workers=config.workers)
     groups: dict[str, list[SeriesResult]] = {}
     scalars: dict[str, float] = {}
-    for label, values in zip(labels, points):
+    for label, values in zip(labels, points, strict=True):
         groups[label] = [
             SeriesResult.from_array(name, [value]) for name, value in values.items()
         ]

@@ -82,12 +82,12 @@ def run_fig10(
         _advanced_user_point,
         [
             (dataset, user_row, detectors, n_chaffs, child)
-            for user_row, child in zip(top_users, user_children)
+            for user_row, child in zip(top_users, user_children, strict=True)
         ],
         workers=config.workers,
     )
-    for rank, (user_row, values) in enumerate(zip(top_users, user_points), start=1):
-        for label, accuracy in zip(bar_labels, values):
+    for rank, (user_row, values) in enumerate(zip(top_users, user_points, strict=True), start=1):
+        for label, accuracy in zip(bar_labels, values, strict=True):
             scalars[f"user{rank}/{label}"] = accuracy
         groups["two-chaffs"].append(
             SeriesResult.from_array(

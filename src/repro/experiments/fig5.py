@@ -40,7 +40,7 @@ def run_fig5(config: SyntheticExperimentConfig | None = None) -> ExperimentResul
     model_children = spawn_sequences(
         config.seed, len(config.mobility_models), key="fig5"
     )
-    for model_child, label in zip(model_children, config.mobility_models):
+    for model_child, label in zip(model_children, config.mobility_models, strict=True):
         chain = models[label]
         specs = {
             series_label: (strategy_name, n_services)

@@ -47,7 +47,8 @@ def run_fig8(config: TraceExperimentConfig | None = None) -> ExperimentResult:
             ),
         ],
     }
-    uniform_entropy = float(np.log(dataset.n_cells))
+    # log of a cell *count* (>= 1), not of probabilities — no floor needed.
+    uniform_entropy = float(np.log(dataset.n_cells))  # repro-lint: disable=RPL002
     scalars = {
         "n_cells": float(dataset.n_cells),
         "n_nodes": float(dataset.n_nodes),

@@ -86,12 +86,12 @@ def run_fig9(config: TraceExperimentConfig | None = None) -> ExperimentResult:
         _protected_user_point,
         [
             (dataset, user_row, bar_labels, config.n_chaffs, child)
-            for user_row, child in zip(top_users, user_children)
+            for user_row, child in zip(top_users, user_children, strict=True)
         ],
         workers=config.workers,
     )
-    for rank, (user_row, values) in enumerate(zip(top_users, user_points), start=1):
-        for label, accuracy in zip(bar_labels, values):
+    for rank, (user_row, values) in enumerate(zip(top_users, user_points, strict=True), start=1):
+        for label, accuracy in zip(bar_labels, values, strict=True):
             scalars[f"user{rank}/{label}"] = accuracy
         panel_b.append(
             SeriesResult.from_array(

@@ -35,9 +35,9 @@ def _dataset_key(config: TraceExperimentConfig) -> tuple:
 @lru_cache(maxsize=8)
 def _build_taxi_dataset_cached(key: tuple) -> CellTrajectoryDataset:
     n_nodes, horizon, n_towers, seed = key
-    rng = np.random.default_rng(seed)
+    rng, tower_rng = spawn_generators(seed, 2, key="taxi-world")
     towers = generate_towers(
-        TowerPlacementConfig(n_towers=n_towers), rng=np.random.default_rng(seed + 1)
+        TowerPlacementConfig(n_towers=n_towers), rng=tower_rng
     )
     quantizer = VoronoiQuantizer(towers)
     fleet = TaxiFleetGenerator(

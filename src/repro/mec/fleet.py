@@ -477,7 +477,7 @@ class FleetSimulation:
             strategies = list(strategy)
             if len(strategies) != self.config.n_users:
                 raise ValueError("need one strategy (or None) per user")
-        for user, (budget, chosen) in enumerate(zip(budgets, strategies)):
+        for user, (budget, chosen) in enumerate(zip(budgets, strategies, strict=True)):
             if budget > 0 and chosen is None:
                 raise ValueError(
                     f"user {user} has {budget} chaffs but no chaff strategy"
@@ -574,7 +574,7 @@ class FleetSimulation:
         return np.array(
             [
                 policy.decide(self.topology, int(cell), int(user_cell))
-                for cell, user_cell in zip(service_cells, user_cells)
+                for cell, user_cell in zip(service_cells, user_cells, strict=True)
             ],
             dtype=np.int64,
         )

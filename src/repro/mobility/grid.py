@@ -207,7 +207,7 @@ def grid_drift_walk(
         stay = np.full(n, stay_probability)
         edge_rows, edge_cols, edge_data = [], [], []
         for mass, (_, valid, sources, destinations) in zip(
-            masses, _grid_neighbor_steps(topology)
+            masses, _grid_neighbor_steps(topology), strict=True
         ):
             if mass <= 0:
                 continue
@@ -224,7 +224,7 @@ def grid_drift_walk(
     for index in range(n):
         row, col = topology.coordinates(index)
         matrix[index, index] += stay_probability
-        for weight, (dr, dc) in zip(drift, directions):
+        for weight, (dr, dc) in zip(drift, directions, strict=True):
             mass = move_mass * weight / total_drift
             r, c = row + dr, col + dc
             if 0 <= r < topology.rows and 0 <= c < topology.cols:

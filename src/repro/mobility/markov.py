@@ -81,7 +81,7 @@ def validate_transition_matrix(matrix: np.ndarray, *, atol: float = 1e-8) -> np.
 
 
 def validate_sparse_transition_matrix(
-    matrix, *, atol: float = 1e-8
+    matrix: sp.sparray | sp.spmatrix, *, atol: float = 1e-8
 ) -> sp.csr_array:
     """Sparse counterpart of :func:`validate_transition_matrix`.
 
@@ -121,7 +121,7 @@ DENSE_STATIONARY_LIMIT = 512
 
 
 def stationary_distribution(
-    matrix,
+    matrix: np.ndarray | sp.sparray | sp.spmatrix,
     *,
     atol: float = 1e-10,
     method: str = "auto",
@@ -194,7 +194,9 @@ def _stationary_lstsq(P: np.ndarray) -> np.ndarray:
     return np.real(pi)
 
 
-def _stationary_power(P, *, max_iter: int, tol: float = 1e-13) -> np.ndarray:
+def _stationary_power(
+    P: np.ndarray | sp.csr_array, *, max_iter: int, tol: float = 1e-13
+) -> np.ndarray:
     """Lazy power iteration ``x <- (x + P^T x) / 2``.
 
     The half-identity shift keeps the fixed point but makes eigenvalue 1
@@ -214,11 +216,15 @@ def _stationary_power(P, *, max_iter: int, tol: float = 1e-13) -> np.ndarray:
     return _stationary_eigs(P, v0=x)
 
 
-def _stationary_eigs(P, *, v0: np.ndarray | None = None) -> np.ndarray:
+def _stationary_eigs(
+    P: np.ndarray | sp.csr_array, *, v0: np.ndarray | None = None
+) -> np.ndarray:
     """Leading eigenvector of the lazy transposed operator via ARPACK."""
     n = P.shape[0]
-    if n < 3:  # ARPACK needs k < n - 1
-        return _stationary_lstsq(P.toarray() if sp.issparse(P) else P)
+    if n < 3:  # ARPACK needs k < n - 1; a (2, 2) densify is always safe.
+        return _stationary_lstsq(
+            P.toarray() if sp.issparse(P) else P  # repro-lint: disable=RPL004
+        )
     if sp.issparse(P):
         lazy = 0.5 * (sp.eye_array(n, format="csr") + P.T.tocsr())
     else:
@@ -237,7 +243,9 @@ def _stationary_eigs(P, *, v0: np.ndarray | None = None) -> np.ndarray:
     return pi
 
 
-def _finalise_stationary(pi: np.ndarray, P, *, atol: float) -> np.ndarray:
+def _finalise_stationary(
+    pi: np.ndarray, P: np.ndarray | sp.csr_array, *, atol: float
+) -> np.ndarray:
     """Validate a candidate stationary vector, then clip numerical noise.
 
     Order matters (the historical bug): truncation happens only *after*
@@ -266,7 +274,7 @@ def _finalise_stationary(pi: np.ndarray, P, *, atol: float) -> np.ndarray:
     return pi
 
 
-def is_ergodic(matrix) -> bool:
+def is_ergodic(matrix: np.ndarray | sp.sparray | sp.spmatrix) -> bool:
     """Return ``True`` if the chain is irreducible and aperiodic.
 
     Irreducibility is one strongly connected component of the transition
@@ -348,6 +356,11 @@ class MarkovChain:
     _stack_cumulative: "tuple[object, np.ndarray] | None" = field(
         init=False, repr=False, default=None
     )
+    #: Per-``top_k`` memo of the trellis predecessor structure, populated
+    #: lazily by :func:`repro.core.trellis._predecessor_structure`.
+    _trellis_predecessors: (
+        "dict[int | None, tuple[np.ndarray, np.ndarray, np.ndarray]] | None"
+    ) = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         self.transition_matrix = validate_transition_matrix(self.transition_matrix)
@@ -418,6 +431,29 @@ class MarkovChain:
         """Row ``P(. | state)`` as a dense 1-D array (treat as read-only)."""
         self._check_state(state)
         return self.transition_matrix[state]
+
+    def dense_transition(self) -> np.ndarray:
+        """The full transition matrix as a dense array (treat as read-only).
+
+        The accessor call sites outside ``mobility/`` use when they
+        genuinely need the whole ``(L, L)`` matrix (per-slot world stacks,
+        the CML pair-chain construction).  Dense chains return their
+        storage directly; the sparse backend materialises behind the
+        :data:`~repro.mobility.sparse.DENSE_MATERIALISE_LIMIT` guard, so a
+        city-scale chain fails loudly here instead of silently allocating
+        O(L^2).
+        """
+        return self.transition_matrix
+
+    def transition_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The nonzero transitions as ``(rows, cols, probabilities)``.
+
+        Row-major with ascending column order per row — the iteration
+        order of CSR storage — in both backends, so edge-iterating
+        kernels (the sparsity-aware Viterbi) are backend-agnostic.
+        """
+        rows, cols = np.nonzero(self.transition_matrix)
+        return rows, cols, self.transition_matrix[rows, cols]
 
     def transition_diagonal(self) -> np.ndarray:
         """Self-transition probabilities ``P(i | i)`` as a 1-D array."""
@@ -765,8 +801,9 @@ class MarkovChain:
     def entropy_rate(self) -> float:
         """Entropy rate ``H(X_t | X_{t-1})`` in nats under stationarity."""
         P = self.transition_matrix
-        with np.errstate(divide="ignore", invalid="ignore"):
-            logs = np.where(P > 0, np.log(P), 0.0)
+        # The floored log equals the raw log on the positive entries the
+        # mask keeps, and needs no errstate guard on the zeros it drops.
+        logs = np.where(P > 0, _safe_log(P), 0.0)
         row_entropies = -(P * logs).sum(axis=1)
         return float(self._stationary @ row_entropies)
 
@@ -897,4 +934,5 @@ def _kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
     p = np.asarray(p, dtype=float)
     q = np.asarray(q, dtype=float)
     mask = p > 0
-    return float(np.sum(p[mask] * (np.log(p[mask]) - _safe_log(q[mask]))))
+    # p[mask] is strictly positive, so the floored log is the raw log.
+    return float(np.sum(p[mask] * (_safe_log(p[mask]) - _safe_log(q[mask]))))

@@ -199,8 +199,11 @@ def paper_synthetic_models(
         models are fully connected — so this only switches the kernels a
         downstream simulation exercises; results are bit-identical.
     """
-    rng_a = np.random.default_rng(seed)
-    rng_b = np.random.default_rng(seed + 1)
+    # Imported lazily: repro.sim pulls in the whole harness, which imports
+    # this package back (runner -> core -> mobility).
+    from ..sim.seeding import spawn_generators
+
+    rng_a, rng_b = spawn_generators(seed, 2, key="paper-models")
     models = {
         "non-skewed": random_mobility_model(n_cells, rng=rng_a),
         "spatially-skewed": spatially_skewed_model(n_cells, rng=rng_b),

@@ -27,7 +27,7 @@ densification of a city-scale chain fails loudly instead of swapping.
 
 from __future__ import annotations
 
-from typing import ClassVar
+from typing import ClassVar, Iterable
 
 import numpy as np
 import scipy.sparse as sp
@@ -129,7 +129,7 @@ class SparseMarkovChain(MarkovChain):
 
     def __init__(
         self,
-        transition_matrix,
+        transition_matrix: sp.sparray | sp.spmatrix | np.ndarray,
         initial_distribution: np.ndarray | None = None,
         *,
         stationary_method: str = "auto",
@@ -234,6 +234,10 @@ class SparseMarkovChain(MarkovChain):
             self._dense_transition().copy(),
             np.asarray(self.initial_distribution, dtype=float).copy(),
         )
+
+    def dense_transition(self) -> np.ndarray:
+        """Dense matrix view — guarded by :data:`DENSE_MATERIALISE_LIMIT`."""
+        return self._dense_transition()
 
     @property
     def log_transition_matrix(self) -> np.ndarray:
@@ -373,8 +377,10 @@ class SparseMarkovChain(MarkovChain):
     # Information-theoretic quantities and diagnostics
     # ------------------------------------------------------------------
     def entropy_rate(self) -> float:
+        # CSR data is strictly positive (explicit zeros are eliminated at
+        # validation), so the floored log equals the raw log entry-wise.
         data = self.transition_matrix.data
-        contributions = -(data * np.log(data))
+        contributions = -(data * safe_log(data))
         row_entropies = np.bincount(
             self._entry_rows, weights=contributions, minlength=self.n_states
         )
@@ -473,7 +479,7 @@ class SparseMarkovChain(MarkovChain):
         top2 = np.where(counts >= 2, second_cols, first_zero)
         return top1, top2
 
-    def restricted_argmax_row(self, state: int, excluded=()) -> int:
+    def restricted_argmax_row(self, state: int, excluded: Iterable[int] = ()) -> int:
         self._check_state(state)
         row = self.transition_row(state)
         for cell in excluded:

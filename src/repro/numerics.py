@@ -9,16 +9,19 @@ log-domain computations.
 
 from __future__ import annotations
 
+from typing import Final
+
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["LOG_FLOOR", "safe_log"]
 
 #: Probabilities below this are treated as structurally zero when taking
 #: logs.  ``log(LOG_FLOOR)`` is about -690.8, large enough to dominate any
 #: feasible path cost while keeping every reduction finite.
-LOG_FLOOR = 1e-300
+LOG_FLOOR: Final[float] = 1e-300
 
 
-def safe_log(values: np.ndarray) -> np.ndarray:
+def safe_log(values: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Elementwise natural log treating values below ``LOG_FLOOR`` as it."""
-    return np.log(np.maximum(values, LOG_FLOOR))
+    return np.log(np.maximum(np.asarray(values, dtype=np.float64), LOG_FLOOR))

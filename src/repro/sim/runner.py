@@ -111,7 +111,7 @@ def sweep_strategies(
     point_workers = workers if len(labels) == 1 else 1
     tasks = []
     for child, (label, (strategy_spec, n_services)) in zip(
-        children, strategy_specs.items()
+        children, strategy_specs.items(), strict=True
     ):
         strategy = (
             get_strategy(strategy_spec)
@@ -134,5 +134,5 @@ def sweep_strategies(
     results = parallel_map(
         _sweep_point, tasks, workers=1 if len(labels) == 1 else workers
     )
-    statistics = dict(zip(labels, results))
+    statistics = dict(zip(labels, results, strict=True))
     return StrategySweep(model_label=model_label, statistics=statistics)

@@ -90,7 +90,7 @@ def resample_trace(
     grid = np.arange(start_s, start_s + duration_s + 1e-9, interval_s)
     lat_interp = np.interp(grid, timestamps, latitudes)
     lon_interp = np.interp(grid, timestamps, longitudes)
-    return [GeoPoint(float(lat), float(lon)) for lat, lon in zip(lat_interp, lon_interp)]
+    return [GeoPoint(float(lat), float(lon)) for lat, lon in zip(lat_interp, lon_interp, strict=True)]
 
 
 def quantize_traces(

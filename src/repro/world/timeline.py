@@ -272,8 +272,8 @@ class Timeline:
             )
 
         matrices = (
-            base_chain.transition_matrix,
-            *(chain.transition_matrix for chain in self.regime_chains),
+            base_chain.dense_transition(),
+            *(chain.dense_transition() for chain in self.regime_chains),
         )
         return WorldSchedule(
             regimes=regimes,

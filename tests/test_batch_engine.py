@@ -102,7 +102,7 @@ class TestStrategyEquivalence:
         assert np.array_equal(batched, looped)
         # The generators must also end in the same state so downstream
         # detector draws stay aligned.
-        for a, b in zip(rngs_a, rngs_b):
+        for a, b in zip(rngs_a, rngs_b, strict=True):
             assert a.random() == b.random()
 
 

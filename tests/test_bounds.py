@@ -32,7 +32,7 @@ class TestIMClosedForm:
 
     def test_eq11_monotone_in_n(self, skewed_chain):
         values = [im_tracking_accuracy(skewed_chain, n) for n in range(2, 12)]
-        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert all(a >= b for a, b in zip(values, values[1:], strict=False))
 
     def test_eq11_limit(self, skewed_chain):
         assert np.isclose(

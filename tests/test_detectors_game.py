@@ -20,7 +20,7 @@ class TestTrajectoryLogLikelihoods:
     def test_matches_chain_log_likelihood(self, random_chain, rng):
         trajectories = random_chain.sample_trajectories(5, 12, rng)
         scores = trajectory_log_likelihoods(random_chain, trajectories)
-        for row, score in zip(trajectories, scores):
+        for row, score in zip(trajectories, scores, strict=True):
             assert np.isclose(score, random_chain.log_likelihood(row))
 
     def test_rejects_empty(self, random_chain):

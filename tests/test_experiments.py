@@ -121,7 +121,7 @@ class TestFig5:
             assert oo <= cml + 0.05
 
     def test_all_values_are_probabilities(self, fig5_result):
-        for group, series_list in fig5_result.groups.items():
+        for series_list in fig5_result.groups.values():
             for series in series_list:
                 assert min(series.values) >= 0.0
                 assert max(series.values) <= 1.0
@@ -133,7 +133,7 @@ class TestFig6:
         return run_fig6(TINY)
 
     def test_cdf_monotone_and_bounded(self, result):
-        for group, series_list in result.groups.items():
+        for series_list in result.groups.values():
             for series in series_list:
                 values = np.asarray(series.values)
                 assert np.all(np.diff(values) >= -1e-12)
@@ -183,7 +183,7 @@ class TestAblations:
         )
         simulated = result.series("non-skewed", "simulated")
         analytic = result.series("non-skewed", "eq11")
-        for sim_value, ana_value in zip(simulated.values, analytic.values):
+        for sim_value, ana_value in zip(simulated.values, analytic.values, strict=True):
             # ~3 standard errors at this test's 60-run budget; the gap
             # closes well below 0.05 at the paper's 1000 runs.
             assert abs(sim_value - ana_value) < 0.16

@@ -639,7 +639,7 @@ class TestSaturatedTopology:
             "evicted": 0,
             "stranded": 0,
         }
-        for slot in range(3):
+        for _slot in range(3):
             desired = np.roll(current, 1)  # everyone wants a neighbour
             placed = engine.resolve_moves(current, desired)
             assert placed.tolist() == current.tolist()

@@ -193,6 +193,36 @@ class TestExactScores:
                     2, excluded
                 ) == sparse.restricted_argmax_row(2, excluded)
 
+    def test_dense_transition_accessor_matches(self, model_pairs, banded_pair):
+        """``dense_transition()`` is the backend-agnostic dense view used by
+        the pair-chain construction and the dynamic-world stacks."""
+        for dense, sparse in (*model_pairs.values(), banded_pair):
+            assert np.array_equal(dense.dense_transition(), sparse.dense_transition())
+            assert dense.dense_transition() is dense.transition_matrix
+
+    def test_transition_edges_accessor_matches(self, model_pairs, banded_pair):
+        """Both backends enumerate the same (row, col, prob) edge set."""
+        for dense, sparse in (*model_pairs.values(), banded_pair):
+            rd, cd, pd = dense.transition_edges()
+            rs, cs, ps = sparse.transition_edges()
+            assert np.array_equal(rd, rs)
+            assert np.array_equal(cd, cs)
+            assert np.array_equal(pd, ps)
+            # The edge list reconstructs the matrix exactly.
+            rebuilt = np.zeros_like(dense.dense_transition())
+            rebuilt[rd, cd] = pd
+            assert np.array_equal(rebuilt, dense.dense_transition())
+
+    def test_dense_transition_respects_materialise_guard(self):
+        n = DENSE_MATERIALISE_LIMIT + 1
+        diag = sp.eye(n, format="csr") * 0.5
+        shifted = sp.eye(n, k=1, format="csr") * 0.5
+        matrix = sp.csr_array(diag + shifted)
+        matrix[-1, 0] = 0.5
+        chain = SparseMarkovChain(sp.csr_array(matrix))
+        with pytest.raises(ValueError, match="refusing to materialise"):
+            chain.dense_transition()
+
 
 class TestViterbiEquivalence:
     def test_unmasked_paths_identical(self, model_pairs):
@@ -514,7 +544,7 @@ class TestConfigPlumbing:
             SyntheticExperimentConfig(n_runs=5, horizon=8, backend="sparse")
         )
         for group, series_list in result_dense.groups.items():
-            for series_d, series_s in zip(series_list, result_sparse.groups[group]):
+            for series_d, series_s in zip(series_list, result_sparse.groups[group], strict=True):
                 assert np.array_equal(
                     np.asarray(series_d.values), np.asarray(series_s.values)
                 )

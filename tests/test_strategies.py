@@ -270,7 +270,7 @@ class TestMyopicOnlineStrategy:
     def test_forbidden_cells_respected(self, random_chain, rng):
         controller = MyopicOnlineController(random_chain)
         forbidden = frozenset({1, 2, 3})
-        for t in range(10):
+        for _t in range(10):
             user_cell = int(rng.integers(0, random_chain.n_states))
             chaff = controller.step(user_cell, forbidden)
             assert chaff not in forbidden

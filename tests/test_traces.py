@@ -21,7 +21,7 @@ from repro.traces.taxi import GpsFix, RawTrace, TaxiFleetConfig, TaxiFleetGenera
 def _make_trace(node_id: int, timestamps, latitudes, longitude=-122.4) -> RawTrace:
     fixes = [
         GpsFix(timestamp=float(t), position=GeoPoint(float(lat), longitude))
-        for t, lat in zip(timestamps, latitudes)
+        for t, lat in zip(timestamps, latitudes, strict=True)
     ]
     return RawTrace(node_id=node_id, fixes=fixes)
 
