@@ -180,6 +180,25 @@ def build_parser() -> argparse.ArgumentParser:
         "wins at large L)",
     )
     fleet_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="run episodes through the streaming engine (bounded memory, "
+        "bit-identical results)",
+    )
+    fleet_parser.add_argument(
+        "--chunk-slots",
+        type=int,
+        default=64,
+        help="slots per streaming chunk (with --stream; identical results)",
+    )
+    fleet_parser.add_argument(
+        "--regions",
+        type=int,
+        default=1,
+        help="topology regions for sharded placement (with --stream; "
+        "identical results)",
+    )
+    fleet_parser.add_argument(
         "--cache-dir",
         type=str,
         default=None,
@@ -319,6 +338,9 @@ def _build_config(args: argparse.Namespace, experiment_id: str):
             engine=engine,
             workers=workers,
             backend=backend,
+            stream=_flag(args, "stream", False),
+            chunk_slots=_flag(args, "chunk_slots", 64),
+            regions=_flag(args, "regions", 1),
         )
     if experiment_id in _TRACE_EXPERIMENTS:
         config = TraceExperimentConfig(seed=args.seed, engine=engine, workers=workers)

@@ -14,7 +14,10 @@ runner's first-parameter annotation, default-constructed, and required to
 
 1. produce a cacheable key (``experiment_cache_key`` is not ``None``);
 2. survive ``to_dict -> canonical JSON -> from_dict -> to_dict`` with an
-   identical canonical form and an identical cache key.
+   identical canonical form and an identical cache key;
+3. keep its cache key invariant when any ``EXECUTION_ONLY_KEYS`` field
+   (``engine``, ``workers``, ``stream``, …) is perturbed — execution
+   knobs select *how* a result is computed, never *what* it is.
 """
 
 from __future__ import annotations
@@ -64,7 +67,7 @@ def _location(cls: type) -> tuple[str, int]:
 
 
 def _check_one(experiment_id: str, cls: type) -> Iterator[Finding]:
-    from repro.sim.cache import experiment_cache_key
+    from repro.sim.cache import EXECUTION_ONLY_KEYS, experiment_cache_key
 
     path, line = _location(cls)
 
@@ -103,8 +106,23 @@ def _check_one(experiment_id: str, cls: type) -> Iterator[Finding]:
             "to_dict -> JSON -> from_dict -> to_dict changes the canonical "
             "form; cached results would never be re-hit after a round trip"
         )
-    elif experiment_cache_key(experiment_id, second) != key:
+        return
+    if experiment_cache_key(experiment_id, second) != key:
         yield fail("cache key changes across a config round trip")
+        return
+    # Execution-only knobs (engine, workers, stream, ...) change *how* a
+    # result is computed, never *what* it is — so none of them may reach
+    # the cache key.  Probe each one with a sentinel value the config could
+    # never legitimately carry.
+    for exec_key in EXECUTION_ONLY_KEYS:
+        probed = dict(first)
+        probed[exec_key] = "__repro_lint_probe__"
+        if experiment_cache_key(experiment_id, probed) != key:
+            yield fail(
+                f"execution-only field {exec_key!r} leaks into the cache "
+                "key; identical experiments run with different execution "
+                "knobs would stop sharing cached results"
+            )
 
 
 def check_config_contracts() -> list[Finding]:

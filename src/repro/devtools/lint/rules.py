@@ -22,6 +22,12 @@ RPL005    no wall-clock or ambient-entropy calls inside ``repro/sim``,
           ``repro/mec``, ``repro/adversary``, ``repro/world`` — cache keys
           and worker bit-invariance depend on those layers being pure
           functions of their inputs.
+RPL007    no ``(M, N, T)`` full-plane allocation (``np.empty``/``zeros``/
+          ``ones``/``full`` with a literal 3-tuple shape) inside
+          ``repro/{mec,adversary,world,sim}`` without the declared
+          ``FULL_PLANE_LIMIT`` guard in the enclosing function — the
+          streaming engine exists so city-scale episodes never hold a
+          whole horizon in memory (the PR-8 bounded-memory contract).
 ========  ==================================================================
 
 RPL006 (experiment-config cache-key round-trips) is not an AST rule; it
@@ -407,6 +413,68 @@ def _check_rpl005(ctx: FileContext) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# RPL007 — full-plane allocations stay behind the streaming guard
+# ----------------------------------------------------------------------
+_RPL007_ALLOCATORS = {"numpy.empty", "numpy.zeros", "numpy.ones", "numpy.full"}
+_RPL007_GUARDS = {"FULL_PLANE_LIMIT"}
+_RPL007_DIRS = ("mec", "adversary", "world", "sim")
+
+
+def _rpl007_shape_arg(call: ast.Call) -> ast.expr | None:
+    """The shape argument of an allocator call, positional or keyword."""
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "shape":
+            return keyword.value
+    return None
+
+
+def _check_rpl007(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def guard_names(func: ast.AST) -> set[str]:
+        return {
+            sub.id
+            for sub in ast.walk(func)
+            if isinstance(sub, ast.Name) and sub.id in _RPL007_GUARDS
+        } | {
+            sub.attr
+            for sub in ast.walk(func)
+            if isinstance(sub, ast.Attribute) and sub.attr in _RPL007_GUARDS
+        }
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            guarded = bool(guard_names(node))
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Call) and not guarded:
+                name = qualified_name(child.func, ctx.aliases)
+                shape = (
+                    _rpl007_shape_arg(child)
+                    if name in _RPL007_ALLOCATORS
+                    else None
+                )
+                if isinstance(shape, (ast.Tuple, ast.List)) and len(shape.elts) == 3:
+                    findings.append(
+                        _finding(
+                            ctx,
+                            child,
+                            "RPL007",
+                            f"{name} with a 3-axis shape allocates a full "
+                            "(services, users/cells, horizon) plane; stream "
+                            "the horizon in chunks, or materialise through "
+                            "a FULL_PLANE_LIMIT-guarded helper "
+                            "(repro.mec.materialise_full_plane)",
+                        )
+                    )
+            visit(child, guarded)
+
+    visit(ctx.tree, guarded=False)
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 def _everywhere(ctx: FileContext) -> bool:
@@ -427,6 +495,10 @@ def _in_repro_outside_mobility(ctx: FileContext) -> bool:
 
 def _in_pure_layers(ctx: FileContext) -> bool:
     return ctx.in_repro_dir(*_RPL005_DIRS)
+
+
+def _in_plane_layers(ctx: FileContext) -> bool:
+    return ctx.in_repro_dir(*_RPL007_DIRS)
 
 
 RULES: Sequence[Rule] = (
@@ -459,6 +531,12 @@ RULES: Sequence[Rule] = (
         "sim/mec/adversary/world must stay pure (no wall clock, no ambient entropy)",
         _in_pure_layers,
         _check_rpl005,
+    ),
+    Rule(
+        "RPL007",
+        "full (M, N, T) plane allocations must sit behind FULL_PLANE_LIMIT",
+        _in_plane_layers,
+        _check_rpl007,
     ),
 )
 

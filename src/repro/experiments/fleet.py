@@ -61,6 +61,8 @@ def _fleet_point(task) -> dict[str, float]:
         child,
         engine,
         workers,
+        chunk_slots,
+        regions,
     ) = task
     rows, cols = grid_dimensions(n_cells)
     topology = MECTopology.from_grid(GridTopology(rows, cols), capacity=capacity)
@@ -79,6 +81,8 @@ def _fleet_point(task) -> dict[str, float]:
         detector=MaximumLikelihoodDetector(),
         workers=workers,
         engine=engine,
+        chunk_slots=chunk_slots,
+        regions=regions,
     )
     return {
         "detection": statistics.mean_detection,
@@ -140,8 +144,10 @@ def run_fleet_experiment(
                 config.strategy,
                 config.n_runs,
                 children[index],
-                config.engine,
+                "stream" if config.stream else config.engine,
                 point_workers,
+                config.chunk_slots,
+                config.regions,
             )
         )
     for index, capacity in enumerate(capacities):
@@ -156,8 +162,10 @@ def run_fleet_experiment(
                 config.strategy,
                 config.n_runs,
                 children[len(populations) + index],
-                config.engine,
+                "stream" if config.stream else config.engine,
                 point_workers,
+                config.chunk_slots,
+                config.regions,
             )
         )
     points = parallel_map(

@@ -13,7 +13,12 @@ from .policies import (
 from .migration import MigrationEngine, MigrationEvent
 from .observer import EavesdropperObserver, ObservationMatrix
 from .orchestrator import ChaffOrchestrator, ChaffPlan
-from .placement import PlacementEngine, PlacementStats
+from .placement import (
+    PlacementEngine,
+    PlacementStats,
+    RegionPartition,
+    ShardedPlacementEngine,
+)
 from .simulator import MECSimulation, MECSimulationConfig, MECSimulationReport
 from .fleet import (
     FleetEvaluation,
@@ -22,8 +27,10 @@ from .fleet import (
     FleetSimulation,
     FleetSimulationConfig,
     FleetStatistics,
+    materialise_full_plane,
     run_fleet_monte_carlo,
 )
+from .streaming import StreamingFleetEngine, StreamingFleetReport
 
 __all__ = [
     "EdgeSite",
@@ -46,6 +53,8 @@ __all__ = [
     "ChaffPlan",
     "PlacementEngine",
     "PlacementStats",
+    "RegionPartition",
+    "ShardedPlacementEngine",
     "MECSimulation",
     "MECSimulationConfig",
     "MECSimulationReport",
@@ -55,5 +64,8 @@ __all__ = [
     "FleetSimulation",
     "FleetSimulationConfig",
     "FleetStatistics",
+    "materialise_full_plane",
     "run_fleet_monte_carlo",
+    "StreamingFleetEngine",
+    "StreamingFleetReport",
 ]

@@ -78,10 +78,45 @@ __all__ = [
     "FleetSimulation",
     "FleetStatistics",
     "run_fleet_monte_carlo",
+    "materialise_full_plane",
+    "FULL_PLANE_LIMIT",
 ]
 
 #: Engines accepted by :meth:`FleetSimulation.run`.
-FLEET_ENGINES = ("batch", "loop")
+FLEET_ENGINES = ("batch", "loop", "stream")
+
+#: Elements above which :func:`materialise_full_plane` refuses to allocate.
+#: Sized so every plane the small-``M`` test and experiment configurations
+#: materialise fits comfortably, while a city-scale ``(M, N, T)`` crowd
+#: plane (the thing the streaming engine exists to avoid) trips it.
+FULL_PLANE_LIMIT = 200_000_000
+
+
+def materialise_full_plane(
+    shape: "tuple[int, ...]",
+    dtype: "np.dtype | type" = np.int64,
+    fill: "int | float | None" = None,
+) -> np.ndarray:
+    """The tree's one sanctioned full-plane allocation site.
+
+    repro-lint's RPL007 bans 3-axis plane allocations (``(M, N, T)``
+    shapes and friends) everywhere outside a ``FULL_PLANE_LIMIT``-guarded
+    helper; consumers that genuinely need a dense plane — reports
+    materialised for the small-``M`` bit-identity contract, evaluation of
+    a whole crowd at once — route the allocation through here, where the
+    element count is checked against :data:`FULL_PLANE_LIMIT` first.
+    Streaming consumers iterate chunk planes instead and never hit this.
+    """
+    elements = int(np.prod(np.asarray(shape, dtype=np.int64)))
+    if elements > FULL_PLANE_LIMIT:
+        raise MemoryError(
+            f"refusing to materialise a {shape} plane ({elements} elements "
+            f"> FULL_PLANE_LIMIT={FULL_PLANE_LIMIT}); iterate its chunks "
+            "instead (StreamingFleetReport.iter_plane_chunks)"
+        )
+    if fill is None:
+        return np.empty(shape, dtype=dtype)
+    return np.full(shape, fill, dtype=dtype)
 
 
 @dataclass(frozen=True)
@@ -374,6 +409,164 @@ class FleetReport:
         )
 
 
+class _FleetSlotKernel:
+    """One-slot advancement of the fleet's placement and cost state.
+
+    Extracted from the batch engine's slot loop so the streaming engine
+    (:mod:`repro.mec.streaming`) replays exactly the same operations
+    chunk by chunk: both engines drive this kernel slot by slot, so they
+    are bit-identical by construction.  The kernel owns everything that
+    crosses a chunk boundary — current cells, cost totals, migration
+    counters, the placement engine, and (dynamic worlds) the previous
+    slot's live mask and capacity view.
+    """
+
+    def __init__(
+        self,
+        simulation: "FleetSimulation",
+        owners: np.ndarray,
+        is_real: np.ndarray,
+        placement: PlacementEngine,
+    ) -> None:
+        self.sim = simulation
+        self.owners = owners
+        self.is_real = is_real
+        self.real_row_of_user = np.flatnonzero(is_real)
+        self.chaff_rows = np.flatnonzero(~is_real)
+        self.placement = placement
+        n_users = simulation.config.n_users
+        n_services = owners.size
+        self.cells = np.full(n_services, -1, dtype=np.int64)
+        self.mig_total = np.zeros(n_users, dtype=float)
+        self.comm_total = np.zeros(n_users, dtype=float)
+        self.chaff_total = np.zeros(n_users, dtype=float)
+        self.migrations = np.zeros(n_users, dtype=np.int64)
+        self.service_migrations = np.zeros(n_services, dtype=np.int64)
+        # Dynamic-world carry: the previous slot's live mask and
+        # capacity view (None until the first slot has run).
+        self.prev_live: np.ndarray | None = None
+        self.prev_caps: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def begin_static(self, plans_col0: np.ndarray) -> None:
+        """Instantiate the whole fleet at slot 0 of a frozen world."""
+        self.cells = self.placement.place_initial(plans_col0)
+
+    def begin_dynamic(
+        self, plans_col0: np.ndarray, live0: np.ndarray, caps0: np.ndarray
+    ) -> None:
+        """Instantiate the initially-active services of a dynamic world."""
+        self.placement.set_capacities(caps0)
+        rows0 = np.flatnonzero(live0)
+        self.cells[rows0] = self.placement.place_initial(plans_col0[rows0])
+
+    def slot_cost_totals(self) -> np.ndarray:
+        """Per-user cumulative cost after the slot just advanced."""
+        return self.mig_total + self.comm_total + self.chaff_total
+
+    def _charge_moves(self, moved: np.ndarray, new_cells: np.ndarray) -> None:
+        """Charge migrations ``moved`` (``self.cells`` still pre-move)."""
+        model = self.sim.cost_model
+        hops = self.sim._hops[self.cells[moved], new_cells]
+        np.add.at(
+            self.mig_total,
+            self.owners[moved],
+            model.migration_cost_fixed + model.migration_cost_per_hop * hops,
+        )
+        np.add.at(self.migrations, self.owners[moved], 1)
+        self.service_migrations[moved] += 1
+
+    # ------------------------------------------------------------------
+    def step_static(self, user_cells: np.ndarray, plan_col: np.ndarray) -> None:
+        """Advance one slot of a frozen world (the original batch body)."""
+        sim = self.sim
+        model = sim.cost_model
+        desired = plan_col.copy()
+        desired[self.real_row_of_user] = sim._decide_real_targets(
+            self.cells[self.real_row_of_user], user_cells
+        )
+        new_cells = self.placement.resolve_moves(self.cells, desired)
+        moved = np.flatnonzero(new_cells != self.cells)
+        if moved.size:
+            self._charge_moves(moved, new_cells[moved])
+        self.cells = new_cells
+        self.comm_total += (
+            model.communication_cost_per_hop
+            * sim._hops[user_cells, self.cells[self.real_row_of_user]]
+        )
+        np.add.at(
+            self.chaff_total,
+            self.owners[self.chaff_rows],
+            model.chaff_running_cost,
+        )
+
+    def step_dynamic(
+        self,
+        user_cells: np.ndarray,
+        plan_col: np.ndarray,
+        live: np.ndarray,
+        caps_col: np.ndarray,
+        active_now: np.ndarray,
+    ) -> np.ndarray:
+        """Advance one slot of a dynamic world; returns the live rows.
+
+        World transitions (departures -> capacity change and evictions ->
+        arrivals) run first — skipped on the episode's very first slot,
+        when no previous live mask has been carried yet — then the
+        voluntary moves and cost charges, in exactly the batch engine's
+        order.
+        """
+        sim = self.sim
+        model = sim.cost_model
+        if self.prev_live is not None:
+            prev = self.prev_live
+            departed = np.flatnonzero(prev & ~live)
+            if departed.size:
+                self.placement.release(self.cells[departed])
+                self.cells[departed] = -1
+            if not np.array_equal(caps_col, self.prev_caps):
+                self.placement.set_capacities(caps_col)
+                new_cells, moved = self.placement.evict_overloaded(
+                    self.cells, prev & live
+                )
+                if moved.size:
+                    self._charge_moves(moved, new_cells[moved])
+                    self.cells = new_cells
+            arriving = np.flatnonzero(live & ~prev)
+            if arriving.size:
+                self.cells[arriving] = self.placement.admit_arrivals(
+                    plan_col[arriving]
+                )
+        live_rows = np.flatnonzero(live)
+        desired = plan_col.copy()
+        real_live = self.real_row_of_user[active_now]
+        desired[real_live] = sim._decide_real_targets(
+            self.cells[real_live], user_cells[active_now]
+        )
+        new_sub = self.placement.resolve_moves(
+            self.cells[live_rows], desired[live_rows]
+        )
+        moved_sub = np.flatnonzero(new_sub != self.cells[live_rows])
+        if moved_sub.size:
+            self._charge_moves(live_rows[moved_sub], new_sub[moved_sub])
+        self.cells[live_rows] = new_sub
+        users_active = np.flatnonzero(active_now)
+        self.comm_total[users_active] += (
+            model.communication_cost_per_hop
+            * sim._hops[
+                user_cells[users_active],
+                self.cells[self.real_row_of_user[users_active]],
+            ]
+        )
+        live_chaffs = live_rows[~self.is_real[live_rows]]
+        np.add.at(
+            self.chaff_total, self.owners[live_chaffs], model.chaff_running_cost
+        )
+        self.prev_live = live.copy()
+        self.prev_caps = np.asarray(caps_col).copy()
+        return live_rows
+
+
 class FleetSimulation:
     """Simulates ``M`` users, their services and chaffs on one shared MEC.
 
@@ -490,15 +683,33 @@ class FleetSimulation:
         seed: "int | np.random.SeedSequence",
         *,
         engine: str = "batch",
+        chunk_slots: int = 64,
+        regions: int = 1,
+        region_workers: int = 1,
     ) -> FleetReport:
         """Execute one fleet run.
 
         ``engine="batch"`` (default) is the vectorised O(T) slot loop;
-        ``engine="loop"`` is the naive per-service Python reference.  Both
-        are bit-identical for the same ``seed``.
+        ``engine="loop"`` is the naive per-service Python reference;
+        ``engine="stream"`` advances the horizon in ``chunk_slots``-sized
+        chunks with a bounded working set, optionally sharding placement
+        over ``regions`` topology regions (``region_workers`` threads).
+        All three are bit-identical for the same ``seed`` — the streaming
+        knobs change execution, never results.
         """
         if engine not in FLEET_ENGINES:
             raise ValueError(f"engine must be one of {FLEET_ENGINES}, got {engine!r}")
+        if engine == "stream":
+            # Deferred import: streaming builds on this module.
+            from .streaming import StreamingFleetEngine
+
+            streaming = StreamingFleetEngine(
+                self,
+                chunk_slots=chunk_slots,
+                regions=regions,
+                region_workers=region_workers,
+            )
+            return streaming.run_to_report(seed)
         root = as_seed_sequence(seed)
         n_users = self.config.n_users
         children = root.spawn(n_users + 2)
@@ -549,6 +760,58 @@ class FleetSimulation:
             return initial, uniforms
         return self.chain.sample_trajectory_randomness(horizon, rng)
 
+    def _sample_block(
+        self, start: int, stop: int, rngs: "list[np.random.Generator]"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample users ``[start, stop)`` and their services' plans.
+
+        Returns ``(users_block, plans_block)``: the ``(stop - start, T)``
+        user trajectories and the ``(rows, T)`` service plans of the
+        block in service-id order (each user's real row holds the user's
+        own trajectory as a placeholder; real targets are policy-driven
+        per slot).  Every user's draws come only from that user's
+        generator — trajectory randomness first, then chaffs — so
+        sampling the fleet in blocks is bit-identical to sampling it
+        whole.  The batch engine samples one all-users block; the
+        streaming engine walks bounded blocks and spills them.
+        """
+        horizon = self.config.horizon
+        budgets = self.config.chaffs_per_user()[start:stop]
+        count = stop - start
+        initial = np.empty(count, dtype=np.int64)
+        uniforms = np.empty((count, max(horizon - 1, 0)), dtype=float)
+        for position in range(count):
+            initial[position], uniforms[position] = self._sample_user(
+                start + position, rngs[position]
+            )
+        users_block = self.chain.evolve_from_uniforms(
+            initial, uniforms, transition_stack=self._stack
+        )
+        per_user = np.asarray([1 + budget for budget in budgets], dtype=np.int64)
+        first_row = np.zeros(count, dtype=np.int64)
+        if count > 1:
+            first_row[1:] = np.cumsum(per_user[:-1])
+        plans_block = np.empty((int(per_user.sum()), horizon), dtype=np.int64)
+        plans_block[first_row] = users_block
+        groups: dict[tuple[int, int], list[int]] = {}
+        for position, budget in enumerate(budgets):
+            if budget > 0:
+                groups.setdefault(
+                    (id(self.strategies[start + position]), budget), []
+                ).append(position)
+        for (_, budget), members in groups.items():
+            strategy = self.strategies[start + members[0]]
+            chaffs = strategy.generate_batch(
+                self.chain,
+                users_block[members],
+                budget,
+                [rngs[position] for position in members],
+            )
+            for member_index, position in enumerate(members):
+                row = int(first_row[position]) + 1
+                plans_block[row : row + budget] = chaffs[member_index]
+        return users_block, plans_block
+
     def _decide_real_targets(
         self, service_cells: np.ndarray, user_cells: np.ndarray
     ) -> np.ndarray:
@@ -592,6 +855,7 @@ class FleetSimulation:
         shuffle_rng: np.random.Generator,
         evaluation_seed: np.random.SeedSequence,
         svc_windows: np.ndarray | None = None,
+        order: np.ndarray | None = None,
     ) -> FleetReport:
         # A churned service's final cell is the last one it occupied (its
         # history keeps -1 on the slots where it did not exist).
@@ -613,9 +877,13 @@ class FleetSimulation:
             )
             for row in range(histories.shape[0])
         ]
-        order = np.arange(histories.shape[0])
-        if self.config.shuffle_observations:
-            order = shuffle_rng.permutation(histories.shape[0])
+        if order is None:
+            # The streaming engine draws the permutation once at run end
+            # (the same single draw) and passes it in, because both its
+            # materialise() and its incremental evaluate() need it.
+            order = np.arange(histories.shape[0])
+            if self.config.shuffle_observations:
+                order = shuffle_rng.permutation(histories.shape[0])
         row_of_service = np.empty_like(order)
         row_of_service[order] = np.arange(order.size)
         real_rows = row_of_service[np.flatnonzero(is_real)]
@@ -649,175 +917,55 @@ class FleetSimulation:
         n_users, horizon = config.n_users, config.horizon
         budgets = config.chaffs_per_user()
 
-        # 1. All user trajectories in one vectorised chain evolution —
-        #    under the regime schedule's time-varying chain when the
-        #    world has one (the draw order is identical either way).
-        initial = np.empty(n_users, dtype=np.int64)
-        uniforms = np.empty((n_users, max(horizon - 1, 0)), dtype=float)
-        for user, rng in enumerate(user_rngs):
-            initial[user], uniforms[user] = self._sample_user(user, rng)
-        users = self.chain.evolve_from_uniforms(
-            initial, uniforms, transition_stack=self._stack
-        )
-
-        # 2. Chaff plans through generate_batch, grouped by (strategy,
-        #    budget).  Each user's chaffs consume only that user's
-        #    generator, so the grouping never changes the streams.
+        # 1 + 2. All user trajectories in one vectorised chain evolution
+        #    and chaff plans through generate_batch — one all-users block
+        #    of the shared block sampler (the streaming engine walks the
+        #    same sampler in bounded blocks; the streams are identical
+        #    because every user draws only from their own generator).
         owners, is_real, service_ids = self._service_layout(budgets)
         n_services = owners.size
-        plans = np.empty((n_services, horizon), dtype=np.int64)
-        real_row_of_user = np.flatnonzero(is_real)
-        plans[real_row_of_user] = users  # placeholder: real rows are policy-driven
-        groups: dict[tuple[int, int], list[int]] = {}
-        for user, budget in enumerate(budgets):
-            if budget > 0:
-                groups.setdefault(
-                    (id(self.strategies[user]), budget), []
-                ).append(user)
-        for (_, budget), members in groups.items():
-            strategy = self.strategies[members[0]]
-            chaffs = strategy.generate_batch(
-                self.chain,
-                users[members],
-                budget,
-                [user_rngs[user] for user in members],
-            )
-            for member_index, user in enumerate(members):
-                first = real_row_of_user[user] + 1
-                plans[first : first + budget] = chaffs[member_index]
+        users, plans = self._sample_block(0, n_users, user_rngs)
 
-        # 3 + 4. Capacity-enforced instantiation and the O(T) slot loop.
-        model = self.cost_model
+        # 3 + 4. Capacity-enforced instantiation and the O(T) slot loop,
+        #    one _FleetSlotKernel step per slot (the kernel body is the
+        #    original batch loop, verbatim; golden-seed tests pin it).
         schedule = self._schedule
-        service_migrations = np.zeros(n_services, dtype=np.int64)
-        mig_total = np.zeros(n_users, dtype=float)
-        comm_total = np.zeros(n_users, dtype=float)
-        chaff_total = np.zeros(n_users, dtype=float)
-        migrations = np.zeros(n_users, dtype=np.int64)
         per_slot = np.empty((n_users, horizon), dtype=float)
-        placement = PlacementEngine(self.topology)
+        kernel = _FleetSlotKernel(
+            self, owners, is_real, PlacementEngine(self.topology)
+        )
         svc_windows: np.ndarray | None = None
         if schedule is None:
-            # Static world: the original vectorised slot loop, untouched
-            # (golden-seed tests pin this path bit for bit).
-            cells = placement.place_initial(plans[:, 0])
+            kernel.begin_static(plans[:, 0])
             histories = np.empty((n_services, horizon), dtype=np.int64)
-            chaff_rows = np.flatnonzero(~is_real)
-            chaff_owners = owners[chaff_rows]
             for slot in range(horizon):
-                user_cells = users[:, slot]
-                desired = plans[:, slot].copy()
-                desired[real_row_of_user] = self._decide_real_targets(
-                    cells[real_row_of_user], user_cells
-                )
-                new_cells = placement.resolve_moves(cells, desired)
-                moved = np.flatnonzero(new_cells != cells)
-                if moved.size:
-                    hops = self._hops[cells[moved], new_cells[moved]]
-                    np.add.at(
-                        mig_total,
-                        owners[moved],
-                        model.migration_cost_fixed
-                        + model.migration_cost_per_hop * hops,
-                    )
-                    np.add.at(migrations, owners[moved], 1)
-                    service_migrations[moved] += 1
-                cells = new_cells
-                comm_total += (
-                    model.communication_cost_per_hop
-                    * self._hops[user_cells, cells[real_row_of_user]]
-                )
-                np.add.at(chaff_total, chaff_owners, model.chaff_running_cost)
-                histories[:, slot] = cells
-                per_slot[:, slot] = mig_total + comm_total + chaff_total
+                kernel.step_static(users[:, slot], plans[:, slot])
+                histories[:, slot] = kernel.cells
+                per_slot[:, slot] = kernel.slot_cost_totals()
         else:
-            # Dynamic world: the same slot loop with an active-service
-            # mask threaded through every kernel, plus the per-slot world
-            # transitions (departures -> capacity/evictions -> arrivals)
-            # applied before the voluntary moves.
             caps = schedule.capacities
             active_u = schedule.active_users()
             active_svc = active_u[owners]
             svc_windows = schedule.user_windows[owners]
-            placement.set_capacities(caps[0])
-            cells = np.full(n_services, -1, dtype=np.int64)
-            rows0 = np.flatnonzero(active_svc[:, 0])
-            cells[rows0] = placement.place_initial(plans[rows0, 0])
+            kernel.begin_dynamic(plans[:, 0], active_svc[:, 0], caps[0])
             histories = np.full((n_services, horizon), -1, dtype=np.int64)
             for slot in range(horizon):
-                live = active_svc[:, slot]
-                if slot > 0:
-                    prev = active_svc[:, slot - 1]
-                    departed = np.flatnonzero(prev & ~live)
-                    if departed.size:
-                        placement.release(cells[departed])
-                        cells[departed] = -1
-                    if not np.array_equal(caps[slot], caps[slot - 1]):
-                        placement.set_capacities(caps[slot])
-                        new_cells, moved = placement.evict_overloaded(
-                            cells, prev & live
-                        )
-                        if moved.size:
-                            hops = self._hops[cells[moved], new_cells[moved]]
-                            np.add.at(
-                                mig_total,
-                                owners[moved],
-                                model.migration_cost_fixed
-                                + model.migration_cost_per_hop * hops,
-                            )
-                            np.add.at(migrations, owners[moved], 1)
-                            service_migrations[moved] += 1
-                            cells = new_cells
-                    arriving = np.flatnonzero(live & ~prev)
-                    if arriving.size:
-                        cells[arriving] = placement.admit_arrivals(
-                            plans[arriving, slot]
-                        )
-                user_cells = users[:, slot]
-                active_now = active_u[:, slot]
-                live_rows = np.flatnonzero(live)
-                desired = plans[:, slot].copy()
-                real_live = real_row_of_user[active_now]
-                desired[real_live] = self._decide_real_targets(
-                    cells[real_live], user_cells[active_now]
+                live_rows = kernel.step_dynamic(
+                    users[:, slot],
+                    plans[:, slot],
+                    active_svc[:, slot],
+                    caps[slot],
+                    active_u[:, slot],
                 )
-                new_sub = placement.resolve_moves(
-                    cells[live_rows], desired[live_rows]
-                )
-                moved_sub = np.flatnonzero(new_sub != cells[live_rows])
-                if moved_sub.size:
-                    moved = live_rows[moved_sub]
-                    hops = self._hops[cells[moved], new_sub[moved_sub]]
-                    np.add.at(
-                        mig_total,
-                        owners[moved],
-                        model.migration_cost_fixed
-                        + model.migration_cost_per_hop * hops,
-                    )
-                    np.add.at(migrations, owners[moved], 1)
-                    service_migrations[moved] += 1
-                cells[live_rows] = new_sub
-                users_active = np.flatnonzero(active_now)
-                comm_total[users_active] += (
-                    model.communication_cost_per_hop
-                    * self._hops[
-                        user_cells[users_active],
-                        cells[real_row_of_user[users_active]],
-                    ]
-                )
-                live_chaffs = live_rows[~is_real[live_rows]]
-                np.add.at(
-                    chaff_total, owners[live_chaffs], model.chaff_running_cost
-                )
-                histories[live_rows, slot] = cells[live_rows]
-                per_slot[:, slot] = mig_total + comm_total + chaff_total
+                histories[live_rows, slot] = kernel.cells[live_rows]
+                per_slot[:, slot] = kernel.slot_cost_totals()
 
         ledgers = [
             CostLedger(
-                migration_total=float(mig_total[user]),
-                communication_total=float(comm_total[user]),
-                chaff_total=float(chaff_total[user]),
-                migrations=int(migrations[user]),
+                migration_total=float(kernel.mig_total[user]),
+                communication_total=float(kernel.comm_total[user]),
+                chaff_total=float(kernel.chaff_total[user]),
+                migrations=int(kernel.migrations[user]),
                 slots=horizon,
                 _per_slot=per_slot[user].tolist(),
             )
@@ -829,9 +977,9 @@ class FleetSimulation:
             owners,
             is_real,
             service_ids,
-            service_migrations,
+            kernel.service_migrations,
             ledgers,
-            placement.stats,
+            kernel.placement.stats,
             shuffle_rng,
             evaluation_seed,
             svc_windows,
@@ -1078,10 +1226,12 @@ class FleetStatistics:
 
 def _fleet_shard_worker(task) -> list[tuple]:
     """Replay one contiguous shard of the fleet runs (module-level for pools)."""
-    simulation, detector, seed, start, stop, engine = task
+    simulation, detector, seed, start, stop, engine, chunk_slots, regions = task
     metrics = []
     for child in spawn_sequences_range(seed, start, stop):
-        report = simulation.run(child, engine=engine)
+        report = simulation.run(
+            child, engine=engine, chunk_slots=chunk_slots, regions=regions
+        )
         evaluation = report.evaluate(simulation.chain, detector)
         metrics.append(
             (
@@ -1106,13 +1256,17 @@ def run_fleet_monte_carlo(
     detector: TrajectoryDetector | None = None,
     workers: int = 1,
     engine: str = "batch",
+    chunk_slots: int = 64,
+    regions: int = 1,
 ) -> FleetStatistics:
     """Monte-Carlo a fleet simulation, optionally sharded over workers.
 
     Every run derives from child ``k`` of ``seed`` regardless of the
     worker count (workers respawn their shard's children by index, as in
     :mod:`repro.sim.parallel`), so ``workers=N`` is bit-identical to
-    serial execution for any ``N`` (``0`` = all cores).
+    serial execution for any ``N`` (``0`` = all cores).  ``chunk_slots``
+    and ``regions`` only apply to ``engine="stream"`` and, like the
+    engine and worker count, never change the numbers.
     """
     if n_runs < 1:
         raise ValueError("n_runs must be positive")
@@ -1130,7 +1284,16 @@ def run_fleet_monte_carlo(
             "serially in run order"
         )
     tasks = [
-        (simulation, detector, seed, shard.start, shard.stop, engine)
+        (
+            simulation,
+            detector,
+            seed,
+            shard.start,
+            shard.stop,
+            engine,
+            chunk_slots,
+            regions,
+        )
         for shard in shard_slices(n_runs, workers)
     ]
     shards = parallel_map(_fleet_shard_worker, tasks, workers=len(tasks))

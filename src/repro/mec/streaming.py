@@ -1,0 +1,670 @@
+"""Streaming fleet engine: bounded-memory horizon chunks.
+
+:class:`~repro.mec.fleet.FleetSimulation`'s batch engine materialises the
+full ``(N, T)`` observation plane (and per-user ``(M, T)`` cost curves)
+before anything is scored, which caps the reproduction at M≈10² users.
+The paper's privacy guarantees are population effects — detection falls
+like ~1/N as chaffs and crowd blend — so the interesting regime is
+exactly the one the monolithic engine cannot reach.  This module runs
+the *same* simulation as a streaming pipeline:
+
+* **Sampling** walks the fleet in bounded user blocks through the shared
+  :meth:`~repro.mec.fleet.FleetSimulation._sample_block` sampler and
+  spills trajectories and chaff plans into disk-backed memmap planes of
+  an :class:`~repro.sim.cache.EpisodeStore` (every user draws only from
+  their own generator, so block sampling is bit-identical to whole-fleet
+  sampling).
+* **The slot loop** advances the horizon in fixed-size chunks of
+  ``chunk_slots`` slots, driving the same
+  :class:`~repro.mec.fleet._FleetSlotKernel` the batch engine drives —
+  bit-identity by construction — while holding only ``(N, chunk)``
+  planes; completed chunk planes and carry-over state snapshots are
+  committed to the store, so an interrupted episode resumes from its
+  last complete chunk.  Dynamic worlds compile their schedule lazily per
+  chunk (:meth:`~repro.world.timeline.Timeline.compile_window`), never
+  materialising the ``(M, T)`` activity mask.
+* **Placement** optionally shards by topology region
+  (:class:`~repro.mec.placement.ShardedPlacementEngine`): independent
+  regions settle concurrently, cross-region spills fall back to the
+  serial walk, and the outcome stays bit-identical to the serial engine.
+
+:meth:`StreamingFleetReport.materialise` folds the chunks back into an
+ordinary :class:`~repro.mec.fleet.FleetReport` (bit-identical to the
+batch engine's, including evaluations) for the small-``M`` contract;
+:meth:`StreamingFleetReport.evaluate` scores detectors chunk-by-chunk
+without ever materialising the plane — same choices, with scores
+accumulated per chunk (equal to within float summation order).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Iterator
+
+import numpy as np
+
+from ..core.eavesdropper.detector import (
+    MaximumLikelihoodDetector,
+    RandomGuessDetector,
+    TrajectoryDetector,
+)
+from ..mobility.markov import MarkovChain
+from ..numerics import safe_log
+from ..sim.cache import EpisodeStore
+from ..sim.seeding import as_seed_sequence
+from .costs import CostLedger
+from .fleet import (
+    FleetEvaluation,
+    FleetReport,
+    FleetSimulation,
+    _FleetSlotKernel,
+    materialise_full_plane,
+)
+from .placement import PlacementEngine, PlacementStats, ShardedPlacementEngine
+
+__all__ = ["StreamingFleetEngine", "StreamingFleetReport", "DEFAULT_CHUNK_SLOTS"]
+
+#: Default number of slots advanced per chunk.
+DEFAULT_CHUNK_SLOTS = 64
+
+#: Target element budget of one sampling block (users x horizon x
+#: services-per-user); blocks shrink as the horizon grows, keeping the
+#: sampler's heap roughly constant in ``T``.
+_BLOCK_TARGET_ELEMS = 1 << 20
+
+
+class StreamingFleetReport:
+    """Handle onto one streamed episode: totals in memory, planes on disk.
+
+    Everything O(M) or O(N) — cost totals, migration counters, placement
+    stats, the presentation permutation, service windows — lives on the
+    report; everything O(N x T) stays in the :class:`EpisodeStore` and is
+    reached through :meth:`iter_plane_chunks`, :meth:`evaluate` (chunked
+    scoring) or :meth:`materialise` (guarded full-plane reconstruction).
+    """
+
+    def __init__(
+        self,
+        simulation: FleetSimulation,
+        store: EpisodeStore,
+        *,
+        owns_store: bool,
+        chunk_slots: int,
+        owners: np.ndarray,
+        is_real: np.ndarray,
+        service_ids: np.ndarray,
+        order: np.ndarray,
+        mig_total: np.ndarray,
+        comm_total: np.ndarray,
+        chaff_total: np.ndarray,
+        migrations: np.ndarray,
+        service_migrations: np.ndarray,
+        placement: PlacementStats,
+        evaluation_seed: np.random.SeedSequence,
+        svc_windows: np.ndarray | None,
+    ) -> None:
+        self.simulation = simulation
+        self.store = store
+        self.owns_store = owns_store
+        self.chunk_slots = int(chunk_slots)
+        self.owners = owners
+        self.is_real = is_real
+        self.service_ids = service_ids
+        self.order = order
+        self.mig_total = mig_total
+        self.comm_total = comm_total
+        self.chaff_total = chaff_total
+        self.migrations = migrations
+        self.service_migrations = service_migrations
+        self.placement = placement
+        self.evaluation_seed = evaluation_seed
+        self.svc_windows = svc_windows
+
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Number of simulated users ``M``."""
+        return int(self.mig_total.size)
+
+    @property
+    def n_services(self) -> int:
+        """Number of services ``N`` on the observation plane."""
+        return int(self.owners.size)
+
+    @property
+    def horizon(self) -> int:
+        """Number of simulated slots ``T``."""
+        return int(self.store.meta["horizon"])
+
+    @property
+    def per_user_cost(self) -> np.ndarray:
+        """Length-``M`` array of per-user total costs."""
+        return self.mig_total + self.comm_total + self.chaff_total
+
+    @property
+    def total_cost(self) -> float:
+        """Fleet-wide cost."""
+        return float(self.per_user_cost.sum())
+
+    @property
+    def total_migrations(self) -> int:
+        """Fleet-wide migration count."""
+        return int(self.migrations.sum())
+
+    def iter_plane_chunks(self) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(start, stop, chunk)`` observation-plane chunks.
+
+        Chunks are ``(N, stop - start)`` arrays in *presentation order*
+        (the shuffled order an eavesdropper would see), ascending in
+        time; churned rows hold ``-1`` on dead slots.
+        """
+        for index, chunk in self.store.iter_chunks("histories"):
+            start = index * self.chunk_slots
+            yield start, start + chunk.shape[1], chunk[self.order]
+
+    def close(self) -> None:
+        """Release the episode store (deleted when owned by this run)."""
+        if self.owns_store:
+            self.store.destroy()
+
+    # ------------------------------------------------------------------
+    def materialise(self) -> FleetReport:
+        """Fold the spilled chunks back into an ordinary full report.
+
+        The result is bit-identical to the batch engine's report for the
+        same seed — planes, ledgers, placement stats and (since the
+        standard :meth:`FleetReport.evaluate` runs on it) evaluations.
+        Allocation goes through the guarded
+        :func:`~repro.mec.fleet.materialise_full_plane` helper, so a
+        city-scale episode refuses to materialise instead of thrashing.
+        """
+        sim = self.simulation
+        n_users, n_services = self.n_users, self.n_services
+        horizon = self.horizon
+        fill = None if self.svc_windows is None else -1
+        histories = materialise_full_plane(
+            (n_services, horizon), dtype=np.int64, fill=fill
+        )
+        for index, chunk in self.store.iter_chunks("histories"):
+            start = index * self.chunk_slots
+            histories[:, start : start + chunk.shape[1]] = chunk
+        per_slot = materialise_full_plane((n_users, horizon), dtype=float)
+        for index, chunk in self.store.iter_chunks("per_slot"):
+            start = index * self.chunk_slots
+            per_slot[:, start : start + chunk.shape[1]] = chunk
+        users = materialise_full_plane((n_users, horizon), dtype=np.int64)
+        users[:] = self.store.open_plane("users")
+        ledgers = [
+            CostLedger(
+                migration_total=float(self.mig_total[user]),
+                communication_total=float(self.comm_total[user]),
+                chaff_total=float(self.chaff_total[user]),
+                migrations=int(self.migrations[user]),
+                slots=horizon,
+                _per_slot=per_slot[user].tolist(),
+            )
+            for user in range(n_users)
+        ]
+        return sim._build_report(
+            users,
+            histories,
+            self.owners,
+            self.is_real,
+            self.service_ids,
+            self.service_migrations,
+            ledgers,
+            self.placement,
+            None,  # shuffle_rng unused: the permutation was drawn at run end
+            self.evaluation_seed,
+            self.svc_windows,
+            order=self.order,
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental evaluation: chunked prefix-LL scoring
+    # ------------------------------------------------------------------
+    def _masked(self) -> bool:
+        return self.svc_windows is not None and (
+            bool(np.any(self.svc_windows[:, 0] != 0))
+            or bool(np.any(self.svc_windows[:, 1] != self.horizon))
+        )
+
+    def _stack_slice(self, start: int, stop: int) -> np.ndarray | None:
+        """Per-step matrices governing transitions into ``[start, stop)``."""
+        stack = self.simulation._stack
+        if stack is None:
+            return None
+        first = max(start, 1)
+        return stack[first - 1 : stop - 1]
+
+    def _score_chunks(self, chain: MarkovChain) -> np.ndarray:
+        """Per-row log-likelihood scores, accumulated chunk by chunk.
+
+        Rows are scored in service-id order (chunks are stored that way)
+        and permuted into presentation order at the end.  The values
+        match the monolithic scorers up to float summation order: each
+        chunk's step terms are summed locally and added to a running
+        total, where the batch path sums all ``T - 1`` terms in one
+        pairwise reduction — same choices in practice, asserted
+        ``allclose`` (not bit-equal) by the tests.
+        """
+        n = self.n_services
+        masked = self._masked()
+        scores = np.zeros(n, dtype=float)
+        observed = np.zeros(n, dtype=np.int64)
+        seen = np.zeros(n, dtype=bool)
+        prev_col: np.ndarray | None = None
+        prev_mask: np.ndarray | None = None
+        for index, chunk in self.store.iter_chunks("histories"):
+            start = index * self.chunk_slots
+            stop = start + chunk.shape[1]
+            mask = chunk >= 0
+            if masked:
+                visible = mask.any(axis=1)
+                newly = visible & ~seen
+                if np.any(newly):
+                    first_cell = chunk[
+                        np.arange(n), np.argmax(mask, axis=1)
+                    ]
+                    scores[newly] += chain.log_stationary[
+                        np.clip(first_cell[newly], 0, None)
+                    ]
+                seen |= visible
+                observed += mask.sum(axis=1)
+            elif start == 0:
+                scores += chain.log_stationary[chunk[:, 0]]
+            if start == 0:
+                prev_cells = chunk[:, :-1]
+                next_cells = chunk[:, 1:]
+                prev_valid = mask[:, :-1]
+                next_valid = mask[:, 1:]
+            else:
+                prev_cells = np.concatenate([prev_col[:, None], chunk[:, :-1]], axis=1)
+                next_cells = chunk
+                prev_valid = np.concatenate([prev_mask[:, None], mask[:, :-1]], axis=1)
+                next_valid = mask
+            if next_cells.shape[1]:
+                stack_w = self._stack_slice(start, stop)
+                pc = np.clip(prev_cells, 0, None)
+                nc = np.clip(next_cells, 0, None)
+                if stack_w is None:
+                    step_logs = chain.log_transition_entries(pc, nc)
+                else:
+                    step_logs = safe_log(stack_w)[
+                        np.arange(stack_w.shape[0]), pc, nc
+                    ]
+                if masked:
+                    valid = prev_valid & next_valid
+                    scores += np.where(valid, step_logs, 0.0).sum(axis=1)
+                else:
+                    scores += step_logs.sum(axis=1)
+            prev_col = chunk[:, -1]
+            prev_mask = mask[:, -1]
+        if masked:
+            scores = np.where(
+                observed > 0, scores / np.maximum(observed, 1), -np.inf
+            )
+        return scores[self.order]
+
+    def evaluate(
+        self,
+        chain: MarkovChain,
+        detector: TrajectoryDetector,
+        seed: "int | np.random.SeedSequence | None" = None,
+    ) -> FleetEvaluation:
+        """Score a detector per user without materialising the plane.
+
+        The chunked counterpart of :meth:`FleetReport.evaluate`: scores
+        accumulate per chunk through the same prefix-LL recurrences the
+        monolithic detectors evaluate in one shot, tie-breaks consume one
+        draw per user generator in the same order, and tracking is an
+        exact integer count.  Detector support matches the churned-plane
+        path (maximum-likelihood and random-guess detectors); for other
+        detectors, :meth:`materialise` first.
+        """
+        if seed is None:
+            seed = self.evaluation_seed
+        root = as_seed_sequence(seed)
+        n_users = self.n_users
+        n = self.n_services
+        rngs = [np.random.default_rng(child) for child in root.spawn(n_users)]
+        if isinstance(detector, RandomGuessDetector):
+            chosen = np.array(
+                [int(rng.integers(0, n)) for rng in rngs], dtype=np.int64
+            )
+        elif isinstance(detector, MaximumLikelihoodDetector):
+            scores = self._score_chunks(chain)
+            candidates = np.flatnonzero(
+                scores >= float(scores.max()) - detector.tolerance
+            )
+            chosen = np.array(
+                [int(rng.choice(candidates)) for rng in rngs], dtype=np.int64
+            )
+        else:
+            raise NotImplementedError(
+                f"detector {detector.name!r} cannot score a streamed plane "
+                "chunk by chunk; materialise() the report first"
+            )
+        # Tracking: exact integer counts accumulated per chunk.
+        masked = self._masked()
+        real_rows_id = np.flatnonzero(self.is_real)
+        row_of_service = np.empty_like(self.order)
+        row_of_service[self.order] = np.arange(n)
+        real_rows = row_of_service[real_rows_id]
+        chosen_id = self.order[chosen]
+        tracked_counts = np.zeros(n_users, dtype=np.int64)
+        window_counts = np.zeros(n_users, dtype=np.int64)
+        user_windows = (
+            self.svc_windows[real_rows_id] if self.svc_windows is not None else None
+        )
+        users_plane = self.store.open_plane("users")
+        for index, chunk in self.store.iter_chunks("histories"):
+            start = index * self.chunk_slots
+            stop = start + chunk.shape[1]
+            user_cols = np.asarray(users_plane[:, start:stop])
+            equal = chunk[chosen_id] == user_cols
+            if masked:
+                slots = np.arange(start, stop)
+                in_window = (user_windows[:, :1] <= slots) & (
+                    slots < user_windows[:, 1:]
+                )
+                tracked_counts += (equal & in_window).sum(axis=1)
+                window_counts += in_window.sum(axis=1)
+            else:
+                tracked_counts += equal.sum(axis=1)
+        del users_plane
+        if masked:
+            tracking = tracked_counts / window_counts
+        else:
+            tracking = tracked_counts / self.horizon
+        return FleetEvaluation(
+            chosen_rows=chosen,
+            tracking_per_user=tracking,
+            detected_per_user=(chosen == real_rows).astype(float),
+        )
+
+
+class StreamingFleetEngine:
+    """Advances a :class:`FleetSimulation` in bounded-memory slot chunks.
+
+    Parameters
+    ----------
+    simulation:
+        The fleet to run; results are bit-identical to
+        ``simulation.run(seed, engine="batch")`` for any chunk size,
+        region count and worker count.
+    chunk_slots:
+        Slots advanced (and spilled) per chunk.
+    regions:
+        Topology regions for sharded placement (1 = the serial engine).
+    region_workers:
+        Threads settling independent regions concurrently.
+    store:
+        Episode store to spill into; ``None`` creates an ephemeral
+        temporary store owned (and deleted) by the resulting report.
+        Pass a persistent store to make the episode resumable: a rerun
+        with the same seed continues from the last committed chunk.
+    """
+
+    def __init__(
+        self,
+        simulation: FleetSimulation,
+        *,
+        chunk_slots: int = DEFAULT_CHUNK_SLOTS,
+        regions: int = 1,
+        region_workers: int = 1,
+        store: EpisodeStore | None = None,
+    ) -> None:
+        if chunk_slots < 1:
+            raise ValueError("chunk_slots must be positive")
+        if regions < 1:
+            raise ValueError("regions must be positive")
+        if region_workers < 1:
+            raise ValueError("region_workers must be positive")
+        self.simulation = simulation
+        self.chunk_slots = int(chunk_slots)
+        self.regions = int(regions)
+        self.region_workers = int(region_workers)
+        self._store = store
+
+    # ------------------------------------------------------------------
+    def _placement(self) -> PlacementEngine:
+        if self.regions > 1:
+            return ShardedPlacementEngine(
+                self.simulation.topology,
+                regions=self.regions,
+                workers=self.region_workers,
+            )
+        return PlacementEngine(self.simulation.topology)
+
+    def _sample(
+        self,
+        store: EpisodeStore,
+        user_rngs: "list[np.random.Generator]",
+    ) -> None:
+        """Phase A: spill trajectories and plans in bounded user blocks."""
+        sim = self.simulation
+        config = sim.config
+        n_users, horizon = config.n_users, config.horizon
+        budgets = config.chaffs_per_user()
+        per_user = np.asarray([1 + budget for budget in budgets], dtype=np.int64)
+        users_plane = store.create_plane("users", (n_users, horizon))
+        plans_plane = store.create_plane(
+            "plans", (int(per_user.sum()), horizon)
+        )
+        widest = int(per_user.max())
+        block = max(1, _BLOCK_TARGET_ELEMS // max(horizon * widest, 1))
+        row = 0
+        for start in range(0, n_users, block):
+            stop = min(start + block, n_users)
+            users_block, plans_block = sim._sample_block(
+                start, stop, user_rngs[start:stop]
+            )
+            users_plane[start:stop] = users_block
+            plans_plane[row : row + plans_block.shape[0]] = plans_block
+            row += plans_block.shape[0]
+        users_plane.flush()
+        plans_plane.flush()
+        del users_plane, plans_plane
+        store.update_meta(sampled=True)
+
+    def _restore_kernel(
+        self, kernel: _FleetSlotKernel, carry: dict[str, np.ndarray]
+    ) -> None:
+        kernel.cells = carry["cells"].astype(np.int64)
+        kernel.mig_total = carry["mig_total"].astype(float)
+        kernel.comm_total = carry["comm_total"].astype(float)
+        kernel.chaff_total = carry["chaff_total"].astype(float)
+        kernel.migrations = carry["migrations"].astype(np.int64)
+        kernel.service_migrations = carry["service_migrations"].astype(np.int64)
+        if "prev_live" in carry:
+            kernel.prev_live = carry["prev_live"].astype(bool)
+            kernel.prev_caps = carry["prev_caps"].astype(np.int64)
+        placement = kernel.placement
+        placement.load = carry["load"].astype(np.int64)
+        placement.capacities = carry["capacities"].astype(np.int64)
+        counters = carry["placement_stats"].astype(np.int64)
+        placement.stats = PlacementStats(*(int(value) for value in counters))
+
+    def _save_kernel(
+        self, store: EpisodeStore, index: int, kernel: _FleetSlotKernel
+    ) -> None:
+        arrays: dict[str, np.ndarray] = {
+            "cells": kernel.cells,
+            "mig_total": kernel.mig_total,
+            "comm_total": kernel.comm_total,
+            "chaff_total": kernel.chaff_total,
+            "migrations": kernel.migrations,
+            "service_migrations": kernel.service_migrations,
+            "load": kernel.placement.load,
+            "capacities": kernel.placement.capacities,
+            "placement_stats": np.asarray(
+                [
+                    kernel.placement.stats.admitted,
+                    kernel.placement.stats.spilled,
+                    kernel.placement.stats.rejected,
+                    kernel.placement.stats.evicted,
+                    kernel.placement.stats.stranded,
+                ],
+                dtype=np.int64,
+            ),
+        }
+        if kernel.prev_live is not None:
+            arrays["prev_live"] = kernel.prev_live.astype(np.uint8)
+            arrays["prev_caps"] = kernel.prev_caps
+        store.save_state(index, **arrays)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        seed: "int | np.random.SeedSequence",
+        *,
+        stop_after_chunks: int | None = None,
+    ) -> StreamingFleetReport | None:
+        """Stream one episode; returns ``None`` if stopped before the end.
+
+        ``stop_after_chunks`` bounds how many *new* chunks this call
+        advances (for tests and cooperative scheduling); a later call
+        with the same seed and store resumes from the last committed
+        chunk and finishes the episode.
+        """
+        sim = self.simulation
+        config = sim.config
+        n_users, horizon = config.n_users, config.horizon
+        budgets = config.chaffs_per_user()
+        root = as_seed_sequence(seed)
+        children = root.spawn(n_users + 2)
+        user_rngs = [np.random.default_rng(child) for child in children[:n_users]]
+        shuffle_rng = np.random.default_rng(children[n_users])
+        evaluation_seed = children[n_users + 1]
+
+        owns_store = self._store is None
+        store = self._store or EpisodeStore(
+            tempfile.mkdtemp(prefix="repro-episode-")
+        )
+        identity = {
+            "entropy": str(root.entropy),
+            "spawn_key": [int(part) for part in root.spawn_key],
+            "n_users": n_users,
+            "horizon": horizon,
+            "chunk_slots": self.chunk_slots,
+        }
+        meta = store.meta
+        for key, value in identity.items():
+            if key in meta and meta[key] != value:
+                raise ValueError(
+                    f"episode store holds a different episode: {key} is "
+                    f"{meta[key]!r}, this run needs {value!r}"
+                )
+        store.update_meta(**identity)
+
+        owners, is_real, service_ids = sim._service_layout(budgets)
+        n_services = owners.size
+        if not store.meta.get("sampled"):
+            self._sample(store, user_rngs)
+
+        dynamic = sim._schedule is not None
+        svc_windows = (
+            sim._schedule.user_windows[owners] if dynamic else None
+        )
+        kernel = _FleetSlotKernel(sim, owners, is_real, self._placement())
+        n_chunks = -(-horizon // self.chunk_slots)
+        committed = set(store.completed("histories"))
+        resume_from = 0
+        while resume_from in committed:
+            resume_from += 1
+        if resume_from > 0:
+            self._restore_kernel(kernel, store.load_state(resume_from - 1))
+
+        users_plane = store.open_plane("users")
+        plans_plane = store.open_plane("plans")
+        advanced = 0
+        for chunk in range(resume_from, n_chunks):
+            start = chunk * self.chunk_slots
+            stop = min(start + self.chunk_slots, horizon)
+            width = stop - start
+            user_cols = np.asarray(users_plane[:, start:stop])
+            plan_cols = np.asarray(plans_plane[:, start:stop])
+            per_slot_chunk = np.empty((n_users, width), dtype=float)
+            if dynamic:
+                window = sim.timeline.compile_window(
+                    start,
+                    stop,
+                    horizon=horizon,
+                    n_cells=sim.topology.n_cells,
+                    n_users=n_users,
+                    base_capacities=sim.topology.base_capacities(),
+                    base_chain=sim.chain,
+                )
+                caps_w = window.capacities
+                active_u_w = window.active_users()
+                active_svc_w = active_u_w[owners]
+                hist_chunk = np.full((n_services, width), -1, dtype=np.int64)
+                if start == 0:
+                    kernel.begin_dynamic(
+                        plan_cols[:, 0], active_svc_w[:, 0], caps_w[0]
+                    )
+                for local in range(width):
+                    live_rows = kernel.step_dynamic(
+                        user_cols[:, local],
+                        plan_cols[:, local],
+                        active_svc_w[:, local],
+                        caps_w[local],
+                        active_u_w[:, local],
+                    )
+                    hist_chunk[live_rows, local] = kernel.cells[live_rows]
+                    per_slot_chunk[:, local] = kernel.slot_cost_totals()
+            else:
+                hist_chunk = np.empty((n_services, width), dtype=np.int64)
+                if start == 0:
+                    kernel.begin_static(plan_cols[:, 0])
+                for local in range(width):
+                    kernel.step_static(user_cols[:, local], plan_cols[:, local])
+                    hist_chunk[:, local] = kernel.cells
+                    per_slot_chunk[:, local] = kernel.slot_cost_totals()
+            store.append_chunk("histories", chunk, hist_chunk)
+            store.append_chunk("per_slot", chunk, per_slot_chunk)
+            self._save_kernel(store, chunk, kernel)
+            advanced += 1
+            if (
+                stop_after_chunks is not None
+                and advanced >= stop_after_chunks
+                and chunk + 1 < n_chunks
+            ):
+                del users_plane, plans_plane
+                return None
+        del users_plane, plans_plane
+
+        if resume_from >= n_chunks:
+            # Fully resumed episode: the totals live in the last carry.
+            self._restore_kernel(kernel, store.load_state(n_chunks - 1))
+        order = np.arange(n_services)
+        if config.shuffle_observations:
+            order = shuffle_rng.permutation(n_services)
+        return StreamingFleetReport(
+            sim,
+            store,
+            owns_store=owns_store,
+            chunk_slots=self.chunk_slots,
+            owners=owners,
+            is_real=is_real,
+            service_ids=service_ids,
+            order=order,
+            mig_total=kernel.mig_total,
+            comm_total=kernel.comm_total,
+            chaff_total=kernel.chaff_total,
+            migrations=kernel.migrations,
+            service_migrations=kernel.service_migrations,
+            placement=kernel.placement.stats,
+            evaluation_seed=evaluation_seed,
+            svc_windows=svc_windows,
+        )
+
+    def run_to_report(self, seed: "int | np.random.SeedSequence") -> FleetReport:
+        """Stream the episode and materialise an ordinary full report."""
+        streamed = self.run(seed)
+        assert streamed is not None  # no stop_after_chunks: always completes
+        try:
+            return streamed.materialise()
+        finally:
+            streamed.close()

@@ -261,6 +261,14 @@ class FleetExperimentConfig:
         Markov-chain storage backend (``"dense"``, ``"sparse"`` or
         ``"auto"``); bit-identical results, sparse wins at large
         ``n_cells``.
+    stream:
+        Run fleet episodes through the streaming engine (bounded-memory
+        horizon chunks); bit-identical to the batch engine.
+    chunk_slots:
+        Slots per streaming chunk (only used with ``stream=True``).
+    regions:
+        Topology regions for sharded placement (only used with
+        ``stream=True``; 1 = serial placement).
     """
 
     n_users: int = 50
@@ -277,6 +285,9 @@ class FleetExperimentConfig:
     engine: str = "batch"
     workers: int = 1
     backend: str = "dense"
+    stream: bool = False
+    chunk_slots: int = 64
+    regions: int = 1
 
     def __post_init__(self) -> None:
         if self.n_users < 1:
@@ -297,6 +308,10 @@ class FleetExperimentConfig:
             raise ValueError("workers must be non-negative (0 = all cores)")
         if self.backend not in ("dense", "sparse", "auto"):
             raise ValueError("backend must be 'dense', 'sparse' or 'auto'")
+        if self.chunk_slots < 1:
+            raise ValueError("chunk_slots must be positive")
+        if self.regions < 1:
+            raise ValueError("regions must be positive")
         # Feasibility is validated for the sweep points the experiment
         # actually runs, not just the nominal (n_users, site_capacity)
         # point, so an infeasible config fails here with a clear message
@@ -390,6 +405,9 @@ class FleetExperimentConfig:
             engine=self.engine,
             workers=self.workers,
             backend=self.backend,
+            stream=self.stream,
+            chunk_slots=self.chunk_slots,
+            regions=self.regions,
         )
 
 

@@ -374,9 +374,24 @@ class TestResultCache:
         assert cache.get(key_c) is None
 
     def test_execution_only_keys_shared(self):
-        assert set(EXECUTION_ONLY_KEYS) == {"engine", "workers", "backend"}
+        assert set(EXECUTION_ONLY_KEYS) == {
+            "engine",
+            "workers",
+            "backend",
+            "stream",
+            "chunk_slots",
+            "regions",
+        }
         base = {"n_runs": 3, "engine": "batch", "workers": 1, "backend": "dense"}
-        variant = {"n_runs": 3, "engine": "loop", "workers": 8, "backend": "sparse"}
+        variant = {
+            "n_runs": 3,
+            "engine": "loop",
+            "workers": 8,
+            "backend": "sparse",
+            "stream": True,
+            "chunk_slots": 7,
+            "regions": 4,
+        }
         assert experiment_cache_key("dummy", base) == experiment_cache_key(
             "dummy", variant
         )

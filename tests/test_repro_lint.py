@@ -37,6 +37,7 @@ _SCOPED_PATH = {
     "RPL003": "src/repro/analysis/loglik.py",
     "RPL004": "src/repro/mobility/sparse.py",
     "RPL005": "src/repro/sim/runner.py",
+    "RPL007": "src/repro/mec/fleet.py",
 }
 
 
@@ -60,6 +61,7 @@ class TestRuleFixtures:
             ("rpl003_bad", 2),  # .transition_matrix, ._log_transition
             ("rpl004_bad", 1),  # unguarded .toarray()
             ("rpl005_bad", 3),  # time.time, datetime.now, bare default_rng()
+            ("rpl007_bad", 2),  # np.empty 3-tuple, np.zeros shape= 3-tuple
         ],
     )
     def test_positive_fixtures_are_flagged(self, name, expected):
@@ -69,7 +71,14 @@ class TestRuleFixtures:
 
     @pytest.mark.parametrize(
         "name",
-        ["rpl001_good", "rpl002_good", "rpl003_good", "rpl004_good", "rpl005_good"],
+        [
+            "rpl001_good",
+            "rpl002_good",
+            "rpl003_good",
+            "rpl004_good",
+            "rpl005_good",
+            "rpl007_good",
+        ],
     )
     def test_negative_fixtures_are_clean(self, name):
         assert lint_fixture(name) == []
@@ -82,6 +91,7 @@ class TestRuleFixtures:
             "rpl003_disabled",
             "rpl004_disabled",
             "rpl005_disabled",
+            "rpl007_disabled",
         ],
     )
     def test_disable_comments_suppress(self, name):
@@ -112,6 +122,9 @@ class TestRuleScoping:
             ("rpl004_bad", "benchmarks/conftest.py"),  # only inside repro/
             ("rpl005_bad", "src/repro/analysis/information.py"),  # pure layers only
             ("rpl005_bad", "examples/demo.py"),
+            ("rpl007_bad", "src/repro/analysis/planes.py"),  # plane layers only
+            ("rpl007_bad", "tests/test_fleet.py"),  # only inside repro/
+            ("rpl007_bad", "benchmarks/test_bench_fleet.py"),
         ],
     )
     def test_out_of_scope_paths_are_clean(self, name, out_of_scope_path):
@@ -121,6 +134,11 @@ class TestRuleScoping:
     def test_rpl005_covers_every_pure_layer(self, layer):
         findings = lint_source(fixture("rpl005_bad"), f"src/repro/{layer}/module.py")
         assert {f.code for f in findings} == {"RPL005"}
+
+    @pytest.mark.parametrize("layer", ["mec", "adversary", "world", "sim"])
+    def test_rpl007_covers_every_plane_layer(self, layer):
+        findings = lint_source(fixture("rpl007_bad"), f"src/repro/{layer}/module.py")
+        assert {f.code for f in findings} == {"RPL007"}
 
 
 class TestDisableDirectives:
@@ -237,6 +255,26 @@ class TestConfigContract:
         assert len(findings) == 1
         assert findings[0].code == "RPL006"
         assert fragment in findings[0].message
+
+    def test_execution_only_fields_never_reach_cache_keys(self):
+        # The probe in _check_one guards this invariant for every registered
+        # config; exercise it concretely for the fleet config and the
+        # streaming knobs it grew.
+        from repro.sim.cache import EXECUTION_ONLY_KEYS, experiment_cache_key
+        from repro.sim.config import FleetExperimentConfig
+
+        assert {"stream", "chunk_slots", "regions"} <= set(EXECUTION_ONLY_KEYS)
+        base = FleetExperimentConfig().to_dict()
+        key = experiment_cache_key("fleet", base)
+        assert key is not None
+        for field in EXECUTION_ONLY_KEYS:
+            probed = dict(base)
+            probed[field] = "__probe__"
+            assert experiment_cache_key("fleet", probed) == key, field
+        streamed = FleetExperimentConfig(
+            stream=True, chunk_slots=7, regions=4
+        ).to_dict()
+        assert experiment_cache_key("fleet", streamed) == key
 
     def test_registry_config_example_round_trips(self):
         # One concrete registered config, exercised the way the cache does.

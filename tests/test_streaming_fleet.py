@@ -1,0 +1,657 @@
+"""Tests for the streaming, region-sharded fleet engine.
+
+The load-bearing contract is **chunk-boundary bit-identity**: for any
+chunk size (including 1, a prime that straddles every event, the whole
+horizon, and larger-than-the-horizon), any region count and any worker
+count, the streaming engine reproduces the batch engine's report
+bit-for-bit — planes, ledgers, placement stats and evaluations — for
+static worlds and for dynamic timelines whose events land exactly on
+chunk edges.  Around that sit the subsystem suites: the episode store's
+append/iterate/resume surface, sharded placement equivalence, lazy
+schedule windows, incremental detector scoring, the result cache's
+orphan sweep, and the CLI knobs.
+
+The worker count for sharded tests comes from ``REPRO_TEST_WORKERS``
+(default 2) so CI can pin the threaded path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import _build_config, build_parser, main
+from repro.core.eavesdropper.detector import (
+    MaximumLikelihoodDetector,
+    RandomGuessDetector,
+)
+from repro.core.strategies import get_strategy
+from repro.mec.fleet import (
+    FLEET_ENGINES,
+    FULL_PLANE_LIMIT,
+    FleetSimulation,
+    FleetSimulationConfig,
+    materialise_full_plane,
+    run_fleet_monte_carlo,
+)
+from repro.mec.placement import (
+    PlacementEngine,
+    RegionPartition,
+    ShardedPlacementEngine,
+)
+from repro.mec.streaming import StreamingFleetEngine
+from repro.mec.topology import MECTopology
+from repro.mobility.grid import GridTopology
+from repro.mobility.models import paper_synthetic_models
+from repro.sim.cache import EpisodeStore, ResultCache
+from repro.world import (
+    CapacityChange,
+    RegimeSwitch,
+    SiteDown,
+    SiteUp,
+    Timeline,
+    UserArrival,
+    UserDeparture,
+)
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+HORIZON = 30
+#: Chunk sizes from the issue: 1, a prime, exactly T, larger than T.
+CHUNK_SIZES = (1, 7, HORIZON, HORIZON + 13)
+#: Region counts: serial, a split, one region per cell.
+REGION_COUNTS = (1, 2, 9)
+
+
+@pytest.fixture(scope="module")
+def chain9():
+    return paper_synthetic_models(9, seed=2017)["non-skewed"]
+
+
+@pytest.fixture(scope="module")
+def regime9():
+    return paper_synthetic_models(9, seed=2017)["temporally-skewed"]
+
+
+@pytest.fixture(scope="module")
+def grid9():
+    return MECTopology.from_grid(GridTopology(3, 3), capacity=4)
+
+
+def _edge_timeline(regime) -> Timeline:
+    """A rich dynamic world with events exactly on chunk-7 edges.
+
+    Chunk size 7 over T=30 has boundaries at slots 7, 14, 21 and 28;
+    every event class fires on one of them (regime switches, failures,
+    recoveries, capacity shocks, churn in both directions) so carry-over
+    state crosses a boundary in every transition the kernel knows.
+    """
+    return Timeline(
+        events=(
+            RegimeSwitch(slot=7, regime=1),
+            RegimeSwitch(slot=21, regime=0),
+            SiteDown(slot=7, cell=4),
+            SiteUp(slot=14, cell=4),
+            CapacityChange(slot=14, cell=0, capacity=1),
+            SiteDown(slot=28, cell=1),
+            UserArrival(slot=7, user=2),
+            UserDeparture(slot=28, user=2),
+            UserDeparture(slot=14, user=0),
+            UserArrival(slot=21, user=5),
+        ),
+        regime_chains=(regime,),
+    )
+
+
+def _make_sim(chain, grid, timeline=None) -> FleetSimulation:
+    return FleetSimulation(
+        grid,
+        chain,
+        strategy=get_strategy("IM"),
+        config=FleetSimulationConfig(
+            n_users=6, horizon=HORIZON, n_chaffs=(1, 2, 1, 0, 2, 1)
+        ),
+        timeline=timeline,
+    )
+
+
+def assert_reports_identical(batch, streamed) -> None:
+    """Bit-identity across every field the paper's figures consume."""
+    assert np.array_equal(batch.user_trajectories, streamed.user_trajectories)
+    assert np.array_equal(
+        batch.observations.trajectories, streamed.observations.trajectories
+    )
+    assert np.array_equal(
+        batch.observations.service_ids, streamed.observations.service_ids
+    )
+    assert np.array_equal(
+        batch.observations.owner_ids, streamed.observations.owner_ids
+    )
+    assert np.array_equal(
+        batch.observations.real_rows, streamed.observations.real_rows
+    )
+    assert batch.placement.as_dict() == streamed.placement.as_dict()
+    if batch.windows is None:
+        assert streamed.windows is None
+    else:
+        assert np.array_equal(batch.windows, streamed.windows)
+    for expected, got in zip(batch.ledgers, streamed.ledgers, strict=True):
+        assert expected.migration_total == got.migration_total
+        assert expected.communication_total == got.communication_total
+        assert expected.chaff_total == got.chaff_total
+        assert expected.migrations == got.migrations
+        assert expected.per_slot_totals == got.per_slot_totals
+
+
+# ----------------------------------------------------------------------
+# Tentpole: chunk-boundary bit-identity across every knob
+# ----------------------------------------------------------------------
+
+
+class TestStreamBatchIdentity:
+    @pytest.mark.parametrize("chunk_slots", CHUNK_SIZES)
+    @pytest.mark.parametrize("regions", REGION_COUNTS)
+    def test_static_world(self, chain9, grid9, chunk_slots, regions):
+        batch = _make_sim(chain9, grid9).run(123, engine="batch")
+        streamed = _make_sim(chain9, grid9).run(
+            123, engine="stream", chunk_slots=chunk_slots, regions=regions
+        )
+        assert_reports_identical(batch, streamed)
+
+    @pytest.mark.parametrize("chunk_slots", CHUNK_SIZES)
+    @pytest.mark.parametrize("regions", REGION_COUNTS)
+    def test_dynamic_world_events_on_chunk_edges(
+        self, chain9, regime9, grid9, chunk_slots, regions
+    ):
+        timeline = _edge_timeline(regime9)
+        batch = _make_sim(chain9, grid9, timeline).run(321, engine="batch")
+        streamed = _make_sim(chain9, grid9, timeline).run(
+            321, engine="stream", chunk_slots=chunk_slots, regions=regions
+        )
+        assert_reports_identical(batch, streamed)
+
+    @pytest.mark.parametrize("regions", [2, 9])
+    @pytest.mark.parametrize("dynamic", [False, True])
+    def test_region_workers_are_invisible(
+        self, chain9, regime9, grid9, regions, dynamic
+    ):
+        timeline = _edge_timeline(regime9) if dynamic else None
+        serial = _make_sim(chain9, grid9, timeline).run(
+            7, engine="stream", chunk_slots=7, regions=regions, region_workers=1
+        )
+        threaded = _make_sim(chain9, grid9, timeline).run(
+            7,
+            engine="stream",
+            chunk_slots=7,
+            regions=regions,
+            region_workers=WORKERS,
+        )
+        assert_reports_identical(serial, threaded)
+
+    @pytest.mark.parametrize("dynamic", [False, True])
+    def test_evaluations_are_identical(self, chain9, regime9, grid9, dynamic):
+        timeline = _edge_timeline(regime9) if dynamic else None
+        batch = _make_sim(chain9, grid9, timeline).run(99, engine="batch")
+        streamed = _make_sim(chain9, grid9, timeline).run(
+            99, engine="stream", chunk_slots=7, regions=2
+        )
+        for detector in (MaximumLikelihoodDetector(), RandomGuessDetector()):
+            expected = batch.evaluate(chain9, detector)
+            got = streamed.evaluate(chain9, detector)
+            assert np.array_equal(expected.chosen_rows, got.chosen_rows)
+            assert np.array_equal(
+                expected.detected_per_user, got.detected_per_user
+            )
+            assert np.array_equal(
+                expected.tracking_per_user, got.tracking_per_user
+            )
+
+    def test_monte_carlo_stream_engine(self, chain9, grid9):
+        def sim():
+            return FleetSimulation(
+                grid9,
+                chain9,
+                strategy=get_strategy("IM"),
+                config=FleetSimulationConfig(n_users=4, horizon=12, n_chaffs=1),
+            )
+
+        batch = run_fleet_monte_carlo(sim(), n_runs=3, seed=17, workers=WORKERS)
+        streamed = run_fleet_monte_carlo(
+            sim(),
+            n_runs=3,
+            seed=17,
+            workers=WORKERS,
+            engine="stream",
+            chunk_slots=5,
+            regions=2,
+        )
+        assert np.array_equal(batch.detection_runs, streamed.detection_runs)
+        assert np.array_equal(batch.tracking_runs, streamed.tracking_runs)
+        assert np.array_equal(batch.cost_runs, streamed.cost_runs)
+        assert np.array_equal(batch.migrations_runs, streamed.migrations_runs)
+
+    def test_run_validates_engine_and_knobs(self, chain9, grid9):
+        sim = _make_sim(chain9, grid9)
+        assert "stream" in FLEET_ENGINES
+        with pytest.raises(ValueError, match="engine"):
+            sim.run(1, engine="vectorised")
+        with pytest.raises(ValueError, match="chunk_slots"):
+            StreamingFleetEngine(sim, chunk_slots=0)
+        with pytest.raises(ValueError, match="regions"):
+            StreamingFleetEngine(sim, regions=0)
+        with pytest.raises(ValueError, match="region_workers"):
+            StreamingFleetEngine(sim, region_workers=0)
+
+
+# ----------------------------------------------------------------------
+# Incremental evaluation: chunked scoring without a plane
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalEvaluate:
+    @pytest.mark.parametrize("dynamic", [False, True])
+    @pytest.mark.parametrize("chunk_slots", [1, 7, HORIZON + 13])
+    def test_chunked_scores_match_batch(
+        self, chain9, regime9, grid9, dynamic, chunk_slots
+    ):
+        timeline = _edge_timeline(regime9) if dynamic else None
+        batch = _make_sim(chain9, grid9, timeline).run(55, engine="batch")
+        engine = StreamingFleetEngine(
+            _make_sim(chain9, grid9, timeline), chunk_slots=chunk_slots
+        )
+        streamed = engine.run(55)
+        try:
+            for detector in (MaximumLikelihoodDetector(), RandomGuessDetector()):
+                expected = batch.evaluate(chain9, detector)
+                got = streamed.evaluate(chain9, detector)
+                # Choices and detections are exact; tracking is an exact
+                # integer count over the horizon, so it is too.
+                assert np.array_equal(expected.chosen_rows, got.chosen_rows)
+                assert np.array_equal(
+                    expected.detected_per_user, got.detected_per_user
+                )
+                assert np.allclose(
+                    expected.tracking_per_user, got.tracking_per_user
+                )
+        finally:
+            streamed.close()
+
+    def test_streamed_totals_match_batch(self, chain9, grid9):
+        batch = _make_sim(chain9, grid9).run(5, engine="batch")
+        streamed = StreamingFleetEngine(
+            _make_sim(chain9, grid9), chunk_slots=7
+        ).run(5)
+        try:
+            assert np.array_equal(batch.per_user_cost, streamed.per_user_cost)
+            assert batch.total_cost == streamed.total_cost
+            assert batch.total_migrations == streamed.total_migrations
+            assert streamed.n_users == 6
+            assert streamed.horizon == HORIZON
+        finally:
+            streamed.close()
+
+    def test_plane_chunks_cover_the_horizon(self, chain9, grid9):
+        streamed = StreamingFleetEngine(
+            _make_sim(chain9, grid9), chunk_slots=7
+        ).run(5)
+        try:
+            batch = _make_sim(chain9, grid9).run(5, engine="batch")
+            rebuilt = np.concatenate(
+                [chunk for _, _, chunk in streamed.iter_plane_chunks()], axis=1
+            )
+            assert np.array_equal(rebuilt, batch.observations.trajectories)
+            edges = [start for start, _, _ in streamed.iter_plane_chunks()]
+            assert edges == [0, 7, 14, 21, 28]
+        finally:
+            streamed.close()
+
+    def test_unsupported_detector_points_at_materialise(self, chain9, grid9):
+        streamed = StreamingFleetEngine(
+            _make_sim(chain9, grid9), chunk_slots=7
+        ).run(5)
+
+        class _Opaque:
+            name = "opaque"
+
+        try:
+            with pytest.raises(NotImplementedError, match="materialise"):
+                streamed.evaluate(chain9, _Opaque())
+        finally:
+            streamed.close()
+
+
+# ----------------------------------------------------------------------
+# Resumable episodes
+# ----------------------------------------------------------------------
+
+
+class TestResumableEpisodes:
+    def test_interrupted_episode_resumes_bit_identically(
+        self, chain9, regime9, grid9, tmp_path
+    ):
+        timeline = _edge_timeline(regime9)
+        batch = _make_sim(chain9, grid9, timeline).run(11, engine="batch")
+        store = EpisodeStore(tmp_path / "episode")
+        first = StreamingFleetEngine(
+            _make_sim(chain9, grid9, timeline), chunk_slots=7, store=store
+        )
+        assert first.run(11, stop_after_chunks=2) is None
+        assert set(store.completed("histories")) == {0, 1}
+        # A fresh engine over the same store picks up at chunk 2.
+        second = StreamingFleetEngine(
+            _make_sim(chain9, grid9, timeline),
+            chunk_slots=7,
+            store=EpisodeStore(tmp_path / "episode"),
+        )
+        streamed = second.run(11)
+        assert streamed is not None
+        report = streamed.materialise()
+        assert_reports_identical(batch, report)
+
+    def test_completed_episode_reloads_without_replay(
+        self, chain9, grid9, tmp_path
+    ):
+        store = EpisodeStore(tmp_path / "episode")
+        first = StreamingFleetEngine(
+            _make_sim(chain9, grid9), chunk_slots=7, store=store
+        ).run(3)
+        again = StreamingFleetEngine(
+            _make_sim(chain9, grid9),
+            chunk_slots=7,
+            store=EpisodeStore(tmp_path / "episode"),
+        ).run(3)
+        assert np.array_equal(first.per_user_cost, again.per_user_cost)
+        assert np.array_equal(first.order, again.order)
+        assert first.placement.as_dict() == again.placement.as_dict()
+
+    def test_store_rejects_a_different_episode(self, chain9, grid9, tmp_path):
+        store = EpisodeStore(tmp_path / "episode")
+        StreamingFleetEngine(
+            _make_sim(chain9, grid9), chunk_slots=7, store=store
+        ).run(3, stop_after_chunks=1)
+        with pytest.raises(ValueError, match="different episode"):
+            StreamingFleetEngine(
+                _make_sim(chain9, grid9),
+                chunk_slots=7,
+                store=EpisodeStore(tmp_path / "episode"),
+            ).run(4)
+        with pytest.raises(ValueError, match="different episode"):
+            StreamingFleetEngine(
+                _make_sim(chain9, grid9),
+                chunk_slots=5,
+                store=EpisodeStore(tmp_path / "episode"),
+            ).run(3)
+
+    def test_ephemeral_store_is_destroyed_on_close(self, chain9, grid9):
+        streamed = StreamingFleetEngine(
+            _make_sim(chain9, grid9), chunk_slots=7
+        ).run(3)
+        root = streamed.store.root
+        assert root.is_dir()
+        streamed.close()
+        assert not root.exists()
+
+
+# ----------------------------------------------------------------------
+# Episode store
+# ----------------------------------------------------------------------
+
+
+class TestEpisodeStore:
+    def test_chunk_round_trip_and_manifest(self, tmp_path):
+        store = EpisodeStore(tmp_path / "ep")
+        first = np.arange(12, dtype=np.int64).reshape(3, 4)
+        second = np.full((3, 2), 7, dtype=np.int64)
+        store.append_chunk("histories", 0, first)
+        store.append_chunk("histories", 1, second)
+        assert store.completed("histories") == [0, 1]
+        assert store.completed("per_slot") == []
+        assert np.array_equal(store.read_chunk("histories", 1), second)
+        # A reopened store trusts only the manifest.
+        reopened = EpisodeStore(tmp_path / "ep")
+        chunks = list(reopened.iter_chunks("histories"))
+        assert [index for index, _ in chunks] == [0, 1]
+        assert np.array_equal(chunks[0][1], first)
+        # Atomic writes leave no temporaries behind.
+        assert list((tmp_path / "ep").glob("*.tmp")) == []
+
+    def test_meta_round_trip(self, tmp_path):
+        store = EpisodeStore(tmp_path / "ep")
+        store.update_meta(entropy="42", horizon=30)
+        assert EpisodeStore(tmp_path / "ep").meta["horizon"] == 30
+
+    def test_carry_state_round_trip(self, tmp_path):
+        store = EpisodeStore(tmp_path / "ep")
+        store.save_state(
+            3, cells=np.array([1, 2, 3]), totals=np.array([0.5, 1.5])
+        )
+        carry = EpisodeStore(tmp_path / "ep").load_state(3)
+        assert np.array_equal(carry["cells"], [1, 2, 3])
+        assert np.array_equal(carry["totals"], [0.5, 1.5])
+
+    def test_planes_are_disk_backed(self, tmp_path):
+        store = EpisodeStore(tmp_path / "ep")
+        assert not store.has_plane("users")
+        plane = store.create_plane("users", (4, 6))
+        plane[:] = 9
+        plane.flush()
+        del plane
+        assert store.has_plane("users")
+        view = EpisodeStore(tmp_path / "ep").open_plane("users")
+        assert np.array_equal(np.asarray(view), np.full((4, 6), 9))
+
+    def test_destroy_removes_the_store(self, tmp_path):
+        store = EpisodeStore(tmp_path / "ep")
+        store.append_chunk("histories", 0, np.zeros((2, 2)))
+        store.destroy()
+        assert not (tmp_path / "ep").exists()
+
+
+# ----------------------------------------------------------------------
+# Region-sharded placement
+# ----------------------------------------------------------------------
+
+
+class TestShardedPlacement:
+    def test_partition_is_deterministic_and_total(self, grid9):
+        first = RegionPartition.build(grid9, 3)
+        second = RegionPartition.build(grid9, 3)
+        assert np.array_equal(first.labels, second.labels)
+        assert first.n_regions == 3
+        assert set(np.unique(first.labels)) == {0, 1, 2}
+        covered = np.concatenate([first.cells(r) for r in range(3)])
+        assert sorted(covered.tolist()) == list(range(9))
+
+    def test_partition_clamps_to_cell_count(self, grid9):
+        assert RegionPartition.build(grid9, 99).n_regions == 9
+        with pytest.raises(ValueError, match="n_regions"):
+            RegionPartition.build(grid9, 0)
+
+    @pytest.mark.parametrize("regions", [2, 4, 9])
+    @pytest.mark.parametrize("workers", [1, WORKERS])
+    def test_sharded_equals_serial_under_contention(
+        self, grid9, regions, workers
+    ):
+        # Capacity-2 sites with 16 services: heavy contention, constant
+        # cross-region traffic, every spill class exercised.
+        tight = MECTopology.from_grid(GridTopology(3, 3), capacity=2)
+        rng = np.random.default_rng(2017)
+        start = rng.integers(0, 9, size=16)
+        serial = PlacementEngine(tight)
+        sharded = ShardedPlacementEngine(tight, regions=regions, workers=workers)
+        current_a = serial.place_initial(start)
+        current_b = sharded.place_initial(start)
+        assert np.array_equal(current_a, current_b)
+        for _ in range(12):
+            desired = rng.integers(0, 9, size=16)
+            current_a = serial.resolve_moves(current_a, desired)
+            current_b = sharded.resolve_moves(current_b, desired)
+            assert np.array_equal(current_a, current_b)
+            assert np.array_equal(serial.load, sharded.load)
+        assert serial.stats.as_dict() == sharded.stats.as_dict()
+
+    def test_single_region_delegates_to_serial(self, grid9):
+        engine = ShardedPlacementEngine(grid9, regions=1)
+        cells = engine.place_initial(np.array([0, 0, 0, 0, 4]))
+        moved = engine.resolve_moves(cells, np.array([4, 4, 4, 4, 0]))
+        reference = PlacementEngine(grid9)
+        ref_cells = reference.place_initial(np.array([0, 0, 0, 0, 4]))
+        assert np.array_equal(
+            moved, reference.resolve_moves(ref_cells, np.array([4, 4, 4, 4, 0]))
+        )
+
+
+# ----------------------------------------------------------------------
+# Lazy schedule windows
+# ----------------------------------------------------------------------
+
+
+class TestScheduleWindows:
+    def test_compile_window_matches_full_compile(self, chain9, regime9, grid9):
+        timeline = _edge_timeline(regime9)
+        kwargs = dict(
+            horizon=HORIZON,
+            n_cells=9,
+            n_users=6,
+            base_capacities=grid9.base_capacities(),
+            base_chain=chain9,
+        )
+        schedule = timeline.compile(**kwargs)
+        for start, stop in [(0, 7), (7, 14), (14, 21), (21, 28), (28, 30)]:
+            lazy = timeline.compile_window(start, stop, **kwargs)
+            full = schedule.window(start, stop)
+            assert np.array_equal(lazy.capacities, full.capacities)
+            assert np.array_equal(lazy.regimes, full.regimes)
+            assert np.array_equal(lazy.user_windows, full.user_windows)
+            assert np.array_equal(lazy.active_users(), full.active_users())
+            assert lazy.episode_has_regimes and full.episode_has_regimes
+            lazy_stack, full_stack = lazy.transition_stack(), full.transition_stack()
+            if full_stack is None:
+                assert lazy_stack is None
+            else:
+                assert np.array_equal(lazy_stack, full_stack)
+
+
+# ----------------------------------------------------------------------
+# Guarded full-plane materialisation
+# ----------------------------------------------------------------------
+
+
+class TestMaterialiseGuard:
+    def test_small_planes_allocate(self):
+        plane = materialise_full_plane((3, 4), dtype=np.int64, fill=-1)
+        assert plane.shape == (3, 4)
+        assert np.all(plane == -1)
+
+    def test_city_scale_refuses_loudly(self):
+        huge = (100_000, 10_000, FULL_PLANE_LIMIT)
+        with pytest.raises(MemoryError, match="FULL_PLANE_LIMIT"):
+            materialise_full_plane(huge)
+
+
+# ----------------------------------------------------------------------
+# Result-cache orphan sweep
+# ----------------------------------------------------------------------
+
+
+class TestResultCacheOrphans:
+    def test_orphans_swept_on_open_and_counted(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "interrupted-1.tmp").write_text("half a result")
+        (cache_dir / "interrupted-2.tmp").write_text("{")
+        (cache_dir / "entry.json").write_text(json.dumps({"k": 1}))
+        cache = ResultCache(cache_dir)
+        assert cache.orphans_removed == 2
+        assert cache.stats() == {"hits": 0, "misses": 0, "orphans_removed": 2}
+        assert list(cache_dir.glob("*.tmp")) == []
+        assert (cache_dir / "entry.json").exists()
+
+    def test_fresh_directory_has_no_orphans(self, tmp_path):
+        cache = ResultCache(tmp_path / "nonexistent")
+        assert cache.stats()["orphans_removed"] == 0
+
+
+# ----------------------------------------------------------------------
+# CLI and config knobs
+# ----------------------------------------------------------------------
+
+
+class TestStreamingKnobs:
+    def test_fleet_flags_reach_the_config(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fleet", "--stream", "--chunk-slots", "7", "--regions", "3"]
+        )
+        config = _build_config(args, "fleet")
+        assert config.stream is True
+        assert config.chunk_slots == 7
+        assert config.regions == 3
+
+    def test_flags_default_off(self):
+        parser = build_parser()
+        config = _build_config(parser.parse_args(["fleet"]), "fleet")
+        assert config.stream is False
+        assert config.chunk_slots == 64
+        assert config.regions == 1
+
+    def test_knobs_survive_config_round_trip(self):
+        from repro.sim.config import FleetExperimentConfig
+
+        config = FleetExperimentConfig(stream=True, chunk_slots=7, regions=3)
+        again = FleetExperimentConfig.from_dict(config.to_dict())
+        assert (again.stream, again.chunk_slots, again.regions) == (True, 7, 3)
+        scaled = config.scaled(n_users=4)
+        assert (scaled.stream, scaled.chunk_slots, scaled.regions) == (True, 7, 3)
+
+    def test_cli_streams_end_to_end(self, tmp_path, capsys):
+        code = main(
+            [
+                "fleet",
+                "--users",
+                "4",
+                "--cells",
+                "9",
+                "--capacity",
+                "4",
+                "--runs",
+                "2",
+                "--horizon",
+                "10",
+                "--stream",
+                "--chunk-slots",
+                "3",
+                "--regions",
+                "2",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert "fleet" in capsys.readouterr().out
+
+    def test_stream_and_batch_share_cache_entries(self, tmp_path, capsys):
+        # The streaming knobs are execution-only: a batch run warms the
+        # cache, the streamed rerun of the same experiment hits it.
+        base = [
+            "fleet",
+            "--users",
+            "4",
+            "--cells",
+            "9",
+            "--capacity",
+            "4",
+            "--runs",
+            "2",
+            "--horizon",
+            "10",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "cached" not in first
+        assert main(base + ["--stream", "--chunk-slots", "3"]) == 0
+        assert "cached result" in capsys.readouterr().out
