@@ -8,9 +8,17 @@ reduced Monte-Carlo budget so the whole harness finishes in minutes; the
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.sim.config import SyntheticExperimentConfig, TraceExperimentConfig
+
+#: Filled by the run-stacked benchmarks, flushed to ``BENCH_runstack.json``
+#: at session end — the machine-readable record CI archives (speedup over
+#: the per-episode path, peak heap, score-cache hit ratio, IPC payloads).
+_RUNSTACK_RECORD: dict[str, object] = {}
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -20,6 +28,20 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         default=False,
         help="run benchmarks at the paper's full Monte-Carlo budget",
     )
+
+
+@pytest.fixture(scope="session")
+def runstack_record() -> dict[str, object]:
+    """The mutable record the run-stacked benchmarks write their numbers to."""
+    return _RUNSTACK_RECORD
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    if _RUNSTACK_RECORD:
+        path = Path(__file__).resolve().parent.parent / "BENCH_runstack.json"
+        path.write_text(
+            json.dumps(_RUNSTACK_RECORD, indent=2, sort_keys=True) + "\n"
+        )
 
 
 @pytest.fixture(scope="session")

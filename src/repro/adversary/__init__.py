@@ -34,8 +34,10 @@ from .knowledge import (
     StaleKnowledge,
 )
 from .monte_carlo import run_adversary_monte_carlo, simulate_fleet_reports
+from .score_cache import ScoreComponentCache
 
 __all__ = [
+    "ScoreComponentCache",
     "CoalitionCoverage",
     "CoverageModel",
     "FullCoverage",

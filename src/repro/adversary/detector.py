@@ -42,6 +42,7 @@ from ..mobility.markov import MarkovChain
 from ..numerics import safe_log
 from .coverage import CoverageModel, FullCoverage
 from .knowledge import KnowledgeModel, OracleKnowledge
+from .score_cache import ScoreComponentCache, array_digest, chain_digest
 
 __all__ = ["AdversaryDetector"]
 
@@ -65,6 +66,15 @@ class AdversaryDetector(TrajectoryDetector):
         Score with the naive per-row / per-decision Python reference
         instead of the vectorised kernels.  Bit-identical; exists for
         the equivalence tests and the speedup benchmark.
+    score_cache:
+        Optional :class:`~repro.adversary.score_cache.ScoreComponentCache`
+        memoising the per-(chain, stack, plane) gather tables a score is
+        assembled from.  Share one cache across the detectors of a
+        knowledge x coverage grid and every plane's tables are built
+        once; scores stay bit-identical to the uncached kernels (the
+        tables are coverage-independent, and the mask is applied after
+        the gather exactly as the direct kernel applies it).  Ignored on
+        the ``loop_reference`` path.
     """
 
     name = "adversary"
@@ -79,6 +89,7 @@ class AdversaryDetector(TrajectoryDetector):
         *,
         tolerance: float = 1e-9,
         loop_reference: bool = False,
+        score_cache: ScoreComponentCache | None = None,
     ) -> None:
         if tolerance < 0:
             raise ValueError("tolerance must be non-negative")
@@ -86,6 +97,7 @@ class AdversaryDetector(TrajectoryDetector):
         self.coverage = coverage if coverage is not None else FullCoverage()
         self.tolerance = tolerance
         self.loop_reference = bool(loop_reference)
+        self.score_cache = score_cache
         self.name = f"adversary[{self.knowledge.name}/{self.coverage.name}]"
 
     # ------------------------------------------------------------------
@@ -97,6 +109,7 @@ class AdversaryDetector(TrajectoryDetector):
         stack: np.ndarray | None,
         censored: np.ndarray,
         mask: np.ndarray,
+        observed: np.ndarray | None = None,
     ) -> np.ndarray:
         """Decision scores of one ``(N, T)`` censored observation set.
 
@@ -104,8 +117,16 @@ class AdversaryDetector(TrajectoryDetector):
         bit-identity path with the ML detector); censored sets get the
         per-observed-slot rates.  Rows with no visible slot score
         ``-inf``, so an entirely blind adversary degrades to a uniform
-        guess through the ordinary tie-break.
+        guess through the ordinary tie-break.  ``observed`` is the
+        pre-coverage plane; when a :attr:`score_cache` is attached it
+        keys the memoised gather tables, which are coverage-independent.
         """
+        if (
+            self.score_cache is not None
+            and not self.loop_reference
+            and observed is not None
+        ):
+            return self._cached_scores(chain, stack, observed, censored, mask)
         if mask.all():
             if self.loop_reference:
                 return np.array(
@@ -125,6 +146,59 @@ class AdversaryDetector(TrajectoryDetector):
                 dtype=float,
             )
         return self._masked_scores(chain, stack, censored, mask)
+
+    def _cached_scores(
+        self,
+        chain: MarkovChain,
+        stack: np.ndarray | None,
+        observed: np.ndarray,
+        censored: np.ndarray,
+        mask: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`_scores` assembled from memoised gather tables.
+
+        Bit-identical to the direct kernels: the tables are built over
+        ``clip(observed, 0, None)``, and wherever the mask is ``True``
+        the censored plane equals the observed plane, so every entry the
+        reductions keep carries the exact float the uncached kernel
+        would have gathered; masked-out entries are replaced by the same
+        literal ``0.0`` (or discarded behind the same ``observed > 0``
+        guard) before any sum.
+        """
+        cache = self.score_cache
+        assert cache is not None
+        c_d = chain_digest(chain)
+        s_d = array_digest(stack)
+        p_d = array_digest(observed)
+        if mask.all():
+            scores = cache.get_or_compute(
+                ("ll_full", c_d, s_d, p_d),
+                lambda: trajectory_log_likelihoods(chain, censored, stack),
+            )
+            return np.array(scores, dtype=float)
+        horizon = censored.shape[-1]
+        stat_table = cache.get_or_compute(
+            ("stat", c_d, p_d),
+            lambda: chain.log_stationary[np.clip(observed, 0, None)].astype(
+                float
+            ),
+        )
+        counts = mask.sum(axis=-1)
+        first = np.argmax(mask, axis=-1)
+        scores = np.take_along_axis(stat_table, first[..., None], axis=-1)[..., 0]
+        if horizon > 1:
+
+            def step_table() -> np.ndarray:
+                prev = np.clip(observed[..., :-1], 0, None)
+                nxt = np.clip(observed[..., 1:], 0, None)
+                if stack is None:
+                    return chain.log_transition_entries(prev, nxt)
+                return safe_log(stack)[np.arange(horizon - 1), prev, nxt]
+
+            steps = cache.get_or_compute(("steps", c_d, s_d, p_d), step_table)
+            valid = mask[..., 1:] & mask[..., :-1]
+            scores = scores + np.where(valid, steps, 0.0).sum(axis=-1)
+        return np.where(counts > 0, scores / np.maximum(counts, 1), -np.inf)
 
     @staticmethod
     def _masked_scores(
@@ -206,12 +280,12 @@ class AdversaryDetector(TrajectoryDetector):
         *,
         transition_stack: np.ndarray | None = None,
     ) -> DetectionOutcome:
-        _, mask, censored = self._prepare(chain, trajectories, 2)
+        observed, mask, censored = self._prepare(chain, trajectories, 2)
         self.knowledge.observe(censored, chain.n_states)
         model_chain, model_stack = self.knowledge.scoring_model(
             chain, transition_stack
         )
-        scores = self._scores(model_chain, model_stack, censored, mask)
+        scores = self._scores(model_chain, model_stack, censored, mask, observed)
         candidates = self._candidates(scores)
         chosen = int(rng.choice(candidates))
         return DetectionOutcome(
@@ -247,7 +321,8 @@ class AdversaryDetector(TrajectoryDetector):
                     chain, transition_stack
                 )
                 scores[run] = self._scores(
-                    model_chain, model_stack, censored[run], mask[run]
+                    model_chain, model_stack, censored[run], mask[run],
+                    observed[run],
                 )
         else:
             model_chain, model_stack = self.knowledge.scoring_model(
@@ -314,7 +389,7 @@ class AdversaryDetector(TrajectoryDetector):
         user) and scores it once; only the per-user tie-break draws
         differ, exactly like the ML detector's crowd path.
         """
-        _, mask, censored = self._prepare(chain, trajectories, 2)
+        observed, mask, censored = self._prepare(chain, trajectories, 2)
         rngs = list(rngs)
         if not rngs:
             raise ValueError("need at least one generator")
@@ -340,7 +415,7 @@ class AdversaryDetector(TrajectoryDetector):
                 ],
                 dtype=np.int64,
             )
-        scores = self._scores(model_chain, model_stack, censored, mask)
+        scores = self._scores(model_chain, model_stack, censored, mask, observed)
         candidates = self._candidates(scores)
         return np.array(
             [int(rng.choice(candidates)) for rng in rngs], dtype=np.int64

@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mec.fleet import FleetReport, FleetSimulation, FleetStatistics
-from ..sim.parallel import parallel_map, resolve_workers, shard_slices
+from ..sim.parallel import get_shared, parallel_map, resolve_workers, shard_slices
 from ..sim.seeding import spawn_sequences_range
 from .detector import AdversaryDetector
 
@@ -33,12 +33,39 @@ __all__ = ["simulate_fleet_reports", "run_adversary_monte_carlo"]
 
 
 def _report_shard_worker(task) -> list[FleetReport]:
-    """Simulate one contiguous shard of runs (module-level for pools)."""
-    simulation, seed, start, stop, engine = task
-    return [
-        simulation.run(child, engine=engine)
-        for child in spawn_sequences_range(seed, start, stop)
-    ]
+    """Simulate one contiguous shard of runs (module-level for pools).
+
+    The simulation travels through the parallel layer's shared channel
+    (shipped once per worker, not pickled into every task).
+    """
+    seed, start, stop, engine, chunk_slots, regions, run_stack = task
+    simulation: FleetSimulation = get_shared()
+    children = spawn_sequences_range(seed, start, stop)
+    # The per-service "loop" reference has no stacked form; run_stack is
+    # execution-only, so the per-episode fallback there changes nothing.
+    step = max(run_stack if engine in ("batch", "stream") else 1, 1)
+    reports: list[FleetReport] = []
+    for base in range(0, len(children), step):
+        group = children[base : base + step]
+        if len(group) == 1:
+            reports.append(
+                simulation.run(
+                    group[0],
+                    engine=engine,
+                    chunk_slots=chunk_slots,
+                    regions=regions,
+                )
+            )
+        else:
+            reports.extend(
+                simulation.run_stacked(
+                    group,
+                    engine=engine,
+                    chunk_slots=chunk_slots,
+                    regions=regions,
+                ).to_reports()
+            )
+    return reports
 
 
 def simulate_fleet_reports(
@@ -48,21 +75,33 @@ def simulate_fleet_reports(
     seed: "int | np.random.SeedSequence",
     workers: int = 1,
     engine: str = "batch",
+    chunk_slots: int = 64,
+    regions: int = 1,
+    run_stack: int = 1,
 ) -> list[FleetReport]:
     """The ``R`` fleet reports of a Monte-Carlo, in run order.
 
     Run ``k`` derives from child ``k`` of ``seed`` regardless of the
     worker count, so the list is bit-identical for any ``workers``
-    (``0`` = all cores).
+    (``0`` = all cores).  ``chunk_slots`` and ``regions`` reach the
+    streaming engine exactly as in :meth:`FleetSimulation.run`;
+    ``run_stack`` folds that many runs of each shard into one pass of
+    the slot kernel (:func:`repro.mec.runstack.run_stacked`).  All three
+    are execution-only: the report list is bit-identical for every
+    setting.
     """
     if n_runs < 1:
         raise ValueError("n_runs must be positive")
+    if run_stack < 1:
+        raise ValueError("run_stack must be positive")
     workers = min(resolve_workers(workers), n_runs)
     tasks = [
-        (simulation, seed, shard.start, shard.stop, engine)
+        (seed, shard.start, shard.stop, engine, chunk_slots, regions, run_stack)
         for shard in shard_slices(n_runs, workers)
     ]
-    shards = parallel_map(_report_shard_worker, tasks, workers=len(tasks))
+    shards = parallel_map(
+        _report_shard_worker, tasks, workers=len(tasks), shared=simulation
+    )
     return [report for shard in shards for report in shard]
 
 
@@ -74,6 +113,9 @@ def run_adversary_monte_carlo(
     seed: "int | np.random.SeedSequence",
     workers: int = 1,
     engine: str = "batch",
+    chunk_slots: int = 64,
+    regions: int = 1,
+    run_stack: int = 1,
     reports: "list[FleetReport] | None" = None,
 ) -> FleetStatistics:
     """Score one adversary over a fleet Monte-Carlo, run by run.
@@ -93,7 +135,14 @@ def run_adversary_monte_carlo(
     """
     if reports is None:
         reports = simulate_fleet_reports(
-            simulation, n_runs=n_runs, seed=seed, workers=workers, engine=engine
+            simulation,
+            n_runs=n_runs,
+            seed=seed,
+            workers=workers,
+            engine=engine,
+            chunk_slots=chunk_slots,
+            regions=regions,
+            run_stack=run_stack,
         )
     if len(reports) != n_runs:
         raise ValueError(f"expected {n_runs} reports, got {len(reports)}")

@@ -98,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical results, sparse wins at large L)",
     )
     run_parser.add_argument(
+        "--run-stack",
+        type=int,
+        default=None,
+        help="Monte-Carlo episodes folded into one slot-kernel pass "
+        "(fleet/adversary experiments; identical results)",
+    )
+    run_parser.add_argument(
         "--cache-dir",
         type=str,
         default=None,
@@ -199,6 +206,13 @@ def build_parser() -> argparse.ArgumentParser:
         "identical results)",
     )
     fleet_parser.add_argument(
+        "--run-stack",
+        type=int,
+        default=None,
+        help="Monte-Carlo episodes folded into one slot-kernel pass "
+        "(identical results)",
+    )
+    fleet_parser.add_argument(
         "--cache-dir",
         type=str,
         default=None,
@@ -290,6 +304,7 @@ def _build_config(args: argparse.Namespace, experiment_id: str):
             seed=args.seed,
             engine=engine,
             workers=workers,
+            run_stack=_flag(args, "run_stack", defaults.run_stack),
         )
     if experiment_id == "dynamic":
         defaults = DynamicExperimentConfig()
@@ -341,6 +356,7 @@ def _build_config(args: argparse.Namespace, experiment_id: str):
             stream=_flag(args, "stream", False),
             chunk_slots=_flag(args, "chunk_slots", 64),
             regions=_flag(args, "regions", 1),
+            run_stack=_flag(args, "run_stack", 1),
         )
     if experiment_id in _TRACE_EXPERIMENTS:
         config = TraceExperimentConfig(seed=args.seed, engine=engine, workers=workers)

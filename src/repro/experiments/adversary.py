@@ -30,6 +30,7 @@ import numpy as np
 from ..adversary import (
     AdversaryDetector,
     FullCoverage,
+    ScoreComponentCache,
     SiteCoverage,
     coalition_coverage,
     make_knowledge,
@@ -83,13 +84,20 @@ def _build_simulation(
     )
 
 
-def _evaluate_point(config, simulation, reports, level, coverage):
-    """Detection/tracking of one fresh (knowledge, coverage) adversary."""
+def _evaluate_point(config, simulation, reports, level, coverage, score_cache):
+    """Detection/tracking of one fresh (knowledge, coverage) adversary.
+
+    The adversary itself is fresh per point (knowledge must not leak
+    across the grid); the score cache is shared, so the gather tables of
+    each plane are built once and reused across every coverage mask and
+    every stateless knowledge level — bit-identically.
+    """
     adversary = AdversaryDetector(
         make_knowledge(
             level, smoothing=config.smoothing, warm_start=config.warm_start
         ),
         coverage,
+        score_cache=score_cache,
     )
     statistics = run_adversary_monte_carlo(
         simulation,
@@ -119,7 +127,9 @@ def run_adversary_experiment(
         seed=run_seed,
         workers=config.workers,
         engine=config.engine,
+        run_stack=config.run_stack,
     )
+    score_cache = ScoreComponentCache()
 
     fractions = [float(f) for f in config.coverage_fractions]
     sizes = [int(s) for s in config.coalition_sizes]
@@ -135,7 +145,9 @@ def run_adversary_experiment(
     coalition_points: dict[str, list[dict[str, float]]] = {}
     for level in levels:
         coverage_points[level] = [
-            _evaluate_point(config, simulation, reports, level, single_view(f))
+            _evaluate_point(
+                config, simulation, reports, level, single_view(f), score_cache
+            )
             for f in fractions
         ]
         coalition_points[level] = [
@@ -145,6 +157,7 @@ def run_adversary_experiment(
                 reports,
                 level,
                 coalition_coverage(s, config.coalition_fraction, coverage_seed),
+                score_cache,
             )
             for s in sizes
         ]
@@ -186,6 +199,8 @@ def run_adversary_experiment(
     narrowest = fractions.index(min(fractions))
     scalars: dict[str, float] = {
         "defender_cost_per_user": float(costs.mean()),
+        # Deterministic for a given config: same planes, same grid walk.
+        "score_cache_hit_ratio": float(score_cache.stats()["hit_ratio"]),
     }
     for level in levels:
         points = coverage_points[level]

@@ -63,6 +63,7 @@ def _fleet_point(task) -> dict[str, float]:
         workers,
         chunk_slots,
         regions,
+        run_stack,
     ) = task
     rows, cols = grid_dimensions(n_cells)
     topology = MECTopology.from_grid(GridTopology(rows, cols), capacity=capacity)
@@ -83,6 +84,7 @@ def _fleet_point(task) -> dict[str, float]:
         engine=engine,
         chunk_slots=chunk_slots,
         regions=regions,
+        run_stack=run_stack,
     )
     return {
         "detection": statistics.mean_detection,
@@ -148,6 +150,7 @@ def run_fleet_experiment(
                 point_workers,
                 config.chunk_slots,
                 config.regions,
+                config.run_stack,
             )
         )
     for index, capacity in enumerate(capacities):
@@ -166,6 +169,7 @@ def run_fleet_experiment(
                 point_workers,
                 config.chunk_slots,
                 config.regions,
+                config.run_stack,
             )
         )
     points = parallel_map(

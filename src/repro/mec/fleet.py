@@ -55,7 +55,7 @@ from ..core.eavesdropper.detector import (
 )
 from ..core.strategies.base import ChaffStrategy
 from ..mobility.markov import MarkovChain
-from ..sim.parallel import parallel_map, resolve_workers, shard_slices
+from ..sim.parallel import get_shared, parallel_map, resolve_workers, shard_slices
 from ..sim.seeding import as_seed_sequence, spawn_sequences_range
 from ..world.timeline import Timeline, WorldSchedule
 from .costs import CostLedger, CostModel
@@ -448,17 +448,53 @@ class _FleetSlotKernel:
         self.prev_caps: np.ndarray | None = None
 
     # ------------------------------------------------------------------
+    # Placement hooks.  Every placement-engine touch goes through one of
+    # these six methods so the run-stacked kernel
+    # (:mod:`repro.mec.runstack`) can reroute them to its per-run engine
+    # stack while reusing the slot bodies verbatim.  ``rows`` is the
+    # subset of service rows the call concerns (``None`` = all rows);
+    # the base kernel ignores it — a single episode has a single engine.
+    def _place_initial_rows(
+        self, rows: "np.ndarray | None", desired_sub: np.ndarray
+    ) -> np.ndarray:
+        return self.placement.place_initial(desired_sub)
+
+    def _admit_rows(
+        self, rows: "np.ndarray | None", desired_sub: np.ndarray
+    ) -> np.ndarray:
+        return self.placement.admit_arrivals(desired_sub)
+
+    def _release_rows(self, rows: np.ndarray) -> None:
+        self.placement.release(self.cells[rows])
+
+    def _resolve_rows(
+        self,
+        rows: "np.ndarray | None",
+        current_sub: np.ndarray,
+        desired_sub: np.ndarray,
+    ) -> np.ndarray:
+        return self.placement.resolve_moves(current_sub, desired_sub)
+
+    def _evict_overloaded(
+        self, placed: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self.placement.evict_overloaded(self.cells, placed)
+
+    def _set_capacities(self, caps_col: np.ndarray) -> None:
+        self.placement.set_capacities(caps_col)
+
+    # ------------------------------------------------------------------
     def begin_static(self, plans_col0: np.ndarray) -> None:
         """Instantiate the whole fleet at slot 0 of a frozen world."""
-        self.cells = self.placement.place_initial(plans_col0)
+        self.cells = self._place_initial_rows(None, plans_col0)
 
     def begin_dynamic(
         self, plans_col0: np.ndarray, live0: np.ndarray, caps0: np.ndarray
     ) -> None:
         """Instantiate the initially-active services of a dynamic world."""
-        self.placement.set_capacities(caps0)
+        self._set_capacities(caps0)
         rows0 = np.flatnonzero(live0)
-        self.cells[rows0] = self.placement.place_initial(plans_col0[rows0])
+        self.cells[rows0] = self._place_initial_rows(rows0, plans_col0[rows0])
 
     def slot_cost_totals(self) -> np.ndarray:
         """Per-user cumulative cost after the slot just advanced."""
@@ -485,7 +521,7 @@ class _FleetSlotKernel:
         desired[self.real_row_of_user] = sim._decide_real_targets(
             self.cells[self.real_row_of_user], user_cells
         )
-        new_cells = self.placement.resolve_moves(self.cells, desired)
+        new_cells = self._resolve_rows(None, self.cells, desired)
         moved = np.flatnonzero(new_cells != self.cells)
         if moved.size:
             self._charge_moves(moved, new_cells[moved])
@@ -522,20 +558,18 @@ class _FleetSlotKernel:
             prev = self.prev_live
             departed = np.flatnonzero(prev & ~live)
             if departed.size:
-                self.placement.release(self.cells[departed])
+                self._release_rows(departed)
                 self.cells[departed] = -1
             if not np.array_equal(caps_col, self.prev_caps):
-                self.placement.set_capacities(caps_col)
-                new_cells, moved = self.placement.evict_overloaded(
-                    self.cells, prev & live
-                )
+                self._set_capacities(caps_col)
+                new_cells, moved = self._evict_overloaded(prev & live)
                 if moved.size:
                     self._charge_moves(moved, new_cells[moved])
                     self.cells = new_cells
             arriving = np.flatnonzero(live & ~prev)
             if arriving.size:
-                self.cells[arriving] = self.placement.admit_arrivals(
-                    plan_col[arriving]
+                self.cells[arriving] = self._admit_rows(
+                    arriving, plan_col[arriving]
                 )
         live_rows = np.flatnonzero(live)
         desired = plan_col.copy()
@@ -543,8 +577,8 @@ class _FleetSlotKernel:
         desired[real_live] = sim._decide_real_targets(
             self.cells[real_live], user_cells[active_now]
         )
-        new_sub = self.placement.resolve_moves(
-            self.cells[live_rows], desired[live_rows]
+        new_sub = self._resolve_rows(
+            live_rows, self.cells[live_rows], desired[live_rows]
         )
         moved_sub = np.flatnonzero(new_sub != self.cells[live_rows])
         if moved_sub.size:
@@ -719,6 +753,40 @@ class FleetSimulation:
         if engine == "batch":
             return self._run_batch(user_rngs, shuffle_rng, evaluation_seed)
         return self._run_loop(user_rngs, shuffle_rng, evaluation_seed)
+
+    def run_stacked(
+        self,
+        seeds: "Sequence[int | np.random.SeedSequence]",
+        *,
+        engine: str = "batch",
+        chunk_slots: int = 64,
+        regions: int = 1,
+        region_workers: int = 1,
+        collect_per_slot: bool = True,
+    ):
+        """Execute a stack of fleet runs as one pass of the slot kernel.
+
+        The per-slot state machine advances ``(S * N)``-wide tensors
+        instead of ``N``-wide ones — every run's RNG draws still come
+        from that run's own SeedSequence children in the canonical
+        order, so the resulting :class:`StackedRunOutcome` is
+        bit-identical to running each seed through :meth:`run`.
+        ``engine`` accepts ``"batch"`` and ``"stream"`` (the per-service
+        ``"loop"`` reference has no stacked form; Monte-Carlo callers
+        fall back to per-episode runs there).
+        """
+        # Deferred import: the run-stacked engine builds on this module.
+        from .runstack import run_stacked as _run_stacked
+
+        return _run_stacked(
+            self,
+            list(seeds),
+            engine=engine,
+            chunk_slots=chunk_slots,
+            regions=regions,
+            region_workers=region_workers,
+            collect_per_slot=collect_per_slot,
+        )
 
     # ------------------------------------------------------------------
     # Shared pieces
@@ -1224,27 +1292,60 @@ class FleetStatistics:
         return float(self.stranded_runs.mean())
 
 
+def _episode_metrics(
+    simulation: FleetSimulation,
+    report: FleetReport,
+    detector: TrajectoryDetector,
+) -> tuple:
+    """The per-run metric tuple of one evaluated episode."""
+    evaluation = report.evaluate(simulation.chain, detector)
+    return (
+        evaluation.tracking_per_user,
+        evaluation.detected_per_user,
+        report.per_user_cost,
+        report.total_migrations,
+        report.placement.rejected,
+        report.placement.spilled,
+        report.placement.evicted,
+        report.placement.stranded,
+    )
+
+
 def _fleet_shard_worker(task) -> list[tuple]:
-    """Replay one contiguous shard of the fleet runs (module-level for pools)."""
-    simulation, detector, seed, start, stop, engine, chunk_slots, regions = task
+    """Replay one contiguous shard of the fleet runs (module-level for pools).
+
+    The simulation itself travels through the parallel layer's shared
+    channel (shipped once per worker), not inside every task tuple.
+    """
+    from .runstack import supports_fast_metrics
+
+    detector, seed, start, stop, engine, chunk_slots, regions, run_stack = task
+    simulation: FleetSimulation = get_shared()
     metrics = []
-    for child in spawn_sequences_range(seed, start, stop):
-        report = simulation.run(
-            child, engine=engine, chunk_slots=chunk_slots, regions=regions
-        )
-        evaluation = report.evaluate(simulation.chain, detector)
-        metrics.append(
-            (
-                evaluation.tracking_per_user,
-                evaluation.detected_per_user,
-                report.per_user_cost,
-                report.total_migrations,
-                report.placement.rejected,
-                report.placement.spilled,
-                report.placement.evicted,
-                report.placement.stranded,
+    children = spawn_sequences_range(seed, start, stop)
+    # The per-service "loop" reference has no stacked form; run_stack is
+    # an execution-only knob, so falling back to per-episode runs there
+    # keeps the numbers bit-identical by definition.
+    step = run_stack if engine in ("batch", "stream") else 1
+    # Vectorised scoring reads the kernel's running cost totals, so the
+    # per-(user, slot) ledger plane is dead weight there — skip it.
+    collect = not supports_fast_metrics(detector)
+    for base in range(0, len(children), max(step, 1)):
+        group = children[base : base + max(step, 1)]
+        if len(group) == 1:
+            report = simulation.run(
+                group[0], engine=engine, chunk_slots=chunk_slots, regions=regions
             )
-        )
+            metrics.append(_episode_metrics(simulation, report, detector))
+        else:
+            outcome = simulation.run_stacked(
+                group,
+                engine=engine,
+                chunk_slots=chunk_slots,
+                regions=regions,
+                collect_per_slot=collect,
+            )
+            metrics.extend(outcome.to_metrics(detector))
     return metrics
 
 
@@ -1258,6 +1359,7 @@ def run_fleet_monte_carlo(
     engine: str = "batch",
     chunk_slots: int = 64,
     regions: int = 1,
+    run_stack: int = 1,
 ) -> FleetStatistics:
     """Monte-Carlo a fleet simulation, optionally sharded over workers.
 
@@ -1265,11 +1367,15 @@ def run_fleet_monte_carlo(
     worker count (workers respawn their shard's children by index, as in
     :mod:`repro.sim.parallel`), so ``workers=N`` is bit-identical to
     serial execution for any ``N`` (``0`` = all cores).  ``chunk_slots``
-    and ``regions`` only apply to ``engine="stream"`` and, like the
-    engine and worker count, never change the numbers.
+    and ``regions`` only apply to ``engine="stream"``; ``run_stack``
+    folds that many episodes of a shard into one pass of the slot
+    kernel (:meth:`FleetSimulation.run_stacked`).  Like the engine and
+    worker count, none of these execution knobs ever change the numbers.
     """
     if n_runs < 1:
         raise ValueError("n_runs must be positive")
+    if run_stack < 1:
+        raise ValueError("run_stack must be positive")
     detector = detector or MaximumLikelihoodDetector()
     workers = min(resolve_workers(workers), n_runs)
     knowledge = getattr(detector, "knowledge", None)
@@ -1285,7 +1391,6 @@ def run_fleet_monte_carlo(
         )
     tasks = [
         (
-            simulation,
             detector,
             seed,
             shard.start,
@@ -1293,10 +1398,13 @@ def run_fleet_monte_carlo(
             engine,
             chunk_slots,
             regions,
+            run_stack,
         )
         for shard in shard_slices(n_runs, workers)
     ]
-    shards = parallel_map(_fleet_shard_worker, tasks, workers=len(tasks))
+    shards = parallel_map(
+        _fleet_shard_worker, tasks, workers=len(tasks), shared=simulation
+    )
     metrics = [run for shard in shards for run in shard]
     return FleetStatistics(
         tracking_runs=np.stack([m[0] for m in metrics], axis=0),

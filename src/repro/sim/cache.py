@@ -64,6 +64,7 @@ EXECUTION_ONLY_KEYS = (
     "stream",
     "chunk_slots",
     "regions",
+    "run_stack",
 )
 
 

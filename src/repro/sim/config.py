@@ -269,6 +269,10 @@ class FleetExperimentConfig:
     regions:
         Topology regions for sharded placement (only used with
         ``stream=True``; 1 = serial placement).
+    run_stack:
+        Monte-Carlo episodes folded into one pass of the slot kernel
+        (``1`` = per-episode execution).  Execution-only: every stack
+        size yields bit-identical statistics.
     """
 
     n_users: int = 50
@@ -288,6 +292,7 @@ class FleetExperimentConfig:
     stream: bool = False
     chunk_slots: int = 64
     regions: int = 1
+    run_stack: int = 1
 
     def __post_init__(self) -> None:
         if self.n_users < 1:
@@ -312,6 +317,8 @@ class FleetExperimentConfig:
             raise ValueError("chunk_slots must be positive")
         if self.regions < 1:
             raise ValueError("regions must be positive")
+        if self.run_stack < 1:
+            raise ValueError("run_stack must be positive")
         # Feasibility is validated for the sweep points the experiment
         # actually runs, not just the nominal (n_users, site_capacity)
         # point, so an infeasible config fails here with a clear message
@@ -408,6 +415,7 @@ class FleetExperimentConfig:
             stream=self.stream,
             chunk_slots=self.chunk_slots,
             regions=self.regions,
+            run_stack=self.run_stack,
         )
 
 
@@ -610,6 +618,10 @@ class AdversaryExperimentConfig:
         As in every experiment config (``engine`` and ``workers`` never
         change the numbers and stay out of the cache key; workers shard
         the report simulation, never the order-dependent evaluation).
+    run_stack:
+        Monte-Carlo episodes folded into one pass of the slot kernel
+        during report simulation (``1`` = per-episode).  Execution-only:
+        bit-identical reports for every stack size.
     """
 
     n_users: int = 30
@@ -631,6 +643,7 @@ class AdversaryExperimentConfig:
     seed: int = 2017
     engine: str = "batch"
     workers: int = 1
+    run_stack: int = 1
 
     def __post_init__(self) -> None:
         if self.n_users < 1:
@@ -671,6 +684,8 @@ class AdversaryExperimentConfig:
             raise ValueError("engine must be 'batch' or 'loop'")
         if self.workers < 0:
             raise ValueError("workers must be non-negative (0 = all cores)")
+        if self.run_stack < 1:
+            raise ValueError("run_stack must be positive")
         slots = self.n_cells * self.site_capacity
         services = self.n_users * (1 + self.n_chaffs)
         if services > slots:
@@ -731,4 +746,5 @@ class AdversaryExperimentConfig:
             seed=self.seed,
             engine=self.engine,
             workers=self.workers,
+            run_stack=self.run_stack,
         )

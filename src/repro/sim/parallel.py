@@ -25,9 +25,10 @@ streams) and sends the resulting arrays.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
@@ -42,6 +43,7 @@ __all__ = [
     "run_batch_sharded",
     "run_episodes_sharded",
     "parallel_map",
+    "get_shared",
 ]
 
 _T = TypeVar("_T")
@@ -259,8 +261,32 @@ def run_episodes_sharded(
     return [episode for shard in shards for episode in shard]
 
 
+# The one worker-side payload shipped outside the task tuples.  Shard
+# workers that map over many tasks sharing one big immutable object (a
+# FleetSimulation with its hop matrix, say) would otherwise pickle that
+# object into every task; parallel_map's ``shared`` channel ships it
+# once per worker instead — fork-inherited where the platform allows,
+# via the pool initializer elsewhere — and :func:`get_shared` reads it
+# back inside the worker function.
+_SHARED: Any = None
+
+
+def _set_shared(value: Any) -> None:
+    global _SHARED
+    _SHARED = value
+
+
+def get_shared() -> Any:
+    """The object the current :func:`parallel_map` call shipped to workers."""
+    return _SHARED
+
+
 def parallel_map(
-    fn: Callable[[_T], _R], items: Iterable[_T], *, workers: int = 1
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    *,
+    workers: int = 1,
+    shared: Any = None,
 ) -> list[_R]:
     """Map ``fn`` over ``items``, optionally across a process pool.
 
@@ -269,10 +295,41 @@ def parallel_map(
     ``fn`` and the items must be picklable when ``workers != 1`` — the
     experiment layer passes module-level point functions and plain
     (chain, strategy, detector, seed) payloads.
+
+    ``shared`` ships one additional object to every worker *once* (not
+    per task): on fork platforms the pool's children inherit it with the
+    process image, elsewhere the pool initializer delivers one pickled
+    copy per worker.  Workers read it back with :func:`get_shared`; the
+    serial path binds it around the loop, so ``fn`` is oblivious to the
+    worker count.
     """
     items = list(items)
     workers = min(resolve_workers(workers), max(len(items), 1))
     if workers == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        if shared is None:
+            return [fn(item) for item in items]
+        previous = _SHARED
+        _set_shared(shared)
+        try:
+            return [fn(item) for item in items]
+        finally:
+            _set_shared(previous)
+    if shared is None:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        context = None
+    previous = _SHARED
+    _set_shared(shared)
+    try:
+        if context is not None:
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                return list(pool.map(fn, items))
+        with ProcessPoolExecutor(  # pragma: no cover - platform without fork
+            max_workers=workers, initializer=_set_shared, initargs=(shared,)
+        ) as pool:
+            return list(pool.map(fn, items))
+    finally:
+        _set_shared(previous)

@@ -381,6 +381,7 @@ class TestResultCache:
             "stream",
             "chunk_slots",
             "regions",
+            "run_stack",
         }
         base = {"n_runs": 3, "engine": "batch", "workers": 1, "backend": "dense"}
         variant = {
@@ -391,6 +392,7 @@ class TestResultCache:
             "stream": True,
             "chunk_slots": 7,
             "regions": 4,
+            "run_stack": 16,
         }
         assert experiment_cache_key("dummy", base) == experiment_cache_key(
             "dummy", variant
