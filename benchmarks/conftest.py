@@ -3,22 +3,33 @@
 Every paper table/figure has a benchmark that regenerates its data series.
 The benchmarks run the same experiment code as the full-scale CLI but at a
 reduced Monte-Carlo budget so the whole harness finishes in minutes; the
-``--runs-scale`` option restores the paper-scale budget when desired.
+``--paper-scale`` option restores the paper-scale budget when desired.
+
+Measured numbers flow through one channel: a suite's tests write plain
+mappings into ``bench_record("<suite>")`` and ``pytest_sessionfinish``
+flushes each suite to ``BENCH_<suite>.json`` in the telemetry metrics
+schema (``repro-telemetry/1`` — integers become counters, floats become
+gauges, nested mappings flatten with ``/``), so CI archives the CLI's
+``--metrics-out`` files and the benchmark records in one format.
 """
 
 from __future__ import annotations
 
-import json
+from collections.abc import Mapping
 from pathlib import Path
 
 import pytest
 
 from repro.sim.config import SyntheticExperimentConfig, TraceExperimentConfig
+from repro.telemetry import Recorder, default_clock, write_metrics
 
-#: Filled by the run-stacked benchmarks, flushed to ``BENCH_runstack.json``
-#: at session end — the machine-readable record CI archives (speedup over
-#: the per-episode path, peak heap, score-cache hit ratio, IPC payloads).
-_RUNSTACK_RECORD: dict[str, object] = {}
+#: Per-suite benchmark records; each non-empty suite flushes to
+#: ``BENCH_<suite>.json`` at session end.
+_SUITE_RECORDS: dict[str, dict[str, object]] = {}
+
+
+def _suite_record(suite: str) -> dict[str, object]:
+    return _SUITE_RECORDS.setdefault(suite, {})
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -31,17 +42,42 @@ def pytest_addoption(parser: pytest.Parser) -> None:
 
 
 @pytest.fixture(scope="session")
+def bench_record():
+    """Factory: ``bench_record("core")["viterbi"] = {...}`` records a number.
+
+    Scalars and (nested) mappings both land on the telemetry metrics
+    schema when the suite's ``BENCH_<suite>.json`` is written.
+    """
+    return _suite_record
+
+
+@pytest.fixture(scope="session")
 def runstack_record() -> dict[str, object]:
     """The mutable record the run-stacked benchmarks write their numbers to."""
-    return _RUNSTACK_RECORD
+    return _suite_record("runstack")
+
+
+def _record_value(recorder: Recorder, name: str, value: object) -> None:
+    if isinstance(value, Mapping):
+        recorder.record_stats(name, value)
+    elif isinstance(value, bool):
+        recorder.gauge(name, float(value))
+    elif isinstance(value, int):
+        recorder.counter(name, value)
+    elif isinstance(value, float):
+        recorder.gauge(name, value)
 
 
 def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
-    if _RUNSTACK_RECORD:
-        path = Path(__file__).resolve().parent.parent / "BENCH_runstack.json"
-        path.write_text(
-            json.dumps(_RUNSTACK_RECORD, indent=2, sort_keys=True) + "\n"
-        )
+    root = Path(__file__).resolve().parent.parent
+    for suite in sorted(_SUITE_RECORDS):
+        record = _SUITE_RECORDS[suite]
+        if not record:
+            continue
+        recorder = Recorder(clock=default_clock)
+        for name in sorted(record):
+            _record_value(recorder, name, record[name])
+        write_metrics(recorder, root / f"BENCH_{suite}.json")
 
 
 @pytest.fixture(scope="session")

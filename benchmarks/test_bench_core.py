@@ -30,16 +30,28 @@ def chain_large():
     return random_mobility_model(100, rng=np.random.default_rng(0))
 
 
-def test_bench_viterbi_small(benchmark, chain_small):
+def _mean_seconds(benchmark) -> float | None:
+    """Mean wall-clock seconds of a completed benchmark, if it timed."""
+    stats = getattr(benchmark, "stats", None)
+    return float(stats.stats.mean) if stats is not None else None
+
+
+def test_bench_viterbi_small(benchmark, chain_small, bench_record):
     """Most likely trajectory, L = 10, T = 100."""
     trajectory = benchmark(most_likely_trajectory, chain_small, 100)
     assert trajectory.shape == (100,)
+    mean = _mean_seconds(benchmark)
+    if mean is not None:
+        bench_record("core")["viterbi_small"] = {"mean_s": mean}
 
 
-def test_bench_viterbi_large(benchmark, chain_large):
+def test_bench_viterbi_large(benchmark, chain_large, bench_record):
     """Most likely trajectory, L = 100, T = 100."""
     trajectory = benchmark(most_likely_trajectory, chain_large, 100)
     assert trajectory.shape == (100,)
+    mean = _mean_seconds(benchmark)
+    if mean is not None:
+        bench_record("core")["viterbi_large"] = {"mean_s": mean}
 
 
 def test_bench_optimal_offline_small(benchmark, chain_small):
@@ -101,7 +113,7 @@ def _paper_scale_monte_carlo(chain, engine: str, workers: int = 1):
 
 
 @pytest.mark.parametrize("engine", ["batch", "loop"])
-def test_bench_monte_carlo_paper_scale(benchmark, chain_small, engine):
+def test_bench_monte_carlo_paper_scale(benchmark, chain_small, engine, bench_record):
     """Full Monte-Carlo point at paper scale (R = 1000, T = 100, L = 10).
 
     Run with both engines so the batch-vs-loop speedup is visible in one
@@ -113,6 +125,9 @@ def test_bench_monte_carlo_paper_scale(benchmark, chain_small, engine):
     )
     assert stats.n_episodes == 1000
     assert stats.horizon == 100
+    mean = _mean_seconds(benchmark)
+    if mean is not None:
+        bench_record("core")[f"monte_carlo_{engine}"] = {"mean_s": mean}
 
 
 def _paper_scale_sweep(chain, workers: int):

@@ -63,7 +63,7 @@ def test_bench_fleet_throughput_vs_population(benchmark, fleet_chain, n_users):
     assert report.n_users == n_users
 
 
-def test_fleet_vectorized_beats_naive_loop(fleet_chain):
+def test_fleet_vectorized_beats_naive_loop(fleet_chain, bench_record):
     """The acceptance bar: batch >= 5x faster than the naive loop at M = 50.
 
     Both engines produce bit-identical reports (pinned by
@@ -86,6 +86,11 @@ def test_fleet_vectorized_beats_naive_loop(fleet_chain):
         batch.observations.trajectories, loop.observations.trajectories
     )
     speedup = loop_seconds / batch_seconds
+    bench_record("fleet")["slot_loop"] = {
+        "batch_seconds": round(batch_seconds, 4),
+        "loop_seconds": round(loop_seconds, 4),
+        "speedup": round(speedup, 1),
+    }
     print(
         f"\nfleet slot-loop M=50 T=100: batch {batch_seconds * 1e3:.1f} ms, "
         f"loop {loop_seconds * 1e3:.1f} ms, speedup {speedup:.1f}x"

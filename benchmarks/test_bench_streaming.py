@@ -63,7 +63,7 @@ def _streaming_peak(chain, n_users: int, horizon: int, capacity: int) -> int:
     return peak
 
 
-def test_bench_streaming_memory_flat_in_horizon(benchmark, stream_chain):
+def test_bench_streaming_memory_flat_in_horizon(benchmark, stream_chain, bench_record):
     """Peak heap of a streamed M = 10^4 episode is independent of T.
 
     T = 64 is a single chunk — the floor of what any streamed episode
@@ -93,12 +93,14 @@ def test_bench_streaming_memory_flat_in_horizon(benchmark, stream_chain):
     finally:
         tracemalloc.stop()
     assert peak_512 <= batch_peak / 5
-    benchmark.extra_info["peak_mb"] = {
+    peak_mb = {
         "stream_t64": round(peak_64 / 1e6, 1),
         "stream_t512": round(peak_512 / 1e6, 1),
         "stream_t1000": round(peak_1000 / 1e6, 1),
         "batch_t512": round(batch_peak / 1e6, 1),
     }
+    benchmark.extra_info["peak_mb"] = peak_mb
+    bench_record("streaming")["peak_mb"] = peak_mb
     print(
         f"\nstream peaks MB: T=64 {peak_64 / 1e6:.1f}, "
         f"T=512 {peak_512 / 1e6:.1f}, T=1000 {peak_1000 / 1e6:.1f}; "
@@ -106,7 +108,7 @@ def test_bench_streaming_memory_flat_in_horizon(benchmark, stream_chain):
     )
 
 
-def test_bench_streaming_throughput_m500(benchmark, stream_chain):
+def test_bench_streaming_throughput_m500(benchmark, stream_chain, bench_record):
     """Streaming stays at batch throughput on a contended M = 500 fleet.
 
     Capacity 40 x 25 cells exactly fits the N = 1000 services, so the
@@ -136,8 +138,10 @@ def test_bench_streaming_throughput_m500(benchmark, stream_chain):
     # Parity within scheduling noise; streaming is regularly faster once
     # the batch engine's full-plane materialisation enters the picture.
     assert stream_seconds <= 1.5 * batch_seconds
-    benchmark.extra_info["seconds"] = {
+    seconds = {
         "batch": round(batch_seconds, 3),
         "stream": round(stream_seconds, 3),
         "stream_over_batch": round(stream_seconds / batch_seconds, 2),
     }
+    benchmark.extra_info["seconds"] = seconds
+    bench_record("streaming")["throughput_m500"] = seconds

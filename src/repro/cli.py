@@ -9,12 +9,17 @@ Usage examples::
     repro-mec run fig9 --nodes 60 --towers 80
     repro-mec run fig5 --no-cache           # force a fresh simulation
     repro-mec fleet --users 50 --capacity 8 --workers 0
+    repro-mec fleet --telemetry                     # end-of-run phase summary
+    repro-mec run fleet --metrics-out metrics.json --trace-out trace.json
 
 ``run`` prints a human-readable summary of the experiment result and can
 optionally persist the full result as JSON.  Results are cached on disk
 (keyed by experiment id, config and package version) so repeat runs
 return immediately; ``--no-cache`` disables the cache and ``--cache-dir``
-relocates it.
+relocates it.  ``--telemetry`` / ``--metrics-out`` / ``--trace-out``
+observe a run without changing it: phase spans and unified counters are
+printed as a summary table and exported as ``repro-telemetry/1`` metrics
+JSON and Chrome trace-event JSON (Perfetto loadable).
 """
 
 from __future__ import annotations
@@ -31,6 +36,13 @@ from .sim.config import (
     FleetExperimentConfig,
     SyntheticExperimentConfig,
     TraceExperimentConfig,
+)
+from .telemetry import (
+    Recorder,
+    default_clock,
+    phase_summary_table,
+    write_metrics,
+    write_trace,
 )
 
 __all__ = ["build_parser", "main"]
@@ -118,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--output", type=str, default=None, help="write the result JSON to this path"
     )
+    _add_telemetry_flags(run_parser)
     run_parser.add_argument(
         "--knowledge",
         type=str,
@@ -226,8 +239,37 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument(
         "--output", type=str, default=None, help="write the result JSON to this path"
     )
+    _add_telemetry_flags(fleet_parser)
     _add_dynamic_world_flags(fleet_parser)
     return parser
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by the ``run`` and ``fleet`` subcommands.
+
+    All three are execution-only: recording never changes the numbers,
+    the RNG streams or the result-cache key.
+    """
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record phase spans and counters; print a phase summary "
+        "(identical results)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="write the run's metrics (repro-telemetry/1 JSON) to this "
+        "path (implies --telemetry)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="write a Chrome trace-event JSON (Perfetto/about:tracing) "
+        "to this path (implies --telemetry)",
+    )
 
 
 def _add_dynamic_world_flags(parser: argparse.ArgumentParser) -> None:
@@ -379,7 +421,18 @@ def _build_cache(args: argparse.Namespace) -> ResultCache | None:
     """The result cache for this invocation, or ``None`` with ``--no-cache``."""
     if getattr(args, "no_cache", False):
         return None
-    return ResultCache(getattr(args, "cache_dir", None))
+    # The CLI injects the sanctioned clock so the cache can report hit /
+    # miss latency; the timing is an observation, never an input.
+    return ResultCache(getattr(args, "cache_dir", None), clock=default_clock)
+
+
+def _build_recorder(args: argparse.Namespace) -> "Recorder | None":
+    """A live recorder when any telemetry flag was given, else ``None``."""
+    wanted = getattr(args, "telemetry", False) or any(
+        getattr(args, name, None) is not None
+        for name in ("metrics_out", "trace_out")
+    )
+    return Recorder(clock=default_clock) if wanted else None
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -398,7 +451,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         experiment_id = args.experiment
     config = _build_config(args, experiment_id)
     cache = _build_cache(args)
-    result = run_experiment(experiment_id, config, cache=cache)
+    recorder = _build_recorder(args)
+    result = run_experiment(experiment_id, config, cache=cache, recorder=recorder)
     if cache is not None and cache.hits:
         print(f"(cached result from {cache.cache_dir})")
     for line in result.summary_lines():
@@ -406,6 +460,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.output:
         path = result.save(args.output)
         print(f"result written to {path}")
+    if recorder is not None:
+        print()
+        print("telemetry phase summary:")
+        for line in phase_summary_table(recorder):
+            print(f"  {line}")
+        if cache is not None:
+            stats = cache.stats()
+            print(
+                "result cache: "
+                f"{stats['hits']} hits ({stats['hit_time_s'] * 1e3:.2f} ms), "
+                f"{stats['misses']} misses "
+                f"({stats['miss_time_s'] * 1e3:.2f} ms), "
+                f"{stats['orphans_removed']} orphans swept"
+            )
+        metrics_out = getattr(args, "metrics_out", None)
+        if metrics_out:
+            print(f"metrics written to {write_metrics(recorder, metrics_out)}")
+        trace_out = getattr(args, "trace_out", None)
+        if trace_out:
+            print(f"trace written to {write_trace(recorder, trace_out)}")
     return 0
 
 

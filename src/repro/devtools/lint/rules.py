@@ -28,6 +28,12 @@ RPL007    no ``(M, N, T)`` full-plane allocation (``np.empty``/``zeros``/
           ``FULL_PLANE_LIMIT`` guard in the enclosing function — the
           streaming engine exists so city-scale episodes never hold a
           whole horizon in memory (the PR-8 bounded-memory contract).
+RPL008    telemetry clocks stay injected in the pure layers: no *reference*
+          to a wall-clock function (RPL005 bans the calls; this bans
+          passing ``time.perf_counter`` around as data), and no
+          ``Recorder(...)`` without an explicit ``clock=`` keyword —
+          instrumented code receives its clock from the composition
+          root (the CLI / telemetry package), never names one itself.
 ========  ==================================================================
 
 RPL006 (experiment-config cache-key round-trips) is not an AST rule; it
@@ -475,6 +481,62 @@ def _check_rpl007(ctx: FileContext) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# RPL008 — telemetry clocks are injected, never named, in pure layers
+# ----------------------------------------------------------------------
+#: Spellings under which the telemetry Recorder reaches a pure layer.  The
+#: bare name covers relative imports (``from ..telemetry import Recorder``),
+#: which alias resolution deliberately does not chase.
+_RPL008_RECORDERS = {
+    "Recorder",
+    "repro.telemetry.Recorder",
+    "repro.telemetry.recorder.Recorder",
+}
+
+
+def _check_rpl008(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    call_funcs = {id(call.func) for call in _iter_calls(ctx.tree)}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = qualified_name(func, ctx.aliases)
+            local = func.id if isinstance(func, ast.Name) else None
+            if (
+                name in _RPL008_RECORDERS or local in _RPL008_RECORDERS
+            ) and not any(keyword.arg == "clock" for keyword in node.keywords):
+                findings.append(
+                    _finding(
+                        ctx,
+                        node,
+                        "RPL008",
+                        "Recorder() without an explicit clock= binds the "
+                        "ambient wall clock inside a pure layer; inject the "
+                        "clock from the composition root "
+                        "(Recorder(clock=...))",
+                    )
+                )
+        elif (
+            isinstance(node, (ast.Attribute, ast.Name))
+            and id(node) not in call_funcs
+        ):
+            name = qualified_name(node, ctx.aliases)
+            if name in _RPL005_BANNED:
+                findings.append(
+                    _finding(
+                        ctx,
+                        node,
+                        "RPL008",
+                        f"referencing {name} (even uncalled) smuggles the "
+                        "wall clock into a pure layer as data; accept an "
+                        "injected clock parameter instead "
+                        "(repro.telemetry.default_clock lives outside "
+                        "these layers)",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 def _everywhere(ctx: FileContext) -> bool:
@@ -537,6 +599,12 @@ RULES: Sequence[Rule] = (
         "full (M, N, T) plane allocations must sit behind FULL_PLANE_LIMIT",
         _in_plane_layers,
         _check_rpl007,
+    ),
+    Rule(
+        "RPL008",
+        "telemetry clocks are injected in pure layers (no ambient clock refs)",
+        _in_pure_layers,
+        _check_rpl008,
     ),
 )
 

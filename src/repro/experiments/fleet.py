@@ -33,6 +33,7 @@ from ..sim.config import FleetExperimentConfig
 from ..sim.parallel import parallel_map
 from ..sim.results import ExperimentResult, SeriesResult
 from ..sim.seeding import spawn_sequences
+from ..telemetry import NULL_RECORDER
 
 __all__ = ["run_fleet_experiment", "grid_dimensions"]
 
@@ -47,8 +48,13 @@ def grid_dimensions(n_cells: int) -> tuple[int, int]:
     return rows, n_cells // rows
 
 
-def _fleet_point(task) -> dict[str, float]:
-    """One (population, capacity) fleet point; module-level for pools."""
+def _fleet_point(task) -> "tuple[dict[str, float], dict | None]":
+    """One (population, capacity) fleet point; module-level for pools.
+
+    Returns the point's numbers plus the point-local telemetry state
+    (``None`` when telemetry is off) so the sweep driver can merge the
+    per-point recorders back with worker attribution.
+    """
     (
         chain,
         n_cells,
@@ -64,7 +70,9 @@ def _fleet_point(task) -> dict[str, float]:
         chunk_slots,
         regions,
         run_stack,
+        spec,
     ) = task
+    recorder = NULL_RECORDER if spec is None else spec.build()
     rows, cols = grid_dimensions(n_cells)
     topology = MECTopology.from_grid(GridTopology(rows, cols), capacity=capacity)
     simulation = FleetSimulation(
@@ -75,18 +83,20 @@ def _fleet_point(task) -> dict[str, float]:
             n_users=n_users, horizon=horizon, n_chaffs=n_chaffs
         ),
     )
-    statistics = run_fleet_monte_carlo(
-        simulation,
-        n_runs=n_runs,
-        seed=child,
-        detector=MaximumLikelihoodDetector(),
-        workers=workers,
-        engine=engine,
-        chunk_slots=chunk_slots,
-        regions=regions,
-        run_stack=run_stack,
-    )
-    return {
+    with recorder.span("point", users=n_users, capacity=capacity):
+        statistics = run_fleet_monte_carlo(
+            simulation,
+            n_runs=n_runs,
+            seed=child,
+            detector=MaximumLikelihoodDetector(),
+            workers=workers,
+            engine=engine,
+            chunk_slots=chunk_slots,
+            regions=regions,
+            run_stack=run_stack,
+            recorder=recorder,
+        )
+    point = {
         "detection": statistics.mean_detection,
         "tracking": statistics.mean_tracking,
         "per_user_cost": statistics.mean_cost_per_user,
@@ -94,6 +104,7 @@ def _fleet_point(task) -> dict[str, float]:
         "rejected": statistics.mean_rejected,
         "spilled": statistics.mean_spilled,
     }
+    return point, (recorder.to_state() if spec is not None else None)
 
 
 def _sweep_series(
@@ -118,6 +129,7 @@ def _sweep_series(
 
 def run_fleet_experiment(
     config: FleetExperimentConfig | None = None,
+    recorder=NULL_RECORDER,
 ) -> ExperimentResult:
     """Crowd privacy and per-user cost vs population size and site capacity."""
     config = config or FleetExperimentConfig()
@@ -133,6 +145,7 @@ def run_fleet_experiment(
     # the fleet's run-sharding layer instead (mirrors sweep_strategies).
     n_points = len(populations) + len(capacities)
     point_workers = config.workers if n_points == 1 else 1
+    spec = recorder.spawn_spec() if recorder.enabled else None
     tasks = []
     for index, n_users in enumerate(populations):
         tasks.append(
@@ -151,6 +164,7 @@ def run_fleet_experiment(
                 config.chunk_slots,
                 config.regions,
                 config.run_stack,
+                spec,
             )
         )
     for index, capacity in enumerate(capacities):
@@ -170,11 +184,19 @@ def run_fleet_experiment(
                 config.chunk_slots,
                 config.regions,
                 config.run_stack,
+                spec,
             )
         )
-    points = parallel_map(
-        _fleet_point, tasks, workers=1 if n_points == 1 else config.workers
+    outcomes = parallel_map(
+        _fleet_point,
+        tasks,
+        workers=1 if n_points == 1 else config.workers,
+        recorder=recorder,
     )
+    for index, (_, state) in enumerate(outcomes):
+        if state is not None:
+            recorder.merge(state, worker=index + 1)
+    points = [point for point, _ in outcomes]
     population_points = points[: len(populations)]
     capacity_points = points[len(populations) :]
     groups = {

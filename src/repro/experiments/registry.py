@@ -12,11 +12,13 @@ simulation, and fresh results are stored on the way out.
 
 from __future__ import annotations
 
+import inspect
 from pathlib import Path
 from typing import Callable
 
 from ..sim.cache import ResultCache, experiment_cache_key
 from ..sim.results import ExperimentResult
+from ..telemetry import NULL_RECORDER
 from .ablations import (
     run_chaff_budget_sweep,
     run_cost_privacy_tradeoff,
@@ -86,6 +88,7 @@ def run_experiment(
     experiment_id: str,
     *args,
     cache: "ResultCache | str | Path | None" = None,
+    recorder=None,
     **kwargs,
 ) -> ExperimentResult:
     """Run a registered experiment by id.
@@ -99,21 +102,39 @@ def run_experiment(
         result is stored.  Execution-only config fields (``engine``,
         ``workers``) are excluded from the key, so cached results are
         shared across serial and parallel invocations.
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder`.  The whole
+        invocation runs under an ``experiment/<id>`` span, cache
+        behaviour lands on the unified counter schema, and runners that
+        accept a ``recorder`` keyword (the fleet experiment, for one)
+        record their phase spans into it.  Telemetry is execution-only:
+        it never enters the cache key and never changes the numbers.
     """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {available_experiments()}"
         )
+    recorder = NULL_RECORDER if recorder is None else recorder
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
-    key = None
-    if cache is not None:
-        key = _invocation_cache_key(experiment_id, args, kwargs)
-        if key is not None:
-            cached = cache.get(key)
-            if cached is not None:
-                return cached
-    result = EXPERIMENTS[experiment_id](*args, **kwargs)
-    if cache is not None and key is not None:
-        cache.put(key, result)
+    runner = EXPERIMENTS[experiment_id]
+    with recorder.span(f"experiment/{experiment_id}"):
+        key = None
+        if cache is not None:
+            key = _invocation_cache_key(experiment_id, args, kwargs)
+            if key is not None:
+                cached = cache.get(key)
+                if cached is not None:
+                    recorder.record_stats("result_cache", cache.stats())
+                    return cached
+        if (
+            recorder.enabled
+            and "recorder" in inspect.signature(runner).parameters
+        ):
+            kwargs = dict(kwargs, recorder=recorder)
+        result = runner(*args, **kwargs)
+        if cache is not None and key is not None:
+            cache.put(key, result)
+        if cache is not None:
+            recorder.record_stats("result_cache", cache.stats())
     return result

@@ -57,6 +57,7 @@ from ..core.strategies.base import ChaffStrategy
 from ..mobility.markov import MarkovChain
 from ..sim.parallel import get_shared, parallel_map, resolve_workers, shard_slices
 from ..sim.seeding import as_seed_sequence, spawn_sequences_range
+from ..telemetry import NULL_RECORDER
 from ..world.timeline import Timeline, WorldSchedule
 from .costs import CostLedger, CostModel
 from .placement import PlacementEngine, PlacementStats
@@ -720,6 +721,7 @@ class FleetSimulation:
         chunk_slots: int = 64,
         regions: int = 1,
         region_workers: int = 1,
+        recorder=NULL_RECORDER,
     ) -> FleetReport:
         """Execute one fleet run.
 
@@ -742,6 +744,7 @@ class FleetSimulation:
                 chunk_slots=chunk_slots,
                 regions=regions,
                 region_workers=region_workers,
+                recorder=recorder,
             )
             return streaming.run_to_report(seed)
         root = as_seed_sequence(seed)
@@ -751,8 +754,12 @@ class FleetSimulation:
         shuffle_rng = np.random.default_rng(children[n_users])
         evaluation_seed = children[n_users + 1]
         if engine == "batch":
-            return self._run_batch(user_rngs, shuffle_rng, evaluation_seed)
-        return self._run_loop(user_rngs, shuffle_rng, evaluation_seed)
+            return self._run_batch(
+                user_rngs, shuffle_rng, evaluation_seed, recorder=recorder
+            )
+        return self._run_loop(
+            user_rngs, shuffle_rng, evaluation_seed, recorder=recorder
+        )
 
     def run_stacked(
         self,
@@ -763,6 +770,7 @@ class FleetSimulation:
         regions: int = 1,
         region_workers: int = 1,
         collect_per_slot: bool = True,
+        recorder=NULL_RECORDER,
     ):
         """Execute a stack of fleet runs as one pass of the slot kernel.
 
@@ -786,6 +794,7 @@ class FleetSimulation:
             regions=regions,
             region_workers=region_workers,
             collect_per_slot=collect_per_slot,
+            recorder=recorder,
         )
 
     # ------------------------------------------------------------------
@@ -980,6 +989,7 @@ class FleetSimulation:
         user_rngs: list[np.random.Generator],
         shuffle_rng: np.random.Generator,
         evaluation_seed: np.random.SeedSequence,
+        recorder=NULL_RECORDER,
     ) -> FleetReport:
         config = self.config
         n_users, horizon = config.n_users, config.horizon
@@ -992,7 +1002,8 @@ class FleetSimulation:
         #    because every user draws only from their own generator).
         owners, is_real, service_ids = self._service_layout(budgets)
         n_services = owners.size
-        users, plans = self._sample_block(0, n_users, user_rngs)
+        with recorder.span("kernel/sample", engine="batch", users=n_users):
+            users, plans = self._sample_block(0, n_users, user_rngs)
 
         # 3 + 4. Capacity-enforced instantiation and the O(T) slot loop,
         #    one _FleetSlotKernel step per slot (the kernel body is the
@@ -1003,30 +1014,32 @@ class FleetSimulation:
             self, owners, is_real, PlacementEngine(self.topology)
         )
         svc_windows: np.ndarray | None = None
-        if schedule is None:
-            kernel.begin_static(plans[:, 0])
-            histories = np.empty((n_services, horizon), dtype=np.int64)
-            for slot in range(horizon):
-                kernel.step_static(users[:, slot], plans[:, slot])
-                histories[:, slot] = kernel.cells
-                per_slot[:, slot] = kernel.slot_cost_totals()
-        else:
-            caps = schedule.capacities
-            active_u = schedule.active_users()
-            active_svc = active_u[owners]
-            svc_windows = schedule.user_windows[owners]
-            kernel.begin_dynamic(plans[:, 0], active_svc[:, 0], caps[0])
-            histories = np.full((n_services, horizon), -1, dtype=np.int64)
-            for slot in range(horizon):
-                live_rows = kernel.step_dynamic(
-                    users[:, slot],
-                    plans[:, slot],
-                    active_svc[:, slot],
-                    caps[slot],
-                    active_u[:, slot],
-                )
-                histories[live_rows, slot] = kernel.cells[live_rows]
-                per_slot[:, slot] = kernel.slot_cost_totals()
+        with recorder.span("kernel/placement", engine="batch", slots=horizon):
+            if schedule is None:
+                kernel.begin_static(plans[:, 0])
+                histories = np.empty((n_services, horizon), dtype=np.int64)
+                for slot in range(horizon):
+                    kernel.step_static(users[:, slot], plans[:, slot])
+                    histories[:, slot] = kernel.cells
+                    per_slot[:, slot] = kernel.slot_cost_totals()
+            else:
+                caps = schedule.capacities
+                active_u = schedule.active_users()
+                active_svc = active_u[owners]
+                svc_windows = schedule.user_windows[owners]
+                kernel.begin_dynamic(plans[:, 0], active_svc[:, 0], caps[0])
+                histories = np.full((n_services, horizon), -1, dtype=np.int64)
+                for slot in range(horizon):
+                    live_rows = kernel.step_dynamic(
+                        users[:, slot],
+                        plans[:, slot],
+                        active_svc[:, slot],
+                        caps[slot],
+                        active_u[:, slot],
+                    )
+                    histories[live_rows, slot] = kernel.cells[live_rows]
+                    per_slot[:, slot] = kernel.slot_cost_totals()
+        recorder.record_stats("placement", kernel.placement.stats.as_dict())
 
         ledgers = [
             CostLedger(
@@ -1061,6 +1074,7 @@ class FleetSimulation:
         user_rngs: list[np.random.Generator],
         shuffle_rng: np.random.Generator,
         evaluation_seed: np.random.SeedSequence,
+        recorder=NULL_RECORDER,
     ) -> FleetReport:
         config = self.config
         n_users, horizon = config.n_users, config.horizon
@@ -1072,31 +1086,36 @@ class FleetSimulation:
         users = np.empty((n_users, horizon), dtype=np.int64)
         plans = np.empty((n_services, horizon), dtype=np.int64)
         real_row_of_user = np.flatnonzero(is_real)
-        for user, rng in enumerate(user_rngs):
-            if config.start_cells is not None:
-                users[user] = self.chain.sample_trajectory(
-                    horizon,
-                    rng,
-                    initial_state=int(config.start_cells[user]),
-                    transition_stack=self._stack,
-                )
-            else:
-                users[user] = self.chain.sample_trajectory(
-                    horizon, rng, transition_stack=self._stack
-                )
-            budget = budgets[user]
-            if budget > 0:
-                first = real_row_of_user[user] + 1
-                plans[first : first + budget] = self.strategies[user].generate(
-                    self.chain, users[user], budget, rng
-                )
-        plans[real_row_of_user] = users
+        sample_span = recorder.span("kernel/sample", engine="loop", users=n_users)
+        with sample_span:
+            for user, rng in enumerate(user_rngs):
+                if config.start_cells is not None:
+                    users[user] = self.chain.sample_trajectory(
+                        horizon,
+                        rng,
+                        initial_state=int(config.start_cells[user]),
+                        transition_stack=self._stack,
+                    )
+                else:
+                    users[user] = self.chain.sample_trajectory(
+                        horizon, rng, transition_stack=self._stack
+                    )
+                budget = budgets[user]
+                if budget > 0:
+                    first = real_row_of_user[user] + 1
+                    plans[first : first + budget] = self.strategies[user].generate(
+                        self.chain, users[user], budget, rng
+                    )
+            plans[real_row_of_user] = users
 
         schedule = self._schedule
         placement = PlacementEngine(self.topology)
         service_migrations = np.zeros(n_services, dtype=np.int64)
         ledgers = [CostLedger() for _ in range(n_users)]
         svc_windows: np.ndarray | None = None
+        placement_token = recorder.begin(
+            "kernel/placement", engine="loop", slots=horizon
+        )
         if schedule is None:
             cells = np.empty(n_services, dtype=np.int64)
             for row in range(n_services):
@@ -1178,6 +1197,8 @@ class FleetSimulation:
                 histories[row, slot] = cells[row]
             for ledger in ledgers:
                 ledger.close_slot()
+        recorder.end(placement_token)
+        recorder.record_stats("placement", placement.stats.as_dict())
         return self._build_report(
             users,
             histories,
@@ -1296,9 +1317,11 @@ def _episode_metrics(
     simulation: FleetSimulation,
     report: FleetReport,
     detector: TrajectoryDetector,
+    recorder=NULL_RECORDER,
 ) -> tuple:
     """The per-run metric tuple of one evaluated episode."""
-    evaluation = report.evaluate(simulation.chain, detector)
+    with recorder.span("kernel/detect"):
+        evaluation = report.evaluate(simulation.chain, detector)
     return (
         evaluation.tracking_per_user,
         evaluation.detected_per_user,
@@ -1311,15 +1334,30 @@ def _episode_metrics(
     )
 
 
-def _fleet_shard_worker(task) -> list[tuple]:
+def _fleet_shard_worker(task) -> "tuple[list[tuple], dict | None]":
     """Replay one contiguous shard of the fleet runs (module-level for pools).
 
     The simulation itself travels through the parallel layer's shared
     channel (shipped once per worker), not inside every task tuple.
+    When the parent recorded telemetry it ships a picklable
+    ``RecorderSpec`` in the task; the worker rebuilds a local recorder
+    from it and returns the recorded state alongside the metric tuples
+    so the parent can merge it with worker attribution.
     """
     from .runstack import supports_fast_metrics
 
-    detector, seed, start, stop, engine, chunk_slots, regions, run_stack = task
+    (
+        detector,
+        seed,
+        start,
+        stop,
+        engine,
+        chunk_slots,
+        regions,
+        run_stack,
+        spec,
+    ) = task
+    recorder = NULL_RECORDER if spec is None else spec.build()
     simulation: FleetSimulation = get_shared()
     metrics = []
     children = spawn_sequences_range(seed, start, stop)
@@ -1330,13 +1368,20 @@ def _fleet_shard_worker(task) -> list[tuple]:
     # Vectorised scoring reads the kernel's running cost totals, so the
     # per-(user, slot) ledger plane is dead weight there — skip it.
     collect = not supports_fast_metrics(detector)
+    shard_token = recorder.begin("shard", start=start, stop=stop, engine=engine)
     for base in range(0, len(children), max(step, 1)):
         group = children[base : base + max(step, 1)]
         if len(group) == 1:
             report = simulation.run(
-                group[0], engine=engine, chunk_slots=chunk_slots, regions=regions
+                group[0],
+                engine=engine,
+                chunk_slots=chunk_slots,
+                regions=regions,
+                recorder=recorder,
             )
-            metrics.append(_episode_metrics(simulation, report, detector))
+            metrics.append(
+                _episode_metrics(simulation, report, detector, recorder)
+            )
         else:
             outcome = simulation.run_stacked(
                 group,
@@ -1344,9 +1389,12 @@ def _fleet_shard_worker(task) -> list[tuple]:
                 chunk_slots=chunk_slots,
                 regions=regions,
                 collect_per_slot=collect,
+                recorder=recorder,
             )
-            metrics.extend(outcome.to_metrics(detector))
-    return metrics
+            metrics.extend(outcome.to_metrics(detector, recorder=recorder))
+    recorder.end(shard_token)
+    recorder.counter("montecarlo/episodes", stop - start)
+    return metrics, (recorder.to_state() if spec is not None else None)
 
 
 def run_fleet_monte_carlo(
@@ -1360,6 +1408,7 @@ def run_fleet_monte_carlo(
     chunk_slots: int = 64,
     regions: int = 1,
     run_stack: int = 1,
+    recorder=NULL_RECORDER,
 ) -> FleetStatistics:
     """Monte-Carlo a fleet simulation, optionally sharded over workers.
 
@@ -1389,6 +1438,7 @@ def run_fleet_monte_carlo(
             "which parallelises the simulation but replays the episodes "
             "serially in run order"
         )
+    spec = recorder.spawn_spec() if recorder.enabled else None
     tasks = [
         (
             detector,
@@ -1399,13 +1449,25 @@ def run_fleet_monte_carlo(
             chunk_slots,
             regions,
             run_stack,
+            spec,
         )
         for shard in shard_slices(n_runs, workers)
     ]
-    shards = parallel_map(
-        _fleet_shard_worker, tasks, workers=len(tasks), shared=simulation
+    mc_token = recorder.begin(
+        "montecarlo/fleet", runs=n_runs, workers=workers, engine=engine
     )
-    metrics = [run for shard in shards for run in shard]
+    shards = parallel_map(
+        _fleet_shard_worker,
+        tasks,
+        workers=len(tasks),
+        shared=simulation,
+        recorder=recorder,
+    )
+    recorder.end(mc_token)
+    for index, (_, state) in enumerate(shards):
+        if state is not None:
+            recorder.merge(state, worker=index + 1)
+    metrics = [run for shard, _ in shards for run in shard]
     return FleetStatistics(
         tracking_runs=np.stack([m[0] for m in metrics], axis=0),
         detection_runs=np.stack([m[1] for m in metrics], axis=0),

@@ -57,6 +57,7 @@ from ..core.eavesdropper.detector import (
 )
 from ..sim.cache import EpisodeStore
 from ..sim.seeding import as_seed_sequence
+from ..telemetry import NULL_RECORDER
 from .costs import CostLedger
 from .fleet import (
     FleetReport,
@@ -460,7 +461,9 @@ class StackedRunOutcome:
             )
         return reports
 
-    def to_metrics(self, detector: TrajectoryDetector) -> list[tuple]:
+    def to_metrics(
+        self, detector: TrajectoryDetector, recorder=NULL_RECORDER
+    ) -> list[tuple]:
         """Per-run Monte-Carlo metric tuples, without report materialisation.
 
         The fast path serves exactly the shipped scoring detectors
@@ -475,10 +478,11 @@ class StackedRunOutcome:
         if not supports_fast_metrics(detector):
             sim = self.simulation
             return [
-                _episode_metrics(sim, report, detector)
+                _episode_metrics(sim, report, detector, recorder)
                 for report in self.to_reports()
             ]
-        return self._fast_metrics(detector)
+        with recorder.span("kernel/detect", runs=self.run_stack):
+            return self._fast_metrics(detector)
 
     def _fast_metrics(self, detector: TrajectoryDetector) -> list[tuple]:
         from ..adversary.detector import AdversaryDetector
@@ -587,6 +591,7 @@ def run_stacked(
     regions: int = 1,
     region_workers: int = 1,
     collect_per_slot: bool = True,
+    recorder=NULL_RECORDER,
 ) -> StackedRunOutcome:
     """Play ``len(seeds)`` episodes as one pass of the slot kernel.
 
@@ -644,6 +649,9 @@ def run_stacked(
     widest = int(per_user.max())
     shuffle_rngs: list[np.random.Generator] = []
     evaluation_seeds: list[np.random.SeedSequence] = []
+    sample_token = recorder.begin(
+        "kernel/sample", engine=engine, runs=stack_size, users=n_users
+    )
     if stream:
         # Bounded working set: walk the streaming engine's per-run user
         # blocks and spill them straight into the store's planes.
@@ -728,6 +736,7 @@ def run_stacked(
                 targets[:, None] + np.arange(budget, dtype=np.int64)[None, :]
             ).ravel()
             plans_st[rows_idx] = chaffs.reshape(-1, horizon)
+    recorder.end(sample_token)
 
     owners_st = np.concatenate(
         [owners + run * n_users for run in range(stack_size)]
@@ -749,6 +758,9 @@ def run_stacked(
     svc_windows = sim._schedule.user_windows[owners] if dynamic else None
 
     # Phase B: the slot loop, once for the whole stack.
+    placement_token = recorder.begin(
+        "kernel/placement", engine=engine, runs=stack_size, slots=horizon
+    )
     per_slot_st: np.ndarray | None
     if not stream:
         per_slot_st = (
@@ -844,9 +856,10 @@ def run_stacked(
                     hist_chunk[:, local] = kernel.cells
                     if per_slot_chunk is not None:
                         per_slot_chunk[:, local] = kernel.slot_cost_totals()
-            store.append_chunk("histories", chunk, hist_chunk)
-            if per_slot_chunk is not None:
-                store.append_chunk("per_slot", chunk, per_slot_chunk)
+            with recorder.span("kernel/spill", chunk=chunk):
+                store.append_chunk("histories", chunk, hist_chunk)
+                if per_slot_chunk is not None:
+                    store.append_chunk("per_slot", chunk, per_slot_chunk)
         # Fold the spilled chunk shards back into the outcome tensors and
         # drop the ephemeral store.
         fill = -1 if dynamic else 0
@@ -866,6 +879,9 @@ def run_stacked(
         users_final = np.array(users_st, dtype=np.int64)
         del users_st, plans_st
         store.destroy()
+    recorder.end(placement_token)
+    for engine_ in stacked.engines:
+        recorder.record_stats("placement", engine_.stats.as_dict())
 
     # Phase C: each run's presentation permutation — the same single
     # draw from the same shuffle child as the per-episode path.

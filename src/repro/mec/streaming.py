@@ -52,6 +52,7 @@ from ..mobility.markov import MarkovChain
 from ..numerics import safe_log
 from ..sim.cache import EpisodeStore
 from ..sim.seeding import as_seed_sequence
+from ..telemetry import NULL_RECORDER
 from .costs import CostLedger
 from .fleet import (
     FleetEvaluation,
@@ -102,7 +103,9 @@ class StreamingFleetReport:
         placement: PlacementStats,
         evaluation_seed: np.random.SeedSequence,
         svc_windows: np.ndarray | None,
+        recorder=NULL_RECORDER,
     ) -> None:
+        self.recorder = recorder
         self.simulation = simulation
         self.store = store
         self.owns_store = owns_store
@@ -324,6 +327,7 @@ class StreamingFleetReport:
         """
         if seed is None:
             seed = self.evaluation_seed
+        detect_token = self.recorder.begin("kernel/detect", engine="stream")
         root = as_seed_sequence(seed)
         n_users = self.n_users
         n = self.n_services
@@ -377,6 +381,7 @@ class StreamingFleetReport:
             tracking = tracked_counts / window_counts
         else:
             tracking = tracked_counts / self.horizon
+        self.recorder.end(detect_token)
         return FleetEvaluation(
             chosen_rows=chosen,
             tracking_per_user=tracking,
@@ -414,6 +419,7 @@ class StreamingFleetEngine:
         regions: int = 1,
         region_workers: int = 1,
         store: EpisodeStore | None = None,
+        recorder=NULL_RECORDER,
     ) -> None:
         if chunk_slots < 1:
             raise ValueError("chunk_slots must be positive")
@@ -426,6 +432,7 @@ class StreamingFleetEngine:
         self.regions = int(regions)
         self.region_workers = int(region_workers)
         self._store = store
+        self.recorder = recorder
 
     # ------------------------------------------------------------------
     def _placement(self) -> PlacementEngine:
@@ -455,16 +462,17 @@ class StreamingFleetEngine:
         widest = int(per_user.max())
         block = max(1, _BLOCK_TARGET_ELEMS // max(horizon * widest, 1))
         row = 0
-        for start in range(0, n_users, block):
-            stop = min(start + block, n_users)
-            users_block, plans_block = sim._sample_block(
-                start, stop, user_rngs[start:stop]
-            )
-            users_plane[start:stop] = users_block
-            plans_plane[row : row + plans_block.shape[0]] = plans_block
-            row += plans_block.shape[0]
-        users_plane.flush()
-        plans_plane.flush()
+        with self.recorder.span("kernel/sample", engine="stream", users=n_users):
+            for start in range(0, n_users, block):
+                stop = min(start + block, n_users)
+                users_block, plans_block = sim._sample_block(
+                    start, stop, user_rngs[start:stop]
+                )
+                users_plane[start:stop] = users_block
+                plans_plane[row : row + plans_block.shape[0]] = plans_block
+                row += plans_block.shape[0]
+            users_plane.flush()
+            plans_plane.flush()
         del users_plane, plans_plane
         store.update_meta(sampled=True)
 
@@ -579,6 +587,10 @@ class StreamingFleetEngine:
         users_plane = store.open_plane("users")
         plans_plane = store.open_plane("plans")
         advanced = 0
+        recorder = self.recorder
+        placement_token = recorder.begin(
+            "kernel/placement", engine="stream", chunks=n_chunks - resume_from
+        )
         for chunk in range(resume_from, n_chunks):
             start = chunk * self.chunk_slots
             stop = min(start + self.chunk_slots, horizon)
@@ -622,9 +634,10 @@ class StreamingFleetEngine:
                     kernel.step_static(user_cols[:, local], plan_cols[:, local])
                     hist_chunk[:, local] = kernel.cells
                     per_slot_chunk[:, local] = kernel.slot_cost_totals()
-            store.append_chunk("histories", chunk, hist_chunk)
-            store.append_chunk("per_slot", chunk, per_slot_chunk)
-            self._save_kernel(store, chunk, kernel)
+            with recorder.span("kernel/spill", chunk=chunk):
+                store.append_chunk("histories", chunk, hist_chunk)
+                store.append_chunk("per_slot", chunk, per_slot_chunk)
+                self._save_kernel(store, chunk, kernel)
             advanced += 1
             if (
                 stop_after_chunks is not None
@@ -632,12 +645,15 @@ class StreamingFleetEngine:
                 and chunk + 1 < n_chunks
             ):
                 del users_plane, plans_plane
+                recorder.end(placement_token)
                 return None
         del users_plane, plans_plane
+        recorder.end(placement_token)
 
         if resume_from >= n_chunks:
             # Fully resumed episode: the totals live in the last carry.
             self._restore_kernel(kernel, store.load_state(n_chunks - 1))
+        recorder.record_stats("placement", kernel.placement.stats.as_dict())
         order = np.arange(n_services)
         if config.shuffle_observations:
             order = shuffle_rng.permutation(n_services)
@@ -658,6 +674,7 @@ class StreamingFleetEngine:
             placement=kernel.placement.stats,
             evaluation_seed=evaluation_seed,
             svc_windows=svc_windows,
+            recorder=recorder,
         )
 
     def run_to_report(self, seed: "int | np.random.SeedSequence") -> FleetReport:

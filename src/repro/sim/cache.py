@@ -65,6 +65,12 @@ EXECUTION_ONLY_KEYS = (
     "chunk_slots",
     "regions",
     "run_stack",
+    # Telemetry knobs observe a run without touching its numbers or RNG
+    # streams (pinned by the telemetry bit-identity suite), so recording
+    # never fragments the cache.
+    "telemetry",
+    "metrics_out",
+    "trace_out",
 )
 
 
@@ -131,12 +137,25 @@ class ResultCache:
     sweep is unconditional — the pure simulation layers may not consult
     file ages — so :meth:`put` retries its rename once in case a
     concurrent open swept a live temporary file.
+
+    ``clock`` is an optional zero-argument monotonic clock (seconds);
+    when injected — this module sits inside the no-wall-clock contract,
+    so it never names one itself — :meth:`get` accumulates hit and miss
+    latency, reported by :meth:`stats` and the CLI summary.
     """
 
-    def __init__(self, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        *,
+        clock: "Any | None" = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self._clock = clock
+        self.hit_time_s = 0.0
+        self.miss_time_s = 0.0
         self.orphans_removed = self._sweep_orphans()
 
     def _sweep_orphans(self) -> int:
@@ -151,12 +170,19 @@ class ResultCache:
                 removed += 1
         return removed
 
-    def stats(self) -> dict[str, int]:
-        """Cache behaviour counters (including swept write orphans)."""
+    def stats(self) -> "dict[str, int | float]":
+        """Cache behaviour counters (including swept write orphans).
+
+        The latency totals stay ``0.0`` unless a clock was injected at
+        construction; latency is an observation, never an input, so the
+        numbers of a cached run cannot depend on it.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "orphans_removed": self.orphans_removed,
+            "hit_time_s": self.hit_time_s,
+            "miss_time_s": self.miss_time_s,
         }
 
     def path_for(self, key: str) -> Path:
@@ -168,18 +194,25 @@ class ResultCache:
     def get(self, key: str) -> ExperimentResult | None:
         """The cached result for ``key``, or ``None`` on a miss."""
         path = self.path_for(key)
+        started = self._clock() if self._clock is not None else None
         try:
             result = ExperimentResult.load(path)
         except OSError:
             self.misses += 1
+            if started is not None:
+                self.miss_time_s += self._clock() - started
             return None
         except Exception:
             # Unreadable or wrong-shape entry (truncated write, foreign
             # file, older schema): a miss, so the caller recomputes and
             # overwrites it rather than crashing on stale on-disk state.
             self.misses += 1
+            if started is not None:
+                self.miss_time_s += self._clock() - started
             return None
         self.hits += 1
+        if started is not None:
+            self.hit_time_s += self._clock() - started
         return result
 
     def put(self, key: str, result: ExperimentResult) -> Path:

@@ -287,6 +287,7 @@ def parallel_map(
     *,
     workers: int = 1,
     shared: Any = None,
+    recorder: Any = None,
 ) -> list[_R]:
     """Map ``fn`` over ``items``, optionally across a process pool.
 
@@ -302,9 +303,21 @@ def parallel_map(
     copy per worker.  Workers read it back with :func:`get_shared`; the
     serial path binds it around the loop, so ``fn`` is oblivious to the
     worker count.
+
+    ``recorder`` (a :class:`repro.telemetry.Recorder`) attributes the
+    map to the parent trace: one ``parallel/map`` span over the whole
+    call plus task/worker counters.  Worker-side telemetry travels back
+    through the results — shard workers that record locally return their
+    recorder state for the caller to merge with worker attribution.
     """
     items = list(items)
     workers = min(resolve_workers(workers), max(len(items), 1))
+    if recorder is not None and recorder.enabled:
+        recorder.counter("parallel/maps")
+        recorder.counter("parallel/tasks", len(items))
+        recorder.gauge("parallel/workers", workers)
+        with recorder.span("parallel/map", tasks=len(items), workers=workers):
+            return parallel_map(fn, items, workers=workers, shared=shared)
     if workers == 1 or len(items) <= 1:
         if shared is None:
             return [fn(item) for item in items]

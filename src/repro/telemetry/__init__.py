@@ -1,0 +1,42 @@
+"""Deterministic telemetry: spans, counters and run metrics.
+
+The instrumentation layer is dependency-free and determinism-safe: a
+:class:`Recorder` measures nested phase spans through an *injected*
+monotonic clock (never an ambient ``time.perf_counter`` — rule RPL008
+keeps wall-clock references out of the pure layers), accumulates
+counters and gauges, and merges worker-local state back into the parent
+with worker attribution.  The :data:`NULL_RECORDER` default makes every
+instrumented hot path a near-no-op when telemetry is off, and the
+exporters emit one flat ``metrics.json`` schema plus Chrome trace-event
+JSON loadable in Perfetto / ``about:tracing``.
+"""
+
+from repro.telemetry.export import (
+    METRICS_SCHEMA,
+    chrome_trace,
+    metrics_json,
+    phase_summary_table,
+    write_metrics,
+    write_trace,
+)
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    RecorderSpec,
+    default_clock,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "RecorderSpec",
+    "chrome_trace",
+    "default_clock",
+    "metrics_json",
+    "phase_summary_table",
+    "write_metrics",
+    "write_trace",
+]

@@ -1,0 +1,106 @@
+"""Exporters for the telemetry schema.
+
+Two on-disk shapes, both dependency-free JSON:
+
+* :func:`metrics_json` — the flat ``repro-telemetry/1`` record (schema
+  tag, counters, gauges, per-phase aggregates).  Benchmarks and the CLI
+  ``--metrics-out`` flag both emit this shape, so every ``BENCH_*.json``
+  and ``metrics.json`` in the tree parses identically.
+* :func:`chrome_trace` — Chrome trace-event JSON (``"X"`` complete
+  events, microsecond timestamps) loadable in Perfetto or
+  ``about:tracing``; worker-merged spans land on their own ``tid`` lane.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.telemetry.recorder import NullRecorder, Recorder
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "chrome_trace",
+    "metrics_json",
+    "phase_summary_table",
+    "write_metrics",
+    "write_trace",
+]
+
+#: Schema tag stamped into every exported metrics record.
+METRICS_SCHEMA = "repro-telemetry/1"
+
+AnyRecorder = Union[Recorder, NullRecorder]
+
+
+def metrics_json(recorder: AnyRecorder) -> dict[str, Any]:
+    """The flat metrics record: counters, gauges and phase aggregates."""
+    counters = getattr(recorder, "counters", {})
+    gauges = getattr(recorder, "gauges", {})
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": {key: counters[key] for key in sorted(counters)},
+        "gauges": {key: gauges[key] for key in sorted(gauges)},
+        "phases": recorder.phase_totals(),
+    }
+
+
+def chrome_trace(recorder: AnyRecorder) -> dict[str, Any]:
+    """Chrome trace-event JSON (Perfetto / about:tracing loadable)."""
+    events: list[dict[str, Any]] = []
+    for span in getattr(recorder, "spans", ()):
+        event: dict[str, Any] = {
+            "name": span["name"],
+            "ph": "X",
+            "ts": float(span["ts"]) * 1e6,
+            "dur": float(span["dur"]) * 1e6,
+            "pid": 0,
+            "tid": span.get("tid", 0),
+        }
+        if "args" in span:
+            event["args"] = span["args"]
+        events.append(event)
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def write_metrics(recorder: AnyRecorder, path: "str | Path") -> Path:
+    """Write :func:`metrics_json` to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(metrics_json(recorder), indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def write_trace(recorder: AnyRecorder, path: "str | Path") -> Path:
+    """Write :func:`chrome_trace` to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(chrome_trace(recorder), indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def phase_summary_table(recorder: AnyRecorder) -> list[str]:
+    """End-of-run phase summary as aligned text rows (CLI / demo output)."""
+    totals = recorder.phase_totals()
+    if not totals:
+        return ["(no spans recorded)"]
+    header = ("phase", "count", "total ms", "mean ms", "max ms")
+    rows = [header]
+    for name, entry in totals.items():
+        rows.append(
+            (
+                name,
+                f"{int(entry['count'])}",
+                f"{entry['total_s'] * 1e3:.3f}",
+                f"{entry['mean_s'] * 1e3:.3f}",
+                f"{entry['max_s'] * 1e3:.3f}",
+            )
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[col].rjust(widths[col]) for col in range(1, len(header))]
+        lines.append("  ".join(cells).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return lines

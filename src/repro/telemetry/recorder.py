@@ -1,0 +1,259 @@
+"""Span / counter / gauge recorder with an injected monotonic clock.
+
+Determinism contract: recording telemetry never touches an RNG stream
+and never feeds timing back into a computation, so a run instrumented
+with a live :class:`Recorder` is bit-identical to the same run under
+:data:`NULL_RECORDER`.  The clock is injected (``Recorder(clock=...)``)
+so the pure layers (``sim``/``mec``/``adversary``/``world``) never name
+a wall-clock function themselves — rule RPL008 enforces exactly that.
+
+Worker protocol: the parent calls :meth:`Recorder.spawn_spec` to get a
+picklable :class:`RecorderSpec` carrying the injected clock, ships it
+inside the shard task, and each worker rebuilds a local recorder with
+``spec.build()``.  The worker returns ``recorder.to_state()`` alongside
+its numeric payload and the parent folds it back with
+:meth:`Recorder.merge`, attributing the spans to the worker's lane.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = [
+    "Clock",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "RecorderSpec",
+    "default_clock",
+]
+
+Clock = Callable[[], float]
+
+#: Plain-dict snapshot of a recorder (the cross-process wire format).
+RecorderState = dict[str, Any]
+
+
+def default_clock() -> float:
+    """The sanctioned process-wide monotonic clock (module-level, picklable)."""
+    return time.perf_counter()
+
+
+class RecorderSpec:
+    """Picklable recipe for rebuilding a recorder inside a worker."""
+
+    __slots__ = ("clock",)
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+
+    def build(self) -> "Recorder":
+        """Construct a fresh worker-local recorder with the parent's clock."""
+        return Recorder(clock=self.clock)
+
+
+class Recorder:
+    """Collects nested phase spans, counters and gauges.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument monotonic clock returning seconds.  Defaults to
+        :func:`default_clock`; tests inject a fake clock to make span
+        durations deterministic.
+    """
+
+    enabled = True
+
+    def __init__(self, *, clock: Clock | None = None) -> None:
+        self._clock: Clock = clock if clock is not None else default_clock
+        #: Completed spans: ``{"name", "ts", "dur", "tid"[, "args"]}``.
+        self.spans: list[dict[str, Any]] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._stack: list[str] = []
+
+    # -- spans ---------------------------------------------------------
+
+    def begin(self, name: str, **attrs: Any) -> tuple[str, float, int, dict[str, Any]]:
+        """Open a phase imperatively; pass the token to :meth:`end`.
+
+        The imperative pair exists for regions that are awkward to wrap
+        in a ``with`` block (long engine bodies ending in a ``return``);
+        :meth:`span` is the preferred form everywhere else.
+        """
+        depth = len(self._stack)
+        self._stack.append(name)
+        return (name, self._clock(), depth, dict(attrs))
+
+    def end(self, token: tuple[str, float, int, dict[str, Any]]) -> None:
+        """Close a phase opened by :meth:`begin` and record its span."""
+        end = self._clock()
+        name, start, depth, attrs = token
+        if self._stack and self._stack[-1] == name:
+            self._stack.pop()
+        record: dict[str, Any] = {
+            "name": name,
+            "ts": start,
+            "dur": end - start,
+            "tid": 0,
+            "depth": depth,
+        }
+        if attrs:
+            record["args"] = {key: attrs[key] for key in sorted(attrs)}
+        self.spans.append(record)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Time a phase; spans nest through the ``with`` stack."""
+        token = self.begin(name, **attrs)
+        try:
+            yield
+        finally:
+            self.end(token)
+
+    # -- scalars -------------------------------------------------------
+
+    def counter(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the monotonically accumulating counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time measurement (last write wins)."""
+        self.gauges[name] = value
+
+    def record_stats(self, prefix: str, stats: Mapping[str, Any]) -> None:
+        """Fold an ad-hoc stats mapping onto the unified schema.
+
+        Integer values become counters (they are counts: hits, spills,
+        evictions...), floats become gauges (ratios, latencies), and
+        nested mappings flatten with ``/`` separators.
+        """
+        for key in sorted(stats):
+            value = stats[key]
+            name = f"{prefix}/{key}"
+            if isinstance(value, Mapping):
+                self.record_stats(name, value)
+            elif isinstance(value, bool):
+                self.gauge(name, float(value))
+            elif isinstance(value, int):
+                self.counter(name, value)
+            elif isinstance(value, float):
+                self.gauge(name, value)
+
+    # -- worker merge --------------------------------------------------
+
+    def spawn_spec(self) -> RecorderSpec:
+        """Picklable spec a worker rebuilds its local recorder from."""
+        return RecorderSpec(self._clock)
+
+    def to_state(self) -> RecorderState:
+        """Plain-dict snapshot (JSON/pickle-safe) for cross-process merge."""
+        return {
+            "spans": [dict(span) for span in self.spans],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def merge(self, state: RecorderState, *, worker: int | None = None) -> None:
+        """Fold a worker's :meth:`to_state` snapshot into this recorder.
+
+        Counters sum; gauges are applied in sorted-key order so the
+        merged result is independent of dict insertion order; spans are
+        appended with ``worker`` stamped as the trace lane (``tid``) of
+        every span the worker had not already attributed (nested merges
+        keep the deepest attribution).
+        """
+        for span in state.get("spans", ()):
+            merged = dict(span)
+            if worker is not None and not merged.get("tid"):
+                merged["tid"] = worker
+            self.spans.append(merged)
+        counters = state.get("counters", {})
+        for key in sorted(counters):
+            self.counter(key, counters[key])
+        gauges = state.get("gauges", {})
+        for key in sorted(gauges):
+            self.gauge(key, gauges[key])
+
+    # -- aggregation ---------------------------------------------------
+
+    def phase_totals(self) -> dict[str, dict[str, float]]:
+        """Per-phase aggregate: count, total/mean/min/max duration (s)."""
+        totals: dict[str, dict[str, float]] = {}
+        for span in self.spans:
+            name = str(span["name"])
+            dur = float(span["dur"])
+            entry = totals.get(name)
+            if entry is None:
+                totals[name] = {
+                    "count": 1,
+                    "total_s": dur,
+                    "min_s": dur,
+                    "max_s": dur,
+                }
+            else:
+                entry["count"] += 1
+                entry["total_s"] += dur
+                entry["min_s"] = min(entry["min_s"], dur)
+                entry["max_s"] = max(entry["max_s"], dur)
+        for entry in totals.values():
+            entry["mean_s"] = entry["total_s"] / entry["count"]
+        return {name: totals[name] for name in sorted(totals)}
+
+
+class _NullSpan:
+    """Reusable no-op context manager (one instance, zero allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Telemetry-off recorder: every operation is a near-free no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def begin(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def end(self, token: Any) -> None:
+        return None
+
+    def counter(self, name: str, value: float = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def record_stats(self, prefix: str, stats: Mapping[str, Any]) -> None:
+        return None
+
+    def spawn_spec(self) -> None:
+        return None
+
+    def to_state(self) -> RecorderState:
+        return {"spans": [], "counters": {}, "gauges": {}}
+
+    def merge(self, state: RecorderState, *, worker: int | None = None) -> None:
+        return None
+
+    def phase_totals(self) -> dict[str, dict[str, float]]:
+        return {}
+
+
+#: The process-wide telemetry-off default every instrumented API takes.
+NULL_RECORDER = NullRecorder()

@@ -382,6 +382,9 @@ class TestResultCache:
             "chunk_slots",
             "regions",
             "run_stack",
+            "telemetry",
+            "metrics_out",
+            "trace_out",
         }
         base = {"n_runs": 3, "engine": "batch", "workers": 1, "backend": "dense"}
         variant = {
@@ -393,6 +396,9 @@ class TestResultCache:
             "chunk_slots": 7,
             "regions": 4,
             "run_stack": 16,
+            "telemetry": True,
+            "metrics_out": "metrics.json",
+            "trace_out": "trace.json",
         }
         assert experiment_cache_key("dummy", base) == experiment_cache_key(
             "dummy", variant

@@ -38,6 +38,7 @@ _SCOPED_PATH = {
     "RPL004": "src/repro/mobility/sparse.py",
     "RPL005": "src/repro/sim/runner.py",
     "RPL007": "src/repro/mec/fleet.py",
+    "RPL008": "src/repro/mec/streaming.py",
 }
 
 
@@ -62,6 +63,7 @@ class TestRuleFixtures:
             ("rpl004_bad", 1),  # unguarded .toarray()
             ("rpl005_bad", 3),  # time.time, datetime.now, bare default_rng()
             ("rpl007_bad", 2),  # np.empty 3-tuple, np.zeros shape= 3-tuple
+            ("rpl008_bad", 3),  # Recorder(), time.perf_counter ref, bare ref
         ],
     )
     def test_positive_fixtures_are_flagged(self, name, expected):
@@ -78,6 +80,7 @@ class TestRuleFixtures:
             "rpl004_good",
             "rpl005_good",
             "rpl007_good",
+            "rpl008_good",
         ],
     )
     def test_negative_fixtures_are_clean(self, name):
@@ -92,6 +95,7 @@ class TestRuleFixtures:
             "rpl004_disabled",
             "rpl005_disabled",
             "rpl007_disabled",
+            "rpl008_disabled",
         ],
     )
     def test_disable_comments_suppress(self, name):
@@ -125,6 +129,9 @@ class TestRuleScoping:
             ("rpl007_bad", "src/repro/analysis/planes.py"),  # plane layers only
             ("rpl007_bad", "tests/test_fleet.py"),  # only inside repro/
             ("rpl007_bad", "benchmarks/test_bench_fleet.py"),
+            ("rpl008_bad", "src/repro/telemetry/recorder.py"),  # clock's home
+            ("rpl008_bad", "src/repro/cli.py"),  # the composition root
+            ("rpl008_bad", "examples/demo.py"),
         ],
     )
     def test_out_of_scope_paths_are_clean(self, name, out_of_scope_path):
@@ -134,6 +141,11 @@ class TestRuleScoping:
     def test_rpl005_covers_every_pure_layer(self, layer):
         findings = lint_source(fixture("rpl005_bad"), f"src/repro/{layer}/module.py")
         assert {f.code for f in findings} == {"RPL005"}
+
+    @pytest.mark.parametrize("layer", ["sim", "mec", "adversary", "world"])
+    def test_rpl008_covers_every_pure_layer(self, layer):
+        findings = lint_source(fixture("rpl008_bad"), f"src/repro/{layer}/module.py")
+        assert {f.code for f in findings} == {"RPL008"}
 
     @pytest.mark.parametrize("layer", ["mec", "adversary", "world", "sim"])
     def test_rpl007_covers_every_plane_layer(self, layer):

@@ -566,7 +566,13 @@ class TestResultCacheOrphans:
         (cache_dir / "entry.json").write_text(json.dumps({"k": 1}))
         cache = ResultCache(cache_dir)
         assert cache.orphans_removed == 2
-        assert cache.stats() == {"hits": 0, "misses": 0, "orphans_removed": 2}
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "orphans_removed": 2,
+            "hit_time_s": 0.0,
+            "miss_time_s": 0.0,
+        }
         assert list(cache_dir.glob("*.tmp")) == []
         assert (cache_dir / "entry.json").exists()
 
